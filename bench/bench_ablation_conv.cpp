@@ -1,0 +1,54 @@
+// Ablation: explicit (im2col) versus implicit GEMM convolution — the
+// paper's closing remark in Section 7.3 ("implicit GEMM ... can also be
+// batched using our proposed framework").
+//
+// Both paths run the same batched GEMMs through the planner; the explicit
+// path additionally pays the im2col materialization (write + re-read of the
+// K x N column matrix through DRAM), which dominates for 1x1-heavy layers
+// where K x N is comparable to the GEMM's total traffic.
+#include <iostream>
+
+#include "core/api.hpp"
+#include "dnn/googlenet.hpp"
+#include "dnn/implicit_gemm.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ctb;
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  PlannerConfig config;
+  const BatchedGemmPlanner planner(config);
+
+  std::cout << "=== im2col + batched GEMM versus implicit batched GEMM "
+               "(GoogleNet stage-1 branches, batch=1) ===\n";
+  TextTable t;
+  t.set_header({"module", "gemm(us)", "im2col overhead(us)",
+                "explicit total(us)", "implicit total(us)", "speedup"});
+  double sum_explicit = 0, sum_implicit = 0;
+  for (const auto& m : googlenet_inception_modules()) {
+    const std::vector<GemmDims> dims = m.stage_gemms(1, 1);
+    const double gemm_us =
+        time_plan(arch, planner.plan(dims).plan, dims).time_us;
+    double materialize_us = 0;
+    for (const ConvShape* c : m.stage1())
+      materialize_us += im2col_materialization_us(arch, *c, 1);
+    const double explicit_total = gemm_us + materialize_us;
+    const double implicit_total = gemm_us;  // same GEMM, no materialization
+    sum_explicit += explicit_total;
+    sum_implicit += implicit_total;
+    t.add_row({m.name, TextTable::fmt(gemm_us, 1),
+               TextTable::fmt(materialize_us, 1),
+               TextTable::fmt(explicit_total, 1),
+               TextTable::fmt(implicit_total, 1),
+               TextTable::fmt(explicit_total / implicit_total, 2)});
+  }
+  t.add_row({"(total)", "", "", TextTable::fmt(sum_explicit, 1),
+             TextTable::fmt(sum_implicit, 1),
+             TextTable::fmt(sum_explicit / sum_implicit, 2)});
+  t.print(std::cout);
+  std::cout << "\nThe implicit path's gather is modeled as cost-neutral in "
+               "the main loop (the real kernel trades address arithmetic "
+               "for the avoided materialization); functional equivalence is "
+               "verified in tests/implicit_gemm_test.cpp.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the figure-reproduction harnesses. Each bench binary
+// prints the rows/series of one of the paper's tables or figures; these
+// helpers implement the common sweep machinery (equal-size synthetic cases,
+// the three execution variants, speedup tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "core/api.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ctb::bench {
+
+/// One synthetic batched-GEMM case of `batch` identical GEMMs (the Fig. 8/9
+/// sweep shape: histograms per (M=N, batch) cell, K on the X axis).
+inline std::vector<GemmDims> equal_case(int batch, int mn, int k) {
+  return std::vector<GemmDims>(static_cast<std::size_t>(batch),
+                               GemmDims{mn, mn, k});
+}
+
+/// Simulated time of the framework under a given policy.
+inline double time_ours(const GpuArch& arch, std::span<const GemmDims> dims,
+                        BatchingPolicy policy,
+                        GpuModel model = GpuModel::kV100) {
+  PlannerConfig config;
+  config.gpu = model;
+  config.policy = policy;
+  const BatchedGemmPlanner planner(config);
+  return time_plan(arch, planner.plan(dims).plan, dims).time_us;
+}
+
+/// The paper's sweep axes.
+inline const std::vector<int>& sweep_mn() {
+  static const std::vector<int> v = {128, 256, 512};
+  return v;
+}
+inline const std::vector<int>& sweep_batch() {
+  static const std::vector<int> v = {4, 16, 64, 256};
+  return v;
+}
+inline const std::vector<int>& sweep_k() {
+  static const std::vector<int> v = {16, 32, 64, 128, 256, 512, 1024, 2048};
+  return v;
+}
+
+}  // namespace ctb::bench

@@ -1,0 +1,59 @@
+// Extension experiment: FP16 (tensor-core) batched GEMM.
+//
+// The paper's introduction motivates Volta's FP16/Tensor-Core path; this
+// bench runs the Fig.-9-style sweep in both precisions and reports the
+// FP16 speedup per architecture. Compute-bound cases approach the
+// hardware's FP16 rate multiplier; memory-bound ones cap at ~2x (halved
+// element size).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ctb;
+  using namespace ctb::bench;
+
+  for (GpuModel model :
+       {GpuModel::kV100, GpuModel::kP100, GpuModel::kGTXTitanX}) {
+    const GpuArch& arch = gpu_arch(model);
+    std::cout << "=== FP32 vs FP16 batched GEMM on " << arch.name
+              << " (fp16 rate x" << arch.fp16_rate_multiplier << ") ===\n";
+    TextTable t;
+    t.set_header({"batch", "M=N", "K", "fp32(us)", "fp16(us)", "speedup",
+                  "bound"});
+    std::vector<double> speedups;
+    for (int batch : {16, 64}) {
+      for (int mn : {128, 512}) {
+        for (int k : {64, 512}) {
+          const auto dims = equal_case(batch, mn, k);
+          PlannerConfig config;
+          config.gpu = model;
+          const BatchedGemmPlanner planner(config);
+          const PlanSummary s = planner.plan(dims);
+          const TimedResult t32 =
+              time_plan(arch, s.plan, dims, Precision::kFp32);
+          const TimedResult t16 =
+              time_plan(arch, s.plan, dims, Precision::kFp16);
+          const double speedup = t32.time_us / t16.time_us;
+          speedups.push_back(speedup);
+          const bool mem_bound = t16.sim.mean_hide_factor < 1.0 ||
+                                 t16.sim.achieved_gflops <
+                                     arch.peak_gflops() *
+                                         arch.fp16_rate_multiplier * 0.5;
+          t.add_row({TextTable::fmt(batch), TextTable::fmt(mn),
+                     TextTable::fmt(k), TextTable::fmt(t32.time_us, 1),
+                     TextTable::fmt(t16.time_us, 1),
+                     TextTable::fmt(speedup, 2),
+                     mem_bound ? "memory-ish" : "compute"});
+        }
+      }
+    }
+    std::cout << "";
+    t.print(std::cout);
+    std::cout << "mean fp16 speedup: "
+              << TextTable::fmt(mean(speedups), 2) << "x\n\n";
+  }
+  std::cout << "FP16 numerics (tensor-core semantics: fp16 operands, fp32 "
+               "accumulation) are verified in tests/half_test.cpp.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// google-benchmark microbenchmarks of the library itself: planner latency,
+// simulator throughput, functional kernel throughput, im2col, and the
+// random-forest predictor (the paper stresses the online selector must be
+// negligible — "7-8 comparisons on average").
+#include <benchmark/benchmark.h>
+
+#include "baselines/baselines.hpp"
+#include "core/api.hpp"
+#include "core/rf_policy.hpp"
+#include "dnn/im2col.hpp"
+#include "kernels/work_builder.hpp"
+
+namespace {
+
+using namespace ctb;
+
+void BM_PlannerTilingOnly(benchmark::State& state) {
+  const std::vector<GemmDims> dims(static_cast<std::size_t>(state.range(0)),
+                                   GemmDims{128, 128, 256});
+  PlannerConfig config;
+  config.policy = BatchingPolicy::kTilingOnly;
+  const BatchedGemmPlanner planner(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(dims));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PlannerTilingOnly)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_PlannerThresholdBatching(benchmark::State& state) {
+  const std::vector<GemmDims> dims(static_cast<std::size_t>(state.range(0)),
+                                   GemmDims{128, 128, 64});
+  PlannerConfig config;
+  config.policy = BatchingPolicy::kThresholdOnly;
+  const BatchedGemmPlanner planner(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(dims));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PlannerThresholdBatching)->Arg(64)->Arg(256);
+
+void BM_SimulateKernel(benchmark::State& state) {
+  const std::vector<GemmDims> dims(static_cast<std::size_t>(state.range(0)),
+                                   GemmDims{128, 128, 256});
+  PlannerConfig config;
+  const BatchedGemmPlanner planner(config);
+  const PlanSummary s = planner.plan(dims);
+  const KernelWork work = work_from_plan(s.plan, dims);
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_kernel(arch, work));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(work.blocks.size()));
+  state.SetLabel(std::to_string(work.blocks.size()) + " blocks");
+}
+BENCHMARK(BM_SimulateKernel)->Arg(16)->Arg(256);
+
+void BM_FunctionalTileGemm(benchmark::State& state) {
+  const auto& s = batched_strategy_by_id(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  const GemmDims d{s.by, s.bx, 256};
+  Matrixf a(static_cast<std::size_t>(d.m), static_cast<std::size_t>(d.k));
+  Matrixf b(static_cast<std::size_t>(d.k), static_cast<std::size_t>(d.n));
+  Matrixf c(static_cast<std::size_t>(d.m), static_cast<std::size_t>(d.n));
+  fill_random(a, rng);
+  fill_random(b, rng);
+  const GemmOperands g = operands(a, b, c);
+  for (auto _ : state) {
+    execute_tile(s, g, 0, 0, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.flops());
+  state.SetLabel(s.name());
+}
+BENCHMARK(BM_FunctionalTileGemm)->Arg(1)->Arg(5)->Arg(11);
+
+void BM_ReferenceGemmBlocked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Matrixf a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  Matrixf b(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  Matrixf c(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  fill_random(a, rng);
+  fill_random(b, rng);
+  for (auto _ : state) {
+    gemm_blocked(a, b, c, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_ReferenceGemmBlocked)->Arg(64)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  ConvShape s;
+  s.in_c = 64;
+  s.out_c = 64;
+  s.kernel = 3;
+  s.stride = 1;
+  s.pad = 1;
+  s.in_h = 28;
+  s.in_w = 28;
+  Rng rng(3);
+  Tensor4 input(1, s.in_c, s.in_h, s.in_w);
+  fill_random(input, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(im2col(s, input));
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_ForestPredict(benchmark::State& state) {
+  RfTrainingConfig config;
+  config.num_cases = 80;
+  config.forest.num_trees = 32;
+  config.ranges.max_batch = 16;
+  config.ranges.max_mn = 256;
+  config.ranges.max_k = 512;
+  const RandomForest forest = train_batching_forest(config);
+  const std::vector<double> features{128.0, 128.0, 64.0, 16.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(features));
+  }
+  state.SetLabel("online selector cost (paper: 7-8 comparisons)");
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_MagmaVbatchSim(benchmark::State& state) {
+  const std::vector<GemmDims> dims(static_cast<std::size_t>(state.range(0)),
+                                   GemmDims{128, 128, 256});
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_magma_timed(arch, dims));
+  }
+}
+BENCHMARK(BM_MagmaVbatchSim)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

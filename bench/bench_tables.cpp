@@ -1,0 +1,49 @@
+// Reproduces Table 1 and Table 2 of the paper, extended with the analytical
+// model values (Eqs. 2-4) and resource footprints the engines reason with.
+#include <iostream>
+
+#include "core/perf_model.hpp"
+#include "core/tiling_strategy.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ctb;
+
+  std::cout << "=== Table 1: tiling strategies for the single-GEMM "
+               "scenario ===\n";
+  TextTable t1;
+  t1.set_header({"name", "BY", "BX", "BK", "threads", "sub-tile", "AI",
+                 "smem(B)", "regs/thr"});
+  for (const auto& s : single_gemm_strategies()) {
+    t1.add_row({to_string(s.shape), TextTable::fmt(s.by),
+                TextTable::fmt(s.bx), TextTable::fmt(s.bk),
+                TextTable::fmt(s.threads),
+                std::to_string(s.sub_y) + "x" + std::to_string(s.sub_x),
+                TextTable::fmt(arithmetic_intensity(s), 1),
+                TextTable::fmt(s.smem_bytes()),
+                TextTable::fmt(s.regs_per_thread())});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n=== Table 2: tiling strategies for the batched-GEMM "
+               "scenario (unified thread structure) ===\n";
+  TextTable t2;
+  t2.set_header({"id", "name", "BY", "BX", "BK", "threads", "sub-tile",
+                 "AI", "FMA/thr/iter", "loads/thr/iter", "smem(B)",
+                 "regs/thr"});
+  for (const auto& s : batched_strategies()) {
+    t2.add_row({TextTable::fmt(s.id), to_string(s.shape),
+                TextTable::fmt(s.by), TextTable::fmt(s.bx),
+                TextTable::fmt(s.bk), TextTable::fmt(s.threads),
+                std::to_string(s.sub_y) + "x" + std::to_string(s.sub_x),
+                TextTable::fmt(arithmetic_intensity(s), 1),
+                TextTable::fmt(num_fma_per_thread(s), 0),
+                TextTable::fmt(num_load_per_thread(s), 2),
+                TextTable::fmt(s.smem_bytes()),
+                TextTable::fmt(s.regs_per_thread())});
+  }
+  t2.print(std::cout);
+  std::cout << "\nEq. 4 check: AI = 4*BY*BX/(BY+BX), independent of the "
+               "thread variant.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// End-to-end GoogleNet-v1 inference with every inception module running its
+// branch GEMMs through the coordinated tiling and batching framework.
+//
+// The network executes functionally with random weights (LRN layers are
+// omitted — they do not change any GEMM shape), asserting every
+// intermediate shape against the published architecture and finishing with
+// the 7x7 average pool and the 1000-way classifier GEMM. This is the "whole
+// network" behind bench_fig10_googlenet's timing rows.
+#include <chrono>
+#include <iostream>
+
+#include "dnn/inference.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ctb;
+  using Clock = std::chrono::steady_clock;
+  Rng rng(1409);  // arXiv:1409.4842
+
+  PlannerConfig config;
+  config.policy = BatchingPolicy::kThresholdOnly;  // skip per-stage sims
+
+  std::cout << "GoogleNet-v1 forward pass, batch=1, random weights\n";
+  const auto t0 = Clock::now();
+
+  // Stem: conv1 7x7/2 -> pool/2 -> conv2 reduce -> conv2 3x3 -> pool/2.
+  const auto& stem = googlenet_stem_convs();
+  Tensor4 x(1, 3, 224, 224);
+  fill_random(x, rng, 0.0f, 1.0f);
+
+  Matrixf w1 = random_filters(stem[0], rng);
+  x = conv_forward_gemm(stem[0], x, w1);
+  relu_inplace(x);
+  std::cout << "conv1:   " << x.c() << "x" << x.h() << "x" << x.w() << '\n';
+  x = max_pool(x, 3, 2, 1);  // 112 -> 56
+
+  Matrixf w2r = random_filters(stem[1], rng);
+  x = conv_forward_gemm(stem[1], x, w2r);
+  relu_inplace(x);
+  Matrixf w2 = random_filters(stem[2], rng);
+  x = conv_forward_gemm(stem[2], x, w2);
+  relu_inplace(x);
+  std::cout << "conv2:   " << x.c() << "x" << x.h() << "x" << x.w() << '\n';
+  x = max_pool(x, 3, 2, 1);  // 56 -> 28
+
+  // Inception modules with the framework batching each stage's GEMMs.
+  for (const auto& m : googlenet_inception_modules()) {
+    if (m.hw != x.h()) x = max_pool(x, 3, 2, 1);  // stride-2 pool boundary
+    const InceptionWeights w = random_inception_weights(m, rng);
+    x = inception_forward_batched(m, x, w, config);
+    std::cout << m.name << ": " << x.c() << "x" << x.h() << "x" << x.w()
+              << '\n';
+    if (x.c() != m.out_c()) {
+      std::cout << "SHAPE MISMATCH\n";
+      return 1;
+    }
+  }
+
+  // Head: global average pool + 1000-way classifier (a 1000x1x1024 GEMM).
+  x = avg_pool(x, 7, 1, 0);
+  Matrixf features(static_cast<std::size_t>(x.c()), 1);
+  for (int c = 0; c < x.c(); ++c) features(static_cast<std::size_t>(c), 0) =
+      x.at(0, c, 0, 0);
+  Matrixf fc(1000, static_cast<std::size_t>(x.c()));
+  fill_random(fc, rng, -0.05f, 0.05f);
+  Matrixf logits(1000, 1);
+  gemm_blocked(fc, features, logits, 1.0f, 0.0f);
+
+  int argmax = 0;
+  for (int i = 1; i < 1000; ++i)
+    if (logits(static_cast<std::size_t>(i), 0) >
+        logits(static_cast<std::size_t>(argmax), 0))
+      argmax = i;
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  std::cout << "\nclassifier: 1000 logits, argmax=" << argmax
+            << " (random weights)\n";
+  std::cout << "host functional execution took " << TextTable::fmt(secs, 1)
+            << " s across " << googlenet_all_convs().size()
+            << " convolutions; see bench_fig10_googlenet for the simulated "
+               "GPU timing comparison.\n";
+  return 0;
+}

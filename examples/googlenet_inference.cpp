@@ -1,0 +1,69 @@
+// GoogleNet inception inference through the framework (the paper's
+// Section 7.3 case study, runnable end to end).
+//
+// Runs a real-size inception3a forward pass twice — once with direct
+// convolutions (reference) and once with the branch GEMMs batched through
+// the planner — verifies they agree, then prints the per-module timing
+// comparison for the whole network.
+#include <iostream>
+
+#include "dnn/inference.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ctb;
+
+  const InceptionModule& m3a = googlenet_inception_modules().front();
+  std::cout << "Forward pass of " << m3a.name << " (input " << m3a.in_c
+            << " channels, " << m3a.hw << "x" << m3a.hw << " maps)...\n";
+
+  Rng rng(2019);
+  Tensor4 input(1, m3a.in_c, m3a.hw, m3a.hw);
+  fill_random(input, rng, -0.5f, 0.5f);
+  const InceptionWeights weights = random_inception_weights(m3a, rng);
+
+  PlannerConfig config;
+  config.policy = BatchingPolicy::kAutoOffline;
+
+  const Tensor4 reference = inception_forward_reference(m3a, input, weights);
+  const Tensor4 batched =
+      inception_forward_batched(m3a, input, weights, config);
+  const float diff = max_abs_diff(reference, batched);
+  std::cout << "output: " << batched.c() << " channels, max |diff| vs "
+            << "direct convolution = " << diff << '\n';
+  if (diff > 1e-2f) {
+    std::cout << "MISMATCH!\n";
+    return 1;
+  }
+
+  // The stage-1 GEMMs of this module, as the paper describes them.
+  std::cout << "\nStage-1 branch GEMMs (the paper's \"four GEMMs\"):\n";
+  for (const ConvShape* conv : m3a.stage1()) {
+    const GemmDims d = conv->gemm_dims(1);
+    std::cout << "  " << conv->name << ": " << d.m << "x" << d.n << "x"
+              << d.k << '\n';
+  }
+
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  std::cout << "\nPer-module simulated GEMM time on " << arch.name << ":\n";
+  TextTable t;
+  t.set_header({"module", "default(us)", "stream(us)", "ours(us)",
+                "speedup vs stream"});
+  double totals[3] = {0, 0, 0};
+  for (const auto& layer : time_googlenet_inceptions(arch, 1, config)) {
+    t.add_row({layer.name, TextTable::fmt(layer.default_us, 1),
+               TextTable::fmt(layer.stream_us, 1),
+               TextTable::fmt(layer.ours_us, 1),
+               TextTable::fmt(layer.speedup_vs_stream(), 2)});
+    totals[0] += layer.default_us;
+    totals[1] += layer.stream_us;
+    totals[2] += layer.ours_us;
+  }
+  t.add_row({"(all modules)", TextTable::fmt(totals[0], 1),
+             TextTable::fmt(totals[1], 1), TextTable::fmt(totals[2], 1),
+             TextTable::fmt(totals[1] / totals[2], 2)});
+  t.print(std::cout);
+  std::cout << "\nPaper reference: the framework takes the whole network "
+               "from 2.41 ms (streams) to 2.01 ms (1.23x).\n";
+  return 0;
+}

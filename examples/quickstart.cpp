@@ -1,0 +1,71 @@
+// Quickstart: batch three differently-sized GEMMs through the coordinated
+// tiling and batching framework, verify the results against a host
+// reference, and inspect what the planner decided.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/api.hpp"
+#include "linalg/gemm_ref.hpp"
+
+int main() {
+  using namespace ctb;
+
+  // Three small GEMMs of different shapes — the scenario the paper targets
+  // (cublasSgemmBatched cannot handle mixed sizes at all).
+  const std::vector<GemmDims> dims = {
+      {16, 32, 128}, {64, 64, 64}, {256, 256, 64}};
+
+  Rng rng(42);
+  std::vector<Matrixf> as, bs, cs;
+  for (const auto& d : dims) {
+    as.emplace_back(static_cast<std::size_t>(d.m),
+                    static_cast<std::size_t>(d.k));
+    bs.emplace_back(static_cast<std::size_t>(d.k),
+                    static_cast<std::size_t>(d.n));
+    cs.emplace_back(static_cast<std::size_t>(d.m),
+                    static_cast<std::size_t>(d.n));
+    fill_random(as.back(), rng);
+    fill_random(bs.back(), rng);
+  }
+
+  // Plan + execute in one call. The default config targets a V100 and
+  // picks the batching heuristic by simulating both.
+  std::vector<const Matrixf*> a, b;
+  std::vector<Matrixf*> c;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    a.push_back(&as[i]);
+    b.push_back(&bs[i]);
+    c.push_back(&cs[i]);
+  }
+  const BatchedGemmResult result = batched_gemm(a, b, c, 1.0f, 0.0f);
+
+  // What did the planner decide?
+  std::cout << "Tiling (one Table-2 strategy per GEMM):\n";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    std::cout << "  GEMM " << i << " (" << dims[i].m << "x" << dims[i].n
+              << "x" << dims[i].k << ") -> "
+              << result.summary.tiling.per_gemm[i]->name() << '\n';
+  }
+  std::cout << "Batch TLP: " << result.summary.tiling.tlp
+            << " (threshold 65536)\n";
+  std::cout << "Batching heuristic: " << to_string(result.summary.heuristic)
+            << '\n';
+  std::cout << "Plan: " << result.summary.plan.num_tiles() << " tiles in "
+            << result.summary.plan.num_blocks() << " thread blocks of "
+            << result.summary.plan.block_threads << " threads\n";
+  std::cout << "Simulated V100 time: " << result.timing.time_us << " us ("
+            << result.timing.sim.achieved_gflops << " GFLOP/s)\n";
+
+  // Verify against the host reference.
+  bool ok = true;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    Matrixf ref(static_cast<std::size_t>(dims[i].m),
+                static_cast<std::size_t>(dims[i].n));
+    gemm_naive(as[i], bs[i], ref, 1.0f, 0.0f);
+    ok = ok && allclose(cs[i], ref);
+  }
+  std::cout << (ok ? "Results match the host reference.\n"
+                   : "MISMATCH against the host reference!\n");
+  return ok ? 0 : 1;
+}

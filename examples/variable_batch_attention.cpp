@@ -1,0 +1,113 @@
+// Variable-length attention scores: a realistic mixed-size batched-GEMM
+// workload beyond the paper's GoogleNet case study.
+//
+// In a transformer serving batch, each request has its own sequence length
+// L_i; the per-head attention score computation Q_i x K_i^T is a GEMM of
+// size (L_i x L_i x d_head). Padding every request to the longest sequence
+// wastes compute quadratically, and cublasSgemmBatched cannot batch the
+// unpadded GEMMs because their sizes differ — exactly the gap the
+// coordinated tiling and batching framework fills.
+//
+// This example builds the unpadded score GEMMs for a batch of requests,
+// executes them through the framework, verifies the results, and compares
+// the simulated execution time against the padded same-size approach and
+// the per-kernel default.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/baselines.hpp"
+#include "core/api.hpp"
+#include "linalg/gemm_ref.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ctb;
+
+  constexpr int kHeads = 8;
+  constexpr int kHeadDim = 64;
+  // Sequence lengths of one serving batch (tokens per request).
+  const std::vector<int> seq_lens = {37, 112, 64, 211, 93, 45, 170, 128};
+
+  // One score GEMM per (request, head): L x L x d_head.
+  std::vector<GemmDims> dims;
+  int max_len = 0;
+  for (int len : seq_lens) {
+    max_len = std::max(max_len, len);
+    for (int h = 0; h < kHeads; ++h)
+      dims.push_back(GemmDims{len, len, kHeadDim});
+  }
+  std::cout << "Batch: " << seq_lens.size() << " requests x " << kHeads
+            << " heads = " << dims.size() << " GEMMs, L in [37, 211], "
+            << "d_head = " << kHeadDim << "\n\n";
+
+  // Build Q and K (as K^T) per GEMM and run through the framework.
+  Rng rng(7);
+  std::vector<Matrixf> qs, kts, scores;
+  for (const auto& d : dims) {
+    qs.emplace_back(static_cast<std::size_t>(d.m),
+                    static_cast<std::size_t>(d.k));
+    kts.emplace_back(static_cast<std::size_t>(d.k),
+                     static_cast<std::size_t>(d.n));
+    scores.emplace_back(static_cast<std::size_t>(d.m),
+                        static_cast<std::size_t>(d.n));
+    fill_random(qs.back(), rng, -0.1f, 0.1f);
+    fill_random(kts.back(), rng, -0.1f, 0.1f);
+  }
+  std::vector<const Matrixf*> a, b;
+  std::vector<Matrixf*> c;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    a.push_back(&qs[i]);
+    b.push_back(&kts[i]);
+    c.push_back(&scores[i]);
+  }
+  const float scale = 1.0f / std::sqrt(static_cast<float>(kHeadDim));
+  const BatchedGemmResult result = batched_gemm(a, b, c, scale, 0.0f);
+
+  // Spot-check one GEMM against the reference.
+  Matrixf ref(scores[3].rows(), scores[3].cols());
+  gemm_naive(qs[3], kts[3], ref, scale, 0.0f);
+  if (!allclose(scores[3], ref)) {
+    std::cout << "MISMATCH against the host reference!\n";
+    return 1;
+  }
+
+  // Compare execution strategies on the simulated V100.
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  const double ours = result.timing.time_us;
+  const double dflt = run_default_timed(arch, dims).time_us;
+  const double cke =
+      run_cke_timed(arch, dims, static_cast<int>(seq_lens.size())).time_us;
+  const double magma = run_magma_timed(arch, dims).time_us;
+  // The padded alternative: every GEMM blown up to max_len x max_len.
+  const std::vector<GemmDims> padded(
+      dims.size(), GemmDims{max_len, max_len, kHeadDim});
+  const double padded_batched = run_samesize_batched_timed(arch, padded)
+                                    .time_us;
+
+  long long useful = 0, padded_flops = 0;
+  for (const auto& d : dims) useful += d.flops();
+  for (const auto& d : padded) padded_flops += d.flops();
+
+  TextTable t;
+  t.set_header({"execution", "time(us)", "vs ours"});
+  t.add_row({"default (one kernel per GEMM)", TextTable::fmt(dflt, 1),
+             TextTable::fmt(dflt / ours, 2)});
+  t.add_row({"concurrent kernels (streams)", TextTable::fmt(cke, 1),
+             TextTable::fmt(cke / ours, 2)});
+  t.add_row({"padded cublasSgemmBatched-style",
+             TextTable::fmt(padded_batched, 1),
+             TextTable::fmt(padded_batched / ours, 2)});
+  t.add_row({"MAGMA vbatch (unpadded)", TextTable::fmt(magma, 1),
+             TextTable::fmt(magma / ours, 2)});
+  t.add_row({"this framework (unpadded)", TextTable::fmt(ours, 1), "1.00"});
+  t.print(std::cout);
+  std::cout << "\nPadding inflates the work from "
+            << static_cast<double>(useful) * 1e-6 << " MFLOP to "
+            << static_cast<double>(padded_flops) * 1e-6
+            << " MFLOP; the framework batches the unpadded GEMMs "
+               "directly.\n";
+  std::cout << "Chosen heuristic: " << to_string(result.summary.heuristic)
+            << ", " << result.summary.plan.num_blocks() << " blocks for "
+            << result.summary.plan.num_tiles() << " tiles.\n";
+  return 0;
+}

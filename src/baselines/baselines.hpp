@@ -1,0 +1,73 @@
+// Baseline batched-GEMM executions the paper compares against (Sections 3
+// and 7, artifact appendix): default per-kernel execution, concurrent kernel
+// execution over streams, cuBLAS-style same-size batching, and MAGMA-style
+// vbatch. Each baseline has a timed path (through the simulator) and a
+// functional path (bit-exact results) driven by the same tiling decisions.
+#pragma once
+
+#include <span>
+
+#include "core/tiling_strategy.hpp"
+#include "gpusim/arch.hpp"
+#include "gpusim/sm_engine.hpp"
+#include "kernels/functional.hpp"
+#include "linalg/gemm_ref.hpp"
+
+namespace ctb {
+
+struct BaselineResult {
+  SimStats sim;
+  double time_us = 0.0;  ///< includes host launch overheads.
+};
+
+/// Tile selection for a *standalone* GEMM (the library mindset cuBLAS/MAGMA
+/// kernels embody): balance having enough tiles to occupy the GPU against
+/// arithmetic intensity. Score = min(1, tiles / (2*SMs)) * AI; ties go to
+/// the larger tile.
+const TilingStrategy& single_gemm_heuristic(const GemmDims& dims,
+                                            const GpuArch& arch);
+
+/// Default execution: one kernel per GEMM, back to back in one stream.
+BaselineResult run_default_timed(const GpuArch& arch,
+                                 std::span<const GemmDims> batch);
+void run_default_functional(const GpuArch& arch,
+                            std::span<const GemmOperands> batch, float alpha,
+                            float beta);
+
+/// Concurrent kernel execution: the same per-GEMM kernels spread over
+/// `num_streams` CUDA streams.
+BaselineResult run_cke_timed(const GpuArch& arch,
+                             std::span<const GemmDims> batch,
+                             int num_streams);
+
+/// cuBLAS-style batched GEMM (cublasSgemmBatched): a single kernel, but only
+/// for batches where every GEMM has identical M, N, K. Throws CheckError on
+/// mixed sizes — exactly the API restriction the paper calls out.
+BaselineResult run_samesize_batched_timed(const GpuArch& arch,
+                                          std::span<const GemmDims> batch);
+void run_samesize_batched_functional(const GpuArch& arch,
+                                     std::span<const GemmOperands> batch,
+                                     float alpha, float beta);
+
+/// cublasSgemmStridedBatched-style API: one base pointer per operand and a
+/// fixed element stride between consecutive GEMMs (the common layout for
+/// batched tensors). Same same-size restriction as the pointer-array API.
+void run_strided_batched_functional(const GpuArch& arch, const float* a,
+                                    const float* b, float* c,
+                                    const GemmDims& dims,
+                                    std::int64_t stride_a,
+                                    std::int64_t stride_b,
+                                    std::int64_t stride_c, int batch,
+                                    float alpha, float beta);
+BaselineResult run_strided_batched_timed(const GpuArch& arch,
+                                         const GemmDims& dims, int batch);
+
+/// MAGMA-style vbatch: one kernel, gridDim.z = batch, one uniform tiling
+/// strategy, bubble blocks padding the grid to the largest GEMM.
+BaselineResult run_magma_timed(const GpuArch& arch,
+                               std::span<const GemmDims> batch);
+void run_magma_functional(const GpuArch& arch,
+                          std::span<const GemmOperands> batch, float alpha,
+                          float beta);
+
+}  // namespace ctb

@@ -1,0 +1,156 @@
+#include "core/api.hpp"
+
+#include <algorithm>
+
+#include "core/rf_policy.hpp"
+#include "kernels/work_builder.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace ctb {
+
+const char* to_string(BatchingPolicy policy) {
+  switch (policy) {
+    case BatchingPolicy::kThresholdOnly:
+      return "threshold-only";
+    case BatchingPolicy::kBinaryOnly:
+      return "binary-only";
+    case BatchingPolicy::kAutoOffline:
+      return "auto-offline";
+    case BatchingPolicy::kRandomForest:
+      return "random-forest";
+    case BatchingPolicy::kTilingOnly:
+      return "tiling-only";
+  }
+  return "?";
+}
+
+long long default_tlp_threshold(const GpuArch& arch) {
+  // 0.4 * thread capacity; equals the paper's 65536 on the V100 preset
+  // (0.4 * 80 SMs * 2048 threads).
+  return static_cast<long long>(0.4 * arch.sm_count *
+                                arch.max_threads_per_sm);
+}
+
+int default_theta(const GpuArch& arch) {
+  (void)arch;  // 256 worked across every architecture the paper evaluated
+  return 256;
+}
+
+BatchedGemmPlanner::BatchedGemmPlanner(PlannerConfig config)
+    : config_(config), arch_(gpu_arch(config.gpu)) {
+  if (config_.tlp_threshold <= 0)
+    config_.tlp_threshold = default_tlp_threshold(arch_);
+  if (config_.theta <= 0) config_.theta = default_theta(arch_);
+  if (config_.policy == BatchingPolicy::kRandomForest)
+    CTB_CHECK_MSG(config_.forest != nullptr && config_.forest->trained(),
+                  "random-forest policy requires a trained forest");
+}
+
+PlanSummary BatchedGemmPlanner::plan(std::span<const GemmDims> dims) const {
+  CTB_CHECK_MSG(!dims.empty(), "empty batch");
+  PlanSummary summary;
+
+  TilingConfig tiling_config;
+  tiling_config.tlp_threshold = config_.tlp_threshold;
+  summary.tiling = select_tiling(dims, tiling_config);
+
+  const std::vector<Tile> tiles =
+      enumerate_tiles(dims, summary.tiling.per_gemm);
+  const int threads = static_cast<int>(summary.tiling.variant);
+
+  BatchingConfig batching_config;
+  batching_config.theta = config_.theta;
+  batching_config.tlp_threshold = config_.tlp_threshold;
+
+  switch (config_.policy) {
+    case BatchingPolicy::kTilingOnly:
+      summary.heuristic = BatchingHeuristic::kNone;
+      break;
+    case BatchingPolicy::kThresholdOnly:
+      summary.heuristic = BatchingHeuristic::kThreshold;
+      break;
+    case BatchingPolicy::kBinaryOnly:
+      summary.heuristic = BatchingHeuristic::kBinary;
+      break;
+    case BatchingPolicy::kRandomForest:
+      summary.heuristic = rf_choose(*config_.forest, dims);
+      break;
+    case BatchingPolicy::kAutoOffline: {
+      // Fixed-shape workloads (e.g. DNN training steps) can afford to try
+      // both heuristics once and keep the winner (paper Section 5).
+      const BatchPlan thr =
+          batch_threshold(tiles, threads, batching_config);
+      const BatchPlan bin = batch_binary(tiles, threads, batching_config);
+      const double t_thr =
+          time_plan(arch_, thr, dims).time_us;
+      const double t_bin = time_plan(arch_, bin, dims).time_us;
+      summary.heuristic = t_thr <= t_bin ? BatchingHeuristic::kThreshold
+                                         : BatchingHeuristic::kBinary;
+      summary.plan = t_thr <= t_bin ? thr : bin;
+      CTB_DEBUG("auto-offline: threshold=" << t_thr << "us binary=" << t_bin
+                                           << "us -> "
+                                           << to_string(summary.heuristic));
+      return summary;
+    }
+  }
+  summary.plan = batch_tiles(summary.heuristic, tiles, threads,
+                             batching_config);
+  return summary;
+}
+
+TimedResult time_plan(const GpuArch& arch, const BatchPlan& plan,
+                      std::span<const GemmDims> dims, Precision precision) {
+  TimedResult result;
+  const KernelWork work = work_from_plan(plan, dims, precision);
+  result.sim = simulate_kernel(arch, work);
+  result.time_us = result.sim.makespan_us + arch.kernel_launch_us;
+  return result;
+}
+
+void execute_plan(const BatchPlan& plan, std::span<const GemmOperands> batch,
+                  float alpha, float beta) {
+  run_batched_plan(plan, batch, alpha, beta);
+}
+
+BatchedGemmResult batched_gemm(std::span<const Matrixf* const> a,
+                               std::span<const Matrixf* const> b,
+                               std::span<Matrixf* const> c, float alpha,
+                               float beta, const PlannerConfig& config) {
+  CTB_CHECK_MSG(a.size() == b.size() && b.size() == c.size(),
+                "operand array sizes differ");
+  std::vector<GemmEntry> entries(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    entries[i].a = a[i];
+    entries[i].b = b[i];
+    entries[i].c = c[i];
+  }
+  return batched_gemm(entries, alpha, beta, config);
+}
+
+BatchedGemmResult batched_gemm(std::span<const GemmEntry> entries,
+                               float alpha, float beta,
+                               const PlannerConfig& config) {
+  CTB_CHECK_MSG(!entries.empty(), "empty batch");
+
+  std::vector<GemmDims> dims(entries.size());
+  std::vector<GemmOperands> ops(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const GemmEntry& e = entries[i];
+    CTB_CHECK(e.a != nullptr && e.b != nullptr && e.c != nullptr);
+    ops[i] = operands(*e.a, *e.b, *e.c, e.op_a, e.op_b);
+    ops[i].precision = config.precision;
+    dims[i] = ops[i].dims;
+  }
+
+  const BatchedGemmPlanner planner(config);
+  BatchedGemmResult result;
+  result.summary = planner.plan(dims);
+  validate_plan(result.summary.plan, dims);
+  execute_plan(result.summary.plan, ops, alpha, beta);
+  result.timing = time_plan(planner.arch(), result.summary.plan, dims,
+                            config.precision);
+  return result;
+}
+
+}  // namespace ctb

@@ -1,0 +1,125 @@
+// Public API of the coordinated tiling and batching framework.
+//
+// Typical use:
+//
+//   ctb::PlannerConfig config;                       // V100 defaults
+//   ctb::BatchedGemmPlanner planner(config);
+//   ctb::PlanSummary s = planner.plan(dims);         // tiling + batching
+//   ctb::execute_plan(s.plan, operands, alpha, beta) // bit-exact results
+//   ctb::TimedResult t = time_plan(arch, s.plan, dims);  // simulated time
+//
+// or the one-call convenience `batched_gemm(...)` over host matrices.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/batching_engine.hpp"
+#include "core/tiling_engine.hpp"
+#include "gpusim/arch.hpp"
+#include "gpusim/sm_engine.hpp"
+#include "kernels/functional.hpp"
+#include "rf/random_forest.hpp"
+
+namespace ctb {
+
+/// How the planner picks between the two batching heuristics.
+enum class BatchingPolicy {
+  kThresholdOnly,  ///< always threshold batching (TLP priority)
+  kBinaryOnly,     ///< always binary batching (ILP priority)
+  kAutoOffline,    ///< evaluate both through the simulator, keep the faster
+  kRandomForest,   ///< online random-forest selection (paper Section 5)
+  kTilingOnly,     ///< one tile per block (tiling engine alone, Fig. 8)
+};
+
+const char* to_string(BatchingPolicy policy);
+
+/// TLP threshold for an architecture: 65536 on V100 (paper), scaled for
+/// other GPUs by their thread capacity (0.4 * SMs * threads-per-SM, which
+/// reproduces 65536 exactly on the V100 preset).
+long long default_tlp_threshold(const GpuArch& arch);
+
+/// Workload threshold theta (256 on V100, paper Section 7).
+int default_theta(const GpuArch& arch);
+
+struct PlannerConfig {
+  GpuModel gpu = GpuModel::kV100;
+  /// Zero values mean "derive from the architecture".
+  long long tlp_threshold = 0;
+  int theta = 0;
+  BatchingPolicy policy = BatchingPolicy::kAutoOffline;
+  /// Required when policy == kRandomForest.
+  const RandomForest* forest = nullptr;
+  /// Execution precision (kFp16 = tensor-core semantics; planning itself is
+  /// precision-independent, the strategy tables are the paper's FP32 suite).
+  Precision precision = Precision::kFp32;
+};
+
+/// Everything the planner decided, plus the executable plan.
+struct PlanSummary {
+  TilingResult tiling;
+  BatchingHeuristic heuristic = BatchingHeuristic::kNone;
+  BatchPlan plan;
+};
+
+class BatchedGemmPlanner {
+ public:
+  explicit BatchedGemmPlanner(PlannerConfig config = {});
+
+  /// Plans a batch: tiling engine, then batching engine under the configured
+  /// policy. The returned plan passes validate_plan().
+  PlanSummary plan(std::span<const GemmDims> dims) const;
+
+  const PlannerConfig& config() const { return config_; }
+  const GpuArch& arch() const { return arch_; }
+
+ private:
+  PlannerConfig config_;
+  GpuArch arch_;
+};
+
+/// Simulated execution time of a plan as one persistent-threads kernel
+/// launch (includes the host launch overhead).
+struct TimedResult {
+  SimStats sim;
+  double time_us = 0.0;
+};
+
+TimedResult time_plan(const GpuArch& arch, const BatchPlan& plan,
+                      std::span<const GemmDims> dims,
+                      Precision precision = Precision::kFp32);
+
+/// Functional execution: computes C = alpha*A*B + beta*C for every GEMM in
+/// the batch, following the plan block by block.
+void execute_plan(const BatchPlan& plan, std::span<const GemmOperands> batch,
+                  float alpha, float beta);
+
+/// One-call host convenience: plans, validates, functionally executes, and
+/// times the batch. a/b/c are parallel arrays of host matrices.
+struct BatchedGemmResult {
+  PlanSummary summary;
+  TimedResult timing;
+};
+
+BatchedGemmResult batched_gemm(std::span<const Matrixf* const> a,
+                               std::span<const Matrixf* const> b,
+                               std::span<Matrixf* const> c, float alpha,
+                               float beta, const PlannerConfig& config = {});
+
+/// One GEMM of a transpose-aware batch: C = alpha * op(A)*op(B) + beta*C.
+/// Stored shapes follow BLAS conventions (op == kT means the matrix holds
+/// the transpose of the logical operand).
+struct GemmEntry {
+  const Matrixf* a = nullptr;
+  const Matrixf* b = nullptr;
+  Matrixf* c = nullptr;
+  Op op_a = Op::kN;
+  Op op_b = Op::kN;
+};
+
+/// Transpose-aware batched GEMM; each entry may use its own op pair.
+BatchedGemmResult batched_gemm(std::span<const GemmEntry> entries,
+                               float alpha, float beta,
+                               const PlannerConfig& config = {});
+
+}  // namespace ctb

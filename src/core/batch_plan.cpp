@@ -1,0 +1,126 @@
+#include "core/batch_plan.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+std::vector<Tile> enumerate_tiles(
+    std::span<const GemmDims> dims,
+    std::span<const TilingStrategy* const> strategies) {
+  CTB_CHECK(dims.size() == strategies.size());
+  std::vector<Tile> tiles;
+  for (std::size_t g = 0; g < dims.size(); ++g) {
+    const TilingStrategy& s = *strategies[g];
+    const int ty_count = (dims[g].m + s.by - 1) / s.by;
+    const int tx_count = (dims[g].n + s.bx - 1) / s.bx;
+    for (int ty = 0; ty < ty_count; ++ty) {
+      for (int tx = 0; tx < tx_count; ++tx) {
+        tiles.push_back(Tile{static_cast<int>(g), ty, tx, dims[g].k, &s});
+      }
+    }
+  }
+  return tiles;
+}
+
+BatchPlan build_plan(std::span<const std::vector<Tile>> blocks,
+                     int block_threads) {
+  BatchPlan plan;
+  plan.block_threads = block_threads;
+  plan.tile_offsets.reserve(blocks.size() + 1);
+  plan.tile_offsets.push_back(0);
+  for (const auto& block : blocks) {
+    for (const Tile& t : block) {
+      CTB_CHECK(t.strategy != nullptr);
+      CTB_CHECK_MSG(t.strategy->threads == block_threads,
+                    "unified thread structure violated: strategy "
+                        << t.strategy->name() << " in a " << block_threads
+                        << "-thread plan");
+      plan.gemm_of_tile.push_back(t.gemm);
+      plan.strategy_of_tile.push_back(t.strategy->id);
+      plan.y_coord.push_back(t.ty);
+      plan.x_coord.push_back(t.tx);
+      plan.smem_bytes = std::max(plan.smem_bytes, t.strategy->smem_bytes());
+      plan.regs_per_thread =
+          std::max(plan.regs_per_thread, t.strategy->regs_per_thread());
+    }
+    plan.tile_offsets.push_back(static_cast<int>(plan.gemm_of_tile.size()));
+  }
+  return plan;
+}
+
+void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims) {
+  CTB_CHECK_MSG(!plan.tile_offsets.empty(), "plan has no offset array");
+  CTB_CHECK(plan.tile_offsets.front() == 0);
+  CTB_CHECK(plan.tile_offsets.back() == plan.num_tiles());
+  CTB_CHECK(static_cast<int>(plan.strategy_of_tile.size()) ==
+            plan.num_tiles());
+  CTB_CHECK(static_cast<int>(plan.y_coord.size()) == plan.num_tiles());
+  CTB_CHECK(static_cast<int>(plan.x_coord.size()) == plan.num_tiles());
+  for (std::size_t i = 1; i < plan.tile_offsets.size(); ++i)
+    CTB_CHECK_MSG(plan.tile_offsets[i] >= plan.tile_offsets[i - 1],
+                  "tile offsets must be monotone");
+
+  // Per-GEMM: one consistent strategy, and complete single coverage.
+  std::vector<int> gemm_strategy(dims.size(), -1);
+  std::vector<std::set<std::pair<int, int>>> seen(dims.size());
+  for (int t = 0; t < plan.num_tiles(); ++t) {
+    const int g = plan.gemm_of_tile[static_cast<std::size_t>(t)];
+    CTB_CHECK_MSG(g >= 0 && g < static_cast<int>(dims.size()),
+                  "tile " << t << " references GEMM " << g);
+    const int sid = plan.strategy_of_tile[static_cast<std::size_t>(t)];
+    const TilingStrategy& s = batched_strategy_by_id(sid);
+    if (gemm_strategy[static_cast<std::size_t>(g)] < 0)
+      gemm_strategy[static_cast<std::size_t>(g)] = sid;
+    CTB_CHECK_MSG(gemm_strategy[static_cast<std::size_t>(g)] == sid,
+                  "GEMM " << g << " tiled with two strategies");
+    CTB_CHECK_MSG(s.threads == plan.block_threads,
+                  "strategy id " << sid << " breaks the unified "
+                                 << plan.block_threads << "-thread structure");
+    const int ty = plan.y_coord[static_cast<std::size_t>(t)];
+    const int tx = plan.x_coord[static_cast<std::size_t>(t)];
+    const auto& d = dims[static_cast<std::size_t>(g)];
+    const int ty_count = (d.m + s.by - 1) / s.by;
+    const int tx_count = (d.n + s.bx - 1) / s.bx;
+    CTB_CHECK_MSG(ty >= 0 && ty < ty_count && tx >= 0 && tx < tx_count,
+                  "tile (" << ty << "," << tx << ") out of range for GEMM "
+                           << g);
+    CTB_CHECK_MSG(seen[static_cast<std::size_t>(g)].insert({ty, tx}).second,
+                  "tile (" << ty << "," << tx << ") of GEMM " << g
+                           << " assigned twice");
+  }
+  for (std::size_t g = 0; g < dims.size(); ++g) {
+    CTB_CHECK_MSG(gemm_strategy[g] >= 0, "GEMM " << g << " has no tiles");
+    const TilingStrategy& s = batched_strategy_by_id(gemm_strategy[g]);
+    const std::size_t expected =
+        static_cast<std::size_t>(s.tiles_for(dims[g].m, dims[g].n));
+    CTB_CHECK_MSG(seen[g].size() == expected,
+                  "GEMM " << g << " covered by " << seen[g].size()
+                          << " tiles, expected " << expected);
+  }
+}
+
+std::string to_string(const BatchPlan& plan) {
+  std::ostringstream os;
+  os << "BatchPlan{blocks=" << plan.num_blocks()
+     << ", tiles=" << plan.num_tiles() << ", T=" << plan.block_threads
+     << ", smem=" << plan.smem_bytes << "B, regs=" << plan.regs_per_thread
+     << "}\n";
+  os << "  Tile:     ";
+  for (int v : plan.tile_offsets) os << v << ' ';
+  os << "\n  GEMM:     ";
+  for (int v : plan.gemm_of_tile) os << v << ' ';
+  os << "\n  Strategy: ";
+  for (int v : plan.strategy_of_tile) os << v << ' ';
+  os << "\n  Y_Coord:  ";
+  for (int v : plan.y_coord) os << v << ' ';
+  os << "\n  X_Coord:  ";
+  for (int v : plan.x_coord) os << v << ' ';
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace ctb

@@ -1,0 +1,78 @@
+// Batching plan: the tile list plus the five auxiliary arrays of the paper's
+// programming interface (Section 6, Fig. 6). A plan fully describes which
+// thread block executes which tiles of which GEMM under which tiling
+// strategy — any batching scheme is expressible.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/tiling_strategy.hpp"
+#include "linalg/gemm_ref.hpp"
+
+namespace ctb {
+
+/// One C-tile of one GEMM, before block assignment.
+struct Tile {
+  int gemm = 0;                             ///< index into the batch.
+  int ty = 0;                               ///< tile row (Y_Coordinate).
+  int tx = 0;                               ///< tile col (X_Coordinate).
+  int k = 0;                                ///< K of the owning GEMM.
+  const TilingStrategy* strategy = nullptr; ///< owning GEMM's strategy.
+};
+
+/// The executable plan. Arrays follow Fig. 6 exactly:
+///   tile_offsets ("Tile")       — CSR offsets, size num_blocks + 1; block b
+///                                 owns tiles [tile_offsets[b], tile_offsets[b+1]).
+///   gemm_of_tile ("GEMM")       — owning GEMM per tile.
+///   strategy_of_tile ("Tiling strategy") — Table-2 id (0..11) per tile.
+///   y_coord / x_coord           — tile position within its GEMM.
+struct BatchPlan {
+  std::vector<int> tile_offsets;
+  std::vector<int> gemm_of_tile;
+  std::vector<int> strategy_of_tile;
+  std::vector<int> y_coord;
+  std::vector<int> x_coord;
+
+  /// Unified block size shared by all blocks (128 or 256).
+  int block_threads = 256;
+  /// Static launch footprint: the kernel is compiled once, so shared memory
+  /// and registers are sized for the largest strategy present in the plan.
+  int smem_bytes = 0;
+  int regs_per_thread = 0;
+
+  int num_blocks() const {
+    return static_cast<int>(tile_offsets.empty() ? 0
+                                                 : tile_offsets.size() - 1);
+  }
+  int num_tiles() const { return static_cast<int>(gemm_of_tile.size()); }
+  /// Tiles of block b as [begin, end) into the tile arrays.
+  std::pair<int, int> block_tiles(int b) const {
+    return {tile_offsets[static_cast<std::size_t>(b)],
+            tile_offsets[static_cast<std::size_t>(b) + 1]};
+  }
+};
+
+/// Expands a tiling selection into the flat tile list, GEMM by GEMM in row-
+/// major tile order. `strategies` is parallel to `dims`.
+std::vector<Tile> enumerate_tiles(
+    std::span<const GemmDims> dims,
+    std::span<const TilingStrategy* const> strategies);
+
+/// Builds a plan assigning the given tile groups to blocks, computing the
+/// unified launch footprint. Each inner vector becomes one block.
+BatchPlan build_plan(std::span<const std::vector<Tile>> blocks,
+                     int block_threads);
+
+/// Checks every structural invariant of a plan against the batch it claims
+/// to cover: offsets monotone, every tile of every GEMM covered exactly
+/// once, coordinates in range, strategy ids consistent per GEMM, and the
+/// unified thread structure respected. Throws CheckError with a description
+/// on the first violation.
+void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims);
+
+/// Debug rendering of the aux arrays (small plans only).
+std::string to_string(const BatchPlan& plan);
+
+}  // namespace ctb

@@ -1,0 +1,148 @@
+#include "core/batching_engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+const char* to_string(BatchingHeuristic h) {
+  switch (h) {
+    case BatchingHeuristic::kThreshold:
+      return "threshold";
+    case BatchingHeuristic::kBinary:
+      return "binary";
+    case BatchingHeuristic::kNone:
+      return "none";
+    case BatchingHeuristic::kPacked:
+      return "packed";
+  }
+  return "?";
+}
+
+BatchPlan batch_none(std::span<const Tile> tiles, int block_threads) {
+  std::vector<std::vector<Tile>> blocks;
+  blocks.reserve(tiles.size());
+  for (const Tile& t : tiles) blocks.push_back({t});
+  return build_plan(blocks, block_threads);
+}
+
+BatchPlan batch_threshold(std::span<const Tile> tiles, int block_threads,
+                          const BatchingConfig& config) {
+  CTB_CHECK(config.theta > 0);
+  std::vector<std::vector<Tile>> blocks;
+  std::size_t i = 0;
+  while (i < tiles.size()) {
+    const long long remaining =
+        static_cast<long long>(tiles.size() - i) +
+        static_cast<long long>(blocks.size());
+    const long long tlp_now = remaining * block_threads;
+    if (tlp_now > config.tlp_threshold / 2) {
+      // Parallelism to spare: deepen this block along K until theta.
+      std::vector<Tile> block;
+      long long sum_k = 0;
+      while (i < tiles.size() && sum_k <= config.theta) {
+        block.push_back(tiles[i]);
+        sum_k += tiles[i].k;
+        ++i;
+      }
+      blocks.push_back(std::move(block));
+    } else {
+      // TLP is scarce: the rest go one tile per block.
+      for (; i < tiles.size(); ++i) blocks.push_back({tiles[i]});
+    }
+  }
+  return build_plan(blocks, block_threads);
+}
+
+BatchPlan batch_binary(std::span<const Tile> tiles, int block_threads,
+                       const BatchingConfig& config) {
+  CTB_CHECK(config.theta > 0);
+  std::vector<Tile> sorted(tiles.begin(), tiles.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Tile& a, const Tile& b) { return a.k < b.k; });
+  std::vector<std::vector<Tile>> blocks;
+  std::size_t lo = 0;
+  std::size_t hi = sorted.size();
+  while (lo < hi) {
+    if (hi - lo == 1) {
+      blocks.push_back({sorted[lo]});
+      ++lo;
+      break;
+    }
+    // Pair min-K with max-K so K_i + K_j clusters around theta (the greedy
+    // solution of the paper's Eq. 5) — unless even the pair's K already
+    // exceeds theta on the big tile alone and pairing would only serialize
+    // two already-deep tiles.
+    const Tile& small = sorted[lo];
+    const Tile& big = sorted[hi - 1];
+    if (big.k >= config.theta) {
+      blocks.push_back({big});
+      --hi;
+      continue;
+    }
+    blocks.push_back({small, big});
+    ++lo;
+    --hi;
+  }
+  return build_plan(blocks, block_threads);
+}
+
+BatchPlan batch_packed(std::span<const Tile> tiles, int block_threads,
+                       const BatchingConfig& config) {
+  CTB_CHECK(config.theta > 0);
+  // TLP guard: packing below this many blocks would starve the GPU; fall
+  // back to one tile per block exactly like threshold batching's tail.
+  const long long min_blocks =
+      config.tlp_threshold / (2 * block_threads);
+
+  std::vector<Tile> sorted(tiles.begin(), tiles.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Tile& a, const Tile& b) { return a.k > b.k; });
+
+  std::vector<std::vector<Tile>> blocks;
+  std::vector<long long> load;  // summed K per block
+  // Bounded first fit: scanning a window of recent blocks keeps the pass
+  // O(n * window) while losing almost nothing versus exact FFD.
+  constexpr std::size_t kScanWindow = 256;
+  for (const Tile& t : sorted) {
+    bool placed = false;
+    const std::size_t begin =
+        blocks.size() > kScanWindow ? blocks.size() - kScanWindow : 0;
+    for (std::size_t b = begin; b < blocks.size(); ++b) {
+      if (load[b] + t.k <= config.theta) {
+        blocks[b].push_back(t);
+        load[b] += t.k;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      blocks.push_back({t});
+      load.push_back(t.k);
+    }
+  }
+  if (static_cast<long long>(blocks.size()) < min_blocks) {
+    // Packing collapsed the block count below the TLP guard: do not batch.
+    return batch_none(tiles, block_threads);
+  }
+  return build_plan(blocks, block_threads);
+}
+
+BatchPlan batch_tiles(BatchingHeuristic heuristic, std::span<const Tile> tiles,
+                      int block_threads, const BatchingConfig& config) {
+  switch (heuristic) {
+    case BatchingHeuristic::kThreshold:
+      return batch_threshold(tiles, block_threads, config);
+    case BatchingHeuristic::kBinary:
+      return batch_binary(tiles, block_threads, config);
+    case BatchingHeuristic::kNone:
+      return batch_none(tiles, block_threads);
+    case BatchingHeuristic::kPacked:
+      return batch_packed(tiles, block_threads, config);
+  }
+  CTB_CHECK_MSG(false, "unknown heuristic");
+  return {};
+}
+
+}  // namespace ctb

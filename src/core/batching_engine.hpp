@@ -1,0 +1,63 @@
+// Batching engine (paper Section 5): assigns tiles to thread blocks,
+// balancing TLP against ILP.
+//
+// Two heuristics:
+//   * Threshold batching — TLP first. While the batch still has parallelism
+//     to spare (remaining tiles + built blocks, in threads, above half the
+//     tiling TLP threshold), each new block is filled with tiles until their
+//     summed K exceeds theta; once TLP gets scarce, the rest go one tile per
+//     block.
+//   * Binary batching — ILP first. Tiles are sorted by K ascending and
+//     paired min-with-max so every pair's summed K lands near theta
+//     (greedy solution of Eq. 5); at most two tiles per block.
+//
+// The choice between the two is made offline (try both) or online by the
+// random-forest policy in core/api.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/batch_plan.hpp"
+
+namespace ctb {
+
+struct BatchingConfig {
+  /// Workload threshold theta: total K per block above which further
+  /// batching stops paying (256 on V100, paper Section 7).
+  int theta = 256;
+  /// The tiling engine's TLP threshold; threshold batching keeps batching
+  /// only while TLP exceeds half of it.
+  long long tlp_threshold = 65536;
+};
+
+/// kPacked is an extension beyond the paper: first-fit-decreasing bin
+/// packing of tile K values into blocks of capacity theta, combining
+/// threshold batching's depth with binary batching's balance. Evaluated in
+/// bench_ablation_batching; not used by the default policies.
+enum class BatchingHeuristic { kThreshold, kBinary, kNone, kPacked };
+
+const char* to_string(BatchingHeuristic h);
+
+/// One tile per block — the tiling-engine-only configuration (paper
+/// Section 7.1 evaluates this alone).
+BatchPlan batch_none(std::span<const Tile> tiles, int block_threads);
+
+/// Threshold batching (TLP priority).
+BatchPlan batch_threshold(std::span<const Tile> tiles, int block_threads,
+                          const BatchingConfig& config = {});
+
+/// Binary batching (ILP priority).
+BatchPlan batch_binary(std::span<const Tile> tiles, int block_threads,
+                       const BatchingConfig& config = {});
+
+/// Extension: first-fit-decreasing packing of K into theta-capacity blocks,
+/// subject to the same TLP guard as threshold batching.
+BatchPlan batch_packed(std::span<const Tile> tiles, int block_threads,
+                       const BatchingConfig& config = {});
+
+/// Dispatches on the heuristic enum.
+BatchPlan batch_tiles(BatchingHeuristic heuristic, std::span<const Tile> tiles,
+                      int block_threads, const BatchingConfig& config = {});
+
+}  // namespace ctb

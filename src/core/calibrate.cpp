@@ -1,0 +1,95 @@
+#include "core/calibrate.hpp"
+
+#include <algorithm>
+
+#include "core/api.hpp"
+#include "core/batching_engine.hpp"
+#include "kernels/work_builder.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+
+TlpCalibration calibrate_tlp_threshold(const GpuArch& arch,
+                                       const CalibrationConfig& config) {
+  CTB_CHECK(config.batch >= 1 && config.knee_fraction > 0.0 &&
+            config.knee_fraction < 1.0);
+  TlpCalibration result;
+
+  // The paper's procedure: fix the kernel (one strategy, so arithmetic
+  // intensity stays constant) and decrease the TLP iteratively by shrinking
+  // the workload. Throughput plateaus while the GPU is full and collapses
+  // once it is not; the knee is the threshold.
+  const TilingStrategy& s =
+      batched_strategy(TileShape::kLarge, ThreadVariant::k256);
+  for (int batch = 1; batch <= config.batch * 8; batch *= 2) {
+    const std::vector<GemmDims> dims(
+        static_cast<std::size_t>(batch),
+        GemmDims{config.gemm_mn, config.gemm_mn, config.gemm_k});
+    std::vector<const TilingStrategy*> per_gemm(dims.size(), &s);
+    const auto tiles = enumerate_tiles(dims, per_gemm);
+    const BatchPlan plan = batch_none(tiles, s.threads);
+    const KernelWork work = work_from_plan(plan, dims);
+    const SimStats stats = simulate_kernel(arch, work);
+    result.curve.push_back(CalibrationPoint{batch_tlp(dims, per_gemm),
+                                            stats.achieved_gflops});
+  }
+  std::sort(result.curve.begin(), result.curve.end(),
+            [](const CalibrationPoint& a, const CalibrationPoint& b) {
+              return a.tlp < b.tlp;
+            });
+  CTB_CHECK_MSG(result.curve.size() >= 4, "calibration needs more probes");
+
+  // Plateau throughput: mean of the top quartile.
+  std::vector<double> sorted;
+  for (const auto& p : result.curve) sorted.push_back(p.gflops);
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t q = std::max<std::size_t>(1, sorted.size() / 4);
+  double plateau = 0.0;
+  for (std::size_t i = sorted.size() - q; i < sorted.size(); ++i)
+    plateau += sorted[i];
+  plateau /= static_cast<double>(q);
+
+  // The threshold is the largest probed TLP that already degraded past the
+  // knee: selections must stay above it.
+  const double knee = (1.0 - config.knee_fraction) * plateau;
+  result.threshold = result.curve.front().tlp;  // degenerate fallback
+  for (const auto& p : result.curve) {
+    if (p.gflops < knee) result.threshold = std::max(result.threshold, p.tlp);
+  }
+  return result;
+}
+
+ThetaCalibration calibrate_theta(const GpuArch& arch,
+                                 long long tlp_threshold) {
+  ThetaCalibration result;
+  // Small-K workload with abundant TLP: the regime where batching depth
+  // matters (paper Section 5).
+  const std::vector<GemmDims> dims(256, GemmDims{128, 128, 32});
+  TilingConfig tiling_config;
+  tiling_config.tlp_threshold = tlp_threshold;
+  const TilingResult tiling = select_tiling(dims, tiling_config);
+  const auto tiles = enumerate_tiles(dims, tiling.per_gemm);
+  const int threads = static_cast<int>(tiling.variant);
+
+  double best = 0.0;
+  for (int theta = 32; theta <= 2048; theta *= 2) {
+    BatchingConfig bc;
+    bc.theta = theta;
+    bc.tlp_threshold = tlp_threshold;
+    const BatchPlan plan = batch_threshold(tiles, threads, bc);
+    const double us = time_plan(arch, plan, dims).time_us;
+    result.curve.emplace_back(theta, us);
+    if (best == 0.0 || us < best) best = us;
+  }
+  // Smallest theta within 2% of the best time: deeper batching past this
+  // point buys nothing.
+  for (const auto& [theta, us] : result.curve) {
+    if (us <= best * 1.02) {
+      result.theta = theta;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ctb

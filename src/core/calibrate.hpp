@@ -1,0 +1,55 @@
+// Offline calibration of the architecture-dependent thresholds.
+//
+// The paper sets the TLP threshold "empirically ... by starting with a huge
+// GEMM case and decreasing the TLP iteratively. We choose the inflection
+// point with large performance degradation ... determined offline and it
+// only needs to be done once for a particular platform" (Section 4.2.3),
+// and theta the same way for the batching engine (Section 5). This module
+// automates exactly that procedure against the simulator (on real hardware
+// it would run against the GPU).
+#pragma once
+
+#include <vector>
+
+#include "gpusim/arch.hpp"
+
+namespace ctb {
+
+struct CalibrationPoint {
+  long long tlp = 0;      ///< threads in flight at this configuration.
+  double gflops = 0.0;    ///< achieved throughput.
+};
+
+struct TlpCalibration {
+  /// The chosen threshold: the largest probed TLP whose throughput already
+  /// degraded by more than the knee factor relative to the plateau.
+  long long threshold = 0;
+  /// The probed curve, ascending TLP (for reporting).
+  std::vector<CalibrationPoint> curve;
+};
+
+struct CalibrationConfig {
+  /// Base workload: a large uniform batch probed at every tile size.
+  int gemm_mn = 256;
+  int gemm_k = 256;
+  int batch = 64;
+  /// Relative throughput drop versus the plateau that marks the knee.
+  double knee_fraction = 0.10;
+};
+
+/// Runs the paper's offline TLP-threshold procedure for one architecture.
+TlpCalibration calibrate_tlp_threshold(const GpuArch& arch,
+                                       const CalibrationConfig& config = {});
+
+struct ThetaCalibration {
+  int theta = 0;
+  /// (theta, simulated us) probes, ascending theta.
+  std::vector<std::pair<int, double>> curve;
+};
+
+/// Sweeps theta for threshold batching on a small-K workload and returns
+/// the value past which deeper batching stops improving (within 2%).
+ThetaCalibration calibrate_theta(const GpuArch& arch,
+                                 long long tlp_threshold);
+
+}  // namespace ctb

@@ -1,0 +1,68 @@
+#include "core/exhaustive.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "core/tiling_engine.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+
+/// Enumerates set partitions via restricted growth strings: assign[0] = 0
+/// and assign[i] may be any value in [0, 1 + max(assign[0..i-1])].
+void enumerate_partitions(std::size_t n,
+                          const std::function<void(const std::vector<int>&)>&
+                              visit) {
+  std::vector<int> assign(n, 0);
+  std::function<void(std::size_t, int)> gen = [&](std::size_t i,
+                                                  int max_used) {
+    if (i == n) {
+      visit(assign);
+      return;
+    }
+    for (int v = 0; v <= max_used + 1; ++v) {
+      assign[i] = v;
+      gen(i + 1, std::max(max_used, v));
+    }
+  };
+  if (n == 0) return;
+  gen(1, 0);  // position 0 is fixed at block 0
+}
+
+}  // namespace
+
+ExhaustiveResult exhaustive_batching(const GpuArch& arch,
+                                     std::span<const GemmDims> dims,
+                                     long long tlp_threshold,
+                                     int max_tiles) {
+  TilingConfig tiling_config;
+  tiling_config.tlp_threshold = tlp_threshold;
+  const TilingResult tiling = select_tiling(dims, tiling_config);
+  const std::vector<Tile> tiles = enumerate_tiles(dims, tiling.per_gemm);
+  CTB_CHECK_MSG(static_cast<int>(tiles.size()) <= max_tiles,
+                "exhaustive search over " << tiles.size()
+                                          << " tiles would not terminate");
+  const int threads = static_cast<int>(tiling.variant);
+
+  ExhaustiveResult result;
+  enumerate_partitions(tiles.size(), [&](const std::vector<int>& assign) {
+    ++result.partitions;
+    int num_blocks = 0;
+    for (int a : assign) num_blocks = std::max(num_blocks, a + 1);
+    std::vector<std::vector<Tile>> blocks(
+        static_cast<std::size_t>(num_blocks));
+    for (std::size_t i = 0; i < tiles.size(); ++i)
+      blocks[static_cast<std::size_t>(assign[i])].push_back(tiles[i]);
+    BatchPlan plan = build_plan(blocks, threads);
+    const double us = time_plan(arch, plan, dims).time_us;
+    if (result.best_us == 0.0 || us < result.best_us) {
+      result.best_us = us;
+      result.best_plan = std::move(plan);
+    }
+  });
+  return result;
+}
+
+}  // namespace ctb

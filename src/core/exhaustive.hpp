@@ -1,0 +1,33 @@
+// Exhaustive batching search — an analysis tool, not a production path.
+//
+// The paper's batching heuristics prune "a very large space to explore"
+// (Section 5). For small tile counts the space is small enough to search
+// exactly: every set partition of the tiles into blocks is a candidate
+// batching scheme, and the simulator scores each. This quantifies how far
+// threshold/binary batching sit from the true optimum.
+#pragma once
+
+#include <span>
+
+#include "core/api.hpp"
+
+namespace ctb {
+
+struct ExhaustiveResult {
+  BatchPlan best_plan;
+  double best_us = 0.0;
+  /// Partitions evaluated (the Bell number of the tile count).
+  long long partitions = 0;
+};
+
+/// Searches all partitions of the batch's tiles into blocks (tile order
+/// inside a block and block order follow the enumeration, so plans that
+/// differ only by ordering — which perturbs SM assignment by well under a
+/// percent — are searched once). Throws CheckError when the tile count
+/// exceeds `max_tiles` — Bell numbers explode (B(12) is already 4.2M).
+ExhaustiveResult exhaustive_batching(const GpuArch& arch,
+                                     std::span<const GemmDims> dims,
+                                     long long tlp_threshold,
+                                     int max_tiles = 10);
+
+}  // namespace ctb

@@ -1,0 +1,44 @@
+#include "core/perf_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+// A 16-byte vector load moves 4 floats (paper: Load_width = 16/sizeof(float)).
+constexpr double kLoadWidth = 4.0;
+}  // namespace
+
+long long gemm_tlp(const GemmDims& dims, const TilingStrategy& strategy) {
+  CTB_CHECK(dims.valid());
+  return strategy.tiles_for(dims.m, dims.n) * strategy.threads;
+}
+
+long long batch_tlp(std::span<const GemmDims> dims,
+                    std::span<const TilingStrategy* const> strategies) {
+  CTB_CHECK_MSG(dims.size() == strategies.size(),
+                "one strategy per GEMM required");
+  long long total = 0;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    CTB_CHECK(strategies[i] != nullptr);
+    total += gemm_tlp(dims[i], *strategies[i]);
+  }
+  return total;
+}
+
+double num_load_per_thread(const TilingStrategy& s) {
+  return static_cast<double>(s.by * s.bk + s.bk * s.bx) /
+         (kLoadWidth * s.threads);
+}
+
+double num_fma_per_thread(const TilingStrategy& s) {
+  return static_cast<double>(s.by) * s.bx * s.bk / s.threads;
+}
+
+double arithmetic_intensity(const TilingStrategy& s) {
+  // num_fma / num_load simplifies to 4*BY*BX/(BY+BX) — independent of BK
+  // and of the thread count (both cancel), exactly Equation 4.
+  return num_fma_per_thread(s) / num_load_per_thread(s);
+}
+
+}  // namespace ctb

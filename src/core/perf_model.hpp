@@ -1,0 +1,34 @@
+// Analytical parallelism and single-thread performance models the tiling
+// engine reasons with (paper Section 4.2.1 / 4.2.2, Equations 1-4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tiling_strategy.hpp"
+#include "linalg/gemm_ref.hpp"
+
+namespace ctb {
+
+/// Equation 1: TLP of one GEMM under one strategy — number of tiles times
+/// threads per block. Tile counts use ceiling division so non-multiple sizes
+/// are covered.
+long long gemm_tlp(const GemmDims& dims, const TilingStrategy& strategy);
+
+/// Equation 1 summed over a batch: each GEMM with its own strategy.
+/// `strategies.size()` must equal `dims.size()`.
+long long batch_tlp(std::span<const GemmDims> dims,
+                    std::span<const TilingStrategy* const> strategies);
+
+/// Equation 2: global-memory load instructions per thread per main-loop
+/// iteration, assuming 16-byte (4-float) vector loads.
+double num_load_per_thread(const TilingStrategy& strategy);
+
+/// Equation 3: FMA instructions per thread per main-loop iteration.
+double num_fma_per_thread(const TilingStrategy& strategy);
+
+/// Equation 4: arithmetic intensity Num_FMA / Num_Load = 4*BY*BX/(BY+BX).
+/// Larger is better at hiding memory latency.
+double arithmetic_intensity(const TilingStrategy& strategy);
+
+}  // namespace ctb

@@ -1,0 +1,98 @@
+#include "core/plan_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+constexpr const char* kMagic = "ctb-batchplan-v1";
+
+void write_array(std::ostream& os, const char* name,
+                 const std::vector<int>& v) {
+  os << name << ' ' << v.size();
+  for (int x : v) os << ' ' << x;
+  os << '\n';
+}
+
+std::vector<int> read_array(std::istream& is, const char* name) {
+  std::string tag;
+  std::size_t count = 0;
+  is >> tag >> count;
+  CTB_CHECK_MSG(is.good() && tag == name,
+                "malformed plan stream: expected array '" << name << "'");
+  std::vector<int> v(count);
+  for (int& x : v) is >> x;
+  CTB_CHECK_MSG(!is.fail(), "malformed plan stream in array '" << name
+                                                               << "'");
+  return v;
+}
+}  // namespace
+
+void save_plan(std::ostream& os, const BatchPlan& plan) {
+  os << kMagic << '\n';
+  os << plan.block_threads << ' ' << plan.smem_bytes << ' '
+     << plan.regs_per_thread << '\n';
+  write_array(os, "tile", plan.tile_offsets);
+  write_array(os, "gemm", plan.gemm_of_tile);
+  write_array(os, "strategy", plan.strategy_of_tile);
+  write_array(os, "y", plan.y_coord);
+  write_array(os, "x", plan.x_coord);
+}
+
+BatchPlan load_plan(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  CTB_CHECK_MSG(magic == kMagic, "not a ctb plan stream");
+  BatchPlan plan;
+  is >> plan.block_threads >> plan.smem_bytes >> plan.regs_per_thread;
+  CTB_CHECK_MSG(is.good(), "malformed plan header");
+  CTB_CHECK_MSG(plan.block_threads == 128 || plan.block_threads == 256,
+                "plan block size must be 128 or 256");
+  plan.tile_offsets = read_array(is, "tile");
+  plan.gemm_of_tile = read_array(is, "gemm");
+  plan.strategy_of_tile = read_array(is, "strategy");
+  plan.y_coord = read_array(is, "y");
+  plan.x_coord = read_array(is, "x");
+  CTB_CHECK_MSG(!plan.tile_offsets.empty() && plan.tile_offsets.front() == 0,
+                "malformed tile offsets");
+  return plan;
+}
+
+std::uint64_t batch_signature(std::span<const GemmDims> dims,
+                              const PlannerConfig& config) {
+  // FNV-1a over the shape stream plus the planning knobs.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(config.gpu));
+  mix(static_cast<std::uint64_t>(config.policy));
+  mix(static_cast<std::uint64_t>(config.tlp_threshold));
+  mix(static_cast<std::uint64_t>(config.theta));
+  for (const auto& d : dims) {
+    mix(static_cast<std::uint64_t>(d.m));
+    mix(static_cast<std::uint64_t>(d.n));
+    mix(static_cast<std::uint64_t>(d.k));
+  }
+  return h;
+}
+
+PlanCache::PlanCache(PlannerConfig config) : planner_(config) {}
+
+const PlanSummary& PlanCache::plan(std::span<const GemmDims> dims) {
+  const std::uint64_t key = batch_signature(dims, planner_.config());
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return cache_.emplace(key, planner_.plan(dims)).first->second;
+}
+
+}  // namespace ctb

@@ -1,0 +1,54 @@
+// Plan persistence and reuse.
+//
+// The paper motivates the framework with workloads whose batch shapes are
+// fixed across iterations (DNN training steps, repeated inference): planning
+// once and reusing the plan removes the planner from the hot path entirely.
+// This module provides (a) a portable text serialization of BatchPlan —
+// the five aux arrays are plain data — and (b) an in-memory PlanCache keyed
+// by the batch signature.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <unordered_map>
+
+#include "core/api.hpp"
+
+namespace ctb {
+
+/// Writes a plan as line-oriented text (versioned header + the aux arrays).
+void save_plan(std::ostream& os, const BatchPlan& plan);
+
+/// Reads a plan written by save_plan. Throws CheckError on malformed input.
+/// The caller should validate_plan() against its batch before executing.
+BatchPlan load_plan(std::istream& is);
+
+/// Stable 64-bit signature of a batch + planning configuration; plans are
+/// reusable exactly when the signature matches.
+std::uint64_t batch_signature(std::span<const GemmDims> dims,
+                              const PlannerConfig& config);
+
+/// Memoizes planner decisions for repeated batch shapes. Not thread-safe;
+/// use one cache per planning thread.
+class PlanCache {
+ public:
+  explicit PlanCache(PlannerConfig config = {});
+
+  /// Returns the cached plan for this batch or plans and caches it.
+  const PlanSummary& plan(std::span<const GemmDims> dims);
+
+  /// Cache statistics.
+  std::size_t size() const { return cache_.size(); }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+  void clear() { cache_.clear(); }
+
+ private:
+  BatchedGemmPlanner planner_;
+  std::unordered_map<std::uint64_t, PlanSummary> cache_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace ctb

@@ -1,0 +1,111 @@
+#include "core/rf_policy.hpp"
+
+#include "core/api.hpp"
+#include "core/tiling_engine.hpp"
+#include "kernels/work_builder.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+
+std::vector<double> batching_features(std::span<const GemmDims> dims) {
+  CTB_CHECK(!dims.empty());
+  double m = 0, n = 0, k = 0;
+  for (const auto& d : dims) {
+    m += d.m;
+    n += d.n;
+    k += d.k;
+  }
+  const double b = static_cast<double>(dims.size());
+  return {m / b, n / b, k / b, b};
+}
+
+std::vector<GemmDims> random_batch(Rng& rng, const CaseRanges& r) {
+  CTB_CHECK(r.min_batch >= 1 && r.min_batch <= r.max_batch);
+  CTB_CHECK(r.min_mn >= 1 && r.min_mn <= r.max_mn);
+  CTB_CHECK(r.min_k >= 1 && r.min_k <= r.max_k);
+  const int batch =
+      static_cast<int>(rng.uniform_int(r.min_batch, r.max_batch));
+  std::vector<GemmDims> dims(static_cast<std::size_t>(batch));
+  for (auto& d : dims) {
+    d.m = static_cast<int>(rng.log_uniform_int(r.min_mn, r.max_mn));
+    d.n = static_cast<int>(rng.log_uniform_int(r.min_mn, r.max_mn));
+    d.k = static_cast<int>(rng.log_uniform_int(r.min_k, r.max_k));
+  }
+  return dims;
+}
+
+OracleTimes oracle_times(const GpuArch& arch, std::span<const GemmDims> dims,
+                         long long tlp_threshold, int theta) {
+  TilingConfig tiling_config;
+  tiling_config.tlp_threshold = tlp_threshold;
+  const TilingResult tiling = select_tiling(dims, tiling_config);
+  const std::vector<Tile> tiles = enumerate_tiles(dims, tiling.per_gemm);
+  const int threads = static_cast<int>(tiling.variant);
+
+  BatchingConfig batching_config;
+  batching_config.theta = theta;
+  batching_config.tlp_threshold = tlp_threshold;
+
+  OracleTimes result;
+  result.threshold_us =
+      time_plan(arch, batch_threshold(tiles, threads, batching_config), dims)
+          .time_us;
+  result.binary_us =
+      time_plan(arch, batch_binary(tiles, threads, batching_config), dims)
+          .time_us;
+  return result;
+}
+
+int oracle_label(const GpuArch& arch, std::span<const GemmDims> dims,
+                 long long tlp_threshold, int theta) {
+  return oracle_times(arch, dims, tlp_threshold, theta).label();
+}
+
+Dataset generate_batching_dataset(const RfTrainingConfig& config) {
+  CTB_CHECK(config.num_cases >= 2);
+  const GpuArch& arch = gpu_arch(config.gpu);
+  const long long tlp_threshold = default_tlp_threshold(arch);
+  const int theta = default_theta(arch);
+
+  Rng rng(config.seed);
+  Dataset data;
+  const long long max_attempts =
+      static_cast<long long>(config.num_cases) *
+      std::max(1, config.max_attempts_factor);
+  long long attempts = 0;
+  while (static_cast<int>(data.samples.size()) < config.num_cases &&
+         attempts < max_attempts) {
+    ++attempts;
+    const std::vector<GemmDims> dims = random_batch(rng, config.ranges);
+    const OracleTimes times =
+        oracle_times(arch, dims, tlp_threshold, theta);
+    if (times.margin() < config.label_margin) continue;  // tie: label noise
+    data.add(batching_features(dims), times.label());
+  }
+  CTB_CHECK_MSG(data.samples.size() >= 2,
+                "margin filter rejected nearly every case; lower "
+                "label_margin");
+  // A degenerate all-one-class dataset cannot train a classifier; make the
+  // class space explicit so downstream code sees two classes regardless.
+  data.num_classes = 2;
+  return data;
+}
+
+RandomForest train_batching_forest(const RfTrainingConfig& config,
+                                   Dataset* out_dataset) {
+  Dataset data = generate_batching_dataset(config);
+  Rng rng(config.seed ^ 0xF0F0F0F0ULL);
+  RandomForest forest;
+  forest.train(data, config.forest, rng);
+  if (out_dataset != nullptr) *out_dataset = std::move(data);
+  return forest;
+}
+
+BatchingHeuristic rf_choose(const RandomForest& forest,
+                            std::span<const GemmDims> dims) {
+  const int label = forest.predict(batching_features(dims));
+  return label == 0 ? BatchingHeuristic::kThreshold
+                    : BatchingHeuristic::kBinary;
+}
+
+}  // namespace ctb

@@ -1,0 +1,88 @@
+// Random-forest batching policy (paper Section 5).
+//
+// The classifier picks between threshold and binary batching from four
+// features: mean M, mean N, mean K, and batch size B. Training samples are
+// random batched-GEMM cases labelled by the oracle — both heuristics run
+// through the simulator and the faster one wins (the paper labels with
+// hardware timings; the simulator plays that role here, see DESIGN.md).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/batching_engine.hpp"
+#include "gpusim/arch.hpp"
+#include "linalg/gemm_ref.hpp"
+#include "rf/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace ctb {
+
+/// The paper's feature vector: {mean M, mean N, mean K, batch size}.
+std::vector<double> batching_features(std::span<const GemmDims> dims);
+
+/// Size ranges for random batched-GEMM cases (used for RF training and for
+/// the Fig. 11 random sweeps).
+struct CaseRanges {
+  int min_batch = 2;
+  int max_batch = 64;
+  int min_mn = 16;
+  int max_mn = 512;
+  int min_k = 16;
+  int max_k = 2048;
+};
+
+/// One random batched-GEMM case: batch size uniform, dims log-uniform (GEMM
+/// sizes in the wild cluster at small magnitudes).
+std::vector<GemmDims> random_batch(Rng& rng, const CaseRanges& ranges);
+
+struct RfTrainingConfig {
+  GpuModel gpu = GpuModel::kV100;
+  int num_cases = 400;  ///< the paper trains on 400+ samples
+  std::uint64_t seed = 2019;
+  CaseRanges ranges;
+  ForestParams forest;
+  /// Minimum relative gap between the heuristics for a case to be kept as
+  /// a training sample (0 keeps everything). Cases where both heuristics
+  /// tie are label noise; filtering them sharpens the learned boundary.
+  double label_margin = 0.0;
+  /// Bound on generation attempts when margin filtering discards cases.
+  int max_attempts_factor = 8;
+};
+
+/// Simulated times of both heuristics on one case.
+struct OracleTimes {
+  double threshold_us = 0.0;
+  double binary_us = 0.0;
+
+  int label() const { return threshold_us <= binary_us ? 0 : 1; }
+  /// Relative gap between the heuristics; labels below a margin are noise.
+  double margin() const {
+    const double lo = std::min(threshold_us, binary_us);
+    const double hi = std::max(threshold_us, binary_us);
+    return lo > 0.0 ? hi / lo - 1.0 : 0.0;
+  }
+};
+
+OracleTimes oracle_times(const GpuArch& arch, std::span<const GemmDims> dims,
+                         long long tlp_threshold, int theta);
+
+/// Oracle label for one case: 0 = threshold batching, 1 = binary batching,
+/// whichever simulates faster under the given architecture.
+int oracle_label(const GpuArch& arch, std::span<const GemmDims> dims,
+                 long long tlp_threshold, int theta);
+
+/// Generates the labelled dataset.
+Dataset generate_batching_dataset(const RfTrainingConfig& config);
+
+/// Generates, labels, and fits the forest. When `out_dataset` is non-null it
+/// receives the training set (for accuracy reporting / ablations).
+RandomForest train_batching_forest(const RfTrainingConfig& config,
+                                   Dataset* out_dataset = nullptr);
+
+/// Online selection for a new batch.
+BatchingHeuristic rf_choose(const RandomForest& forest,
+                            std::span<const GemmDims> dims);
+
+}  // namespace ctb

@@ -1,0 +1,106 @@
+#include "core/tiling_engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace ctb {
+
+std::vector<const TilingStrategy*> feasible_strategies(
+    const GemmDims& dims, ThreadVariant variant) {
+  std::vector<const TilingStrategy*> out;
+  for (TileShape shape : all_tile_shapes()) {
+    const TilingStrategy& s = batched_strategy(shape, variant);
+    if (shape == TileShape::kSmall || (s.by <= dims.m && s.bx <= dims.n))
+      out.push_back(&s);
+  }
+  return out;
+}
+
+namespace {
+
+/// One pass of steps 2-3 for a fixed thread variant. Returns true and fills
+/// `result` when a selection with TLP <= threshold is found; returns false
+/// when all queues exhaust while TLP is still above the threshold (the
+/// caller then switches variants). `result` always holds the last-evaluated
+/// selection so the 128-thread fallback can accept its largest one.
+bool run_variant(std::span<const GemmDims> dims, ThreadVariant variant,
+                 long long threshold, TilingResult& result) {
+  const std::size_t n = dims.size();
+  std::vector<std::vector<const TilingStrategy*>> queues(n);
+  for (std::size_t i = 0; i < n; ++i)
+    queues[i] = feasible_strategies(dims[i], variant);
+
+  std::vector<std::size_t> idx(n, 0);
+  result.variant = variant;
+  while (true) {
+    result.per_gemm.assign(n, nullptr);
+    for (std::size_t i = 0; i < n; ++i) result.per_gemm[i] = queues[i][idx[i]];
+    result.tlp = batch_tlp(dims, result.per_gemm);
+    ++result.iterations;
+    if (result.tlp <= threshold) return true;
+
+    bool all_exhausted = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Exception 1: a queue down to its last strategy is topped, not
+      // popped, so every GEMM keeps a valid selection.
+      if (idx[i] + 1 < queues[i].size()) {
+        ++idx[i];
+        all_exhausted = false;
+      }
+    }
+    if (all_exhausted) return false;
+  }
+}
+
+}  // namespace
+
+TilingResult select_tiling(std::span<const GemmDims> dims,
+                           const TilingConfig& config) {
+  CTB_CHECK_MSG(!dims.empty(), "empty batch");
+  for (const auto& d : dims)
+    CTB_CHECK_MSG(d.valid(), "invalid GEMM dims " << d.m << "x" << d.n << "x"
+                                                  << d.k);
+
+  TilingResult result;
+  if (run_variant(dims, ThreadVariant::k256, config.tlp_threshold, result)) {
+    CTB_DEBUG("tiling: accepted 256-thread selection, TLP=" << result.tlp);
+    return result;
+  }
+  // Exception 2: every 256-thread queue exhausted with TLP still above the
+  // threshold — switch to the 128-thread variants and repeat. If those also
+  // exhaust, the largest 128-thread selection is the answer (maximum ILP).
+  const int prior_iters = result.iterations;
+  TilingResult fallback;
+  run_variant(dims, ThreadVariant::k128, config.tlp_threshold, fallback);
+  fallback.iterations += prior_iters;
+  CTB_DEBUG("tiling: 128-thread fallback, TLP=" << fallback.tlp);
+  return fallback;
+}
+
+const TilingStrategy& magma_uniform_strategy(std::span<const GemmDims> dims) {
+  CTB_CHECK(!dims.empty());
+  // vbatch dispatches one kernel instantiation for the whole batch from the
+  // largest GEMM's dimensions (single-GEMM data-reuse logic, ignoring how
+  // many GEMMs are batched). MAGMA's vbatched templates target small/medium
+  // matrices and stop at 64x64 blockings with 2-D 16x16 = 256-thread
+  // blocks, so the uniform tile is the largest shape up to `large` that
+  // fits the max dimensions, in its 256-thread form. (Its other handicaps —
+  // one tile per block, bubble blocks, idle threads on smaller GEMMs, and
+  // phase-serialized main loops — are modeled in the work builder.)
+  int max_m = 0, max_n = 0;
+  for (const auto& d : dims) {
+    max_m = std::max(max_m, d.m);
+    max_n = std::max(max_n, d.n);
+  }
+  const TilingStrategy* best =
+      &batched_strategy(TileShape::kSmall, ThreadVariant::k256);
+  for (TileShape shape : {TileShape::kMedium, TileShape::kLarge}) {
+    const TilingStrategy& s = batched_strategy(shape, ThreadVariant::k256);
+    if (s.by <= max_m && s.bx <= max_n) best = &s;
+  }
+  return *best;
+}
+
+}  // namespace ctb

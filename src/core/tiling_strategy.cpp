@@ -1,0 +1,120 @@
+#include "core/tiling_strategy.hpp"
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+
+TilingStrategy make(TileShape shape, int by, int bx, int threads, int sub_y,
+                    int sub_x, int id) {
+  TilingStrategy s;
+  s.shape = shape;
+  s.by = by;
+  s.bx = bx;
+  s.bk = 8;  // the paper fixes BK = 8 throughout (Section 4.2.2)
+  s.threads = threads;
+  s.sub_y = sub_y;
+  s.sub_x = sub_x;
+  s.id = id;
+  CTB_CHECK_MSG(by * bx == threads * sub_y * sub_x,
+                "inconsistent strategy: " << by << "x" << bx << " threads="
+                                          << threads << " sub=" << sub_y
+                                          << "x" << sub_x);
+  return s;
+}
+
+std::vector<TilingStrategy> make_table1() {
+  // Paper Table 1: {BY, BX, BK, Threads, Sub-Tile}.
+  return {
+      make(TileShape::kSmall, 16, 16, 32, 4, 2, -1),
+      make(TileShape::kMedium, 32, 32, 64, 4, 4, -1),
+      make(TileShape::kLarge, 64, 64, 64, 8, 8, -1),
+      make(TileShape::kTall, 128, 64, 128, 8, 8, -1),
+      make(TileShape::kWide, 64, 128, 128, 8, 8, -1),
+      make(TileShape::kHuge, 128, 128, 256, 8, 8, -1),
+  };
+}
+
+std::vector<TilingStrategy> make_table2() {
+  // Paper Table 2: every shape in a 128-thread and a 256-thread version.
+  // Ids: shape * 2 + (variant == 256).
+  std::vector<TilingStrategy> t;
+  auto add = [&t](TileShape shape, int by, int bx, int s128y, int s128x,
+                  int s256y, int s256x) {
+    const int base = static_cast<int>(shape) * 2;
+    t.push_back(make(shape, by, bx, 128, s128y, s128x, base));
+    t.push_back(make(shape, by, bx, 256, s256y, s256x, base + 1));
+  };
+  add(TileShape::kSmall, 16, 16, /*128T*/ 2, 1, /*256T*/ 1, 1);
+  add(TileShape::kMedium, 32, 32, 4, 2, 2, 2);
+  add(TileShape::kLarge, 64, 64, 8, 4, 4, 4);
+  add(TileShape::kTall, 128, 64, 8, 8, 8, 4);
+  add(TileShape::kWide, 64, 128, 8, 8, 8, 4);
+  add(TileShape::kHuge, 128, 128, 16, 8, 8, 8);
+  return t;
+}
+
+}  // namespace
+
+std::string TilingStrategy::name() const {
+  std::string n = to_string(shape);
+  n += '/';
+  n += std::to_string(threads);
+  return n;
+}
+
+const char* to_string(TileShape shape) {
+  switch (shape) {
+    case TileShape::kSmall:
+      return "small";
+    case TileShape::kMedium:
+      return "medium";
+    case TileShape::kLarge:
+      return "large";
+    case TileShape::kTall:
+      return "tall";
+    case TileShape::kWide:
+      return "wide";
+    case TileShape::kHuge:
+      return "huge";
+  }
+  return "?";
+}
+
+const std::array<TileShape, 6>& all_tile_shapes() {
+  static const std::array<TileShape, 6> shapes = {
+      TileShape::kSmall, TileShape::kMedium, TileShape::kLarge,
+      TileShape::kTall,  TileShape::kWide,   TileShape::kHuge};
+  return shapes;
+}
+
+const std::vector<TilingStrategy>& single_gemm_strategies() {
+  static const std::vector<TilingStrategy> table = make_table1();
+  return table;
+}
+
+const TilingStrategy& single_gemm_strategy(TileShape shape) {
+  return single_gemm_strategies()[static_cast<std::size_t>(shape)];
+}
+
+const std::vector<TilingStrategy>& batched_strategies() {
+  static const std::vector<TilingStrategy> table = make_table2();
+  return table;
+}
+
+const TilingStrategy& batched_strategy(TileShape shape,
+                                       ThreadVariant variant) {
+  const int id = static_cast<int>(shape) * 2 +
+                 (variant == ThreadVariant::k256 ? 1 : 0);
+  return batched_strategy_by_id(id);
+}
+
+const TilingStrategy& batched_strategy_by_id(int id) {
+  const auto& table = batched_strategies();
+  CTB_CHECK_MSG(id >= 0 && id < static_cast<int>(table.size()),
+                "strategy id out of range: " << id);
+  return table[static_cast<std::size_t>(id)];
+}
+
+}  // namespace ctb

@@ -1,0 +1,87 @@
+// Tiling strategies (paper Tables 1 and 2).
+//
+// A tiling strategy fixes the C-tile a thread block computes (BY x BX), the
+// K-step of the main loop (BK), the number of threads, and the per-thread
+// sub-tile. Table 1 is the classic single-GEMM suite where every strategy
+// carries its own natural thread count; Table 2 is the paper's batched suite
+// with the *unified thread structure*: every strategy exists in a 128-thread
+// and a 256-thread version so heterogeneous tiles can share one CUDA block
+// size without idling threads.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace ctb {
+
+/// The six tile shapes, ordered from smallest to largest (priority order of
+/// the tiling algorithm's queues).
+enum class TileShape : int {
+  kSmall = 0,   // 16 x 16
+  kMedium = 1,  // 32 x 32
+  kLarge = 2,   // 64 x 64
+  kTall = 3,    // 128 x 64
+  kWide = 4,    // 64 x 128
+  kHuge = 5,    // 128 x 128
+};
+
+/// Thread-count variant of the batched suite (Table 2 columns).
+enum class ThreadVariant : int { k128 = 128, k256 = 256 };
+
+struct TilingStrategy {
+  TileShape shape = TileShape::kSmall;
+  int by = 16;       ///< C-tile rows.
+  int bx = 16;       ///< C-tile cols.
+  int bk = 8;        ///< K-step per main-loop iteration.
+  int threads = 32;  ///< block size.
+  int sub_y = 4;     ///< per-thread sub-tile rows.
+  int sub_x = 2;     ///< per-thread sub-tile cols.
+  int id = -1;       ///< 0..11 encoding used in the aux arrays (Table 2 only).
+
+  /// Shared memory for double-buffered A and B tiles, in bytes.
+  int smem_bytes() const { return 2 * (by * bk + bk * bx) * 4; }
+
+  /// Register estimate per thread: C accumulators + double-buffered A/B
+  /// fragments + addressing/bookkeeping registers.
+  int regs_per_thread() const {
+    const int r = sub_y * sub_x + 2 * (sub_y + sub_x) + 24;
+    return r > 255 ? 255 : r;
+  }
+
+  /// Tiles needed to cover an m x n C matrix.
+  long long tiles_for(int m, int n) const {
+    const long long ty = (m + by - 1) / by;
+    const long long tx = (n + bx - 1) / bx;
+    return ty * tx;
+  }
+
+  /// FMAs per thread per main-loop iteration.
+  int fmas_per_thread_iter() const { return sub_y * sub_x * bk; }
+
+  std::string name() const;
+};
+
+/// Human-readable shape name ("small", ..., "huge").
+const char* to_string(TileShape shape);
+
+/// All six shapes in priority order (small first).
+const std::array<TileShape, 6>& all_tile_shapes();
+
+/// Table 1: single-GEMM suite (ids are -1; these never appear in plans).
+const std::vector<TilingStrategy>& single_gemm_strategies();
+
+/// Table 1 lookup by shape.
+const TilingStrategy& single_gemm_strategy(TileShape shape);
+
+/// Table 2: batched suite. Strategy ids are shape*2 + (variant==256 ? 1 : 0),
+/// giving the paper's 0..11 range.
+const TilingStrategy& batched_strategy(TileShape shape, ThreadVariant variant);
+
+/// Table 2 lookup by aux-array id (0..11). Throws on out-of-range ids.
+const TilingStrategy& batched_strategy_by_id(int id);
+
+/// All 12 batched strategies, id order.
+const std::vector<TilingStrategy>& batched_strategies();
+
+}  // namespace ctb

@@ -1,0 +1,159 @@
+#include "dnn/backward.hpp"
+
+#include "dnn/im2col.hpp"
+#include "linalg/gemm_ref.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+
+GemmDims wgrad_gemm_dims(const ConvShape& shape, int batch) {
+  GemmDims d;
+  d.m = shape.out_c;
+  d.n = shape.in_c * shape.kernel * shape.kernel;
+  d.k = shape.out_h() * shape.out_w() * batch;
+  return d;
+}
+
+GemmDims dgrad_gemm_dims(const ConvShape& shape, int batch) {
+  GemmDims d;
+  d.m = shape.in_c * shape.kernel * shape.kernel;
+  d.n = shape.out_h() * shape.out_w() * batch;
+  d.k = shape.out_c;
+  return d;
+}
+
+Matrixf flatten_output_grad(const ConvShape& shape, const Tensor4& dy) {
+  const int oh = shape.out_h();
+  const int ow = shape.out_w();
+  CTB_CHECK_MSG(dy.c() == shape.out_c && dy.h() == oh && dy.w() == ow,
+                "dY does not match conv output of " << shape.name);
+  Matrixf m(static_cast<std::size_t>(shape.out_c),
+            static_cast<std::size_t>(oh * ow * dy.n()));
+  for (int n = 0; n < dy.n(); ++n)
+    for (int c = 0; c < shape.out_c; ++c)
+      for (int y = 0; y < oh; ++y)
+        for (int x = 0; x < ow; ++x)
+          m(static_cast<std::size_t>(c),
+            static_cast<std::size_t>((n * oh + y) * ow + x)) =
+              dy.at(n, c, y, x);
+  return m;
+}
+
+Tensor4 col2im_scatter(const ConvShape& s, int batch,
+                       const Matrixf& cols_grad) {
+  const int oh = s.out_h();
+  const int ow = s.out_w();
+  CTB_CHECK(static_cast<int>(cols_grad.rows()) ==
+            s.in_c * s.kernel * s.kernel);
+  CTB_CHECK(static_cast<int>(cols_grad.cols()) == oh * ow * batch);
+  Tensor4 dx(batch, s.in_c, s.in_h, s.in_w);
+  for (int c = 0; c < s.in_c; ++c) {
+    for (int kh = 0; kh < s.kernel; ++kh) {
+      for (int kw = 0; kw < s.kernel; ++kw) {
+        const int row = (c * s.kernel + kh) * s.kernel + kw;
+        for (int n = 0; n < batch; ++n) {
+          for (int y = 0; y < oh; ++y) {
+            const int iy = y * s.stride - s.pad + kh;
+            if (iy < 0 || iy >= s.in_h) continue;
+            for (int x = 0; x < ow; ++x) {
+              const int ix = x * s.stride - s.pad + kw;
+              if (ix < 0 || ix >= s.in_w) continue;
+              dx.at(n, c, iy, ix) +=
+                  cols_grad(static_cast<std::size_t>(row),
+                            static_cast<std::size_t>((n * oh + y) * ow + x));
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+Matrixf conv_backward_weights(const ConvShape& shape, const Tensor4& input,
+                              const Tensor4& dy) {
+  const Matrixf cols = im2col(shape, input);       // (K_f) x (OHW*B)
+  const Matrixf dy_m = flatten_output_grad(shape, dy);  // (C_out) x (OHW*B)
+  const GemmDims d = wgrad_gemm_dims(shape, input.n());
+  Matrixf dw(static_cast<std::size_t>(d.m), static_cast<std::size_t>(d.n));
+  // dW = dY * cols^T: op_b = T on the stored cols matrix.
+  gemm_naive_ops(Op::kN, Op::kT, dy_m, cols, dw, 1.0f, 0.0f);
+  return dw;
+}
+
+Tensor4 conv_backward_data(const ConvShape& shape, const Matrixf& filters,
+                           const Tensor4& dy) {
+  const Matrixf dy_m = flatten_output_grad(shape, dy);
+  const GemmDims d = dgrad_gemm_dims(shape, dy.n());
+  Matrixf cols_grad(static_cast<std::size_t>(d.m),
+                    static_cast<std::size_t>(d.n));
+  // dX_cols = W^T * dY: op_a = T on the stored filter matrix.
+  gemm_naive_ops(Op::kT, Op::kN, filters, dy_m, cols_grad, 1.0f, 0.0f);
+  return col2im_scatter(shape, dy.n(), cols_grad);
+}
+
+Matrixf conv_backward_weights_direct(const ConvShape& s,
+                                     const Tensor4& input,
+                                     const Tensor4& dy) {
+  const int oh = s.out_h();
+  const int ow = s.out_w();
+  Matrixf dw(static_cast<std::size_t>(s.out_c),
+             static_cast<std::size_t>(s.in_c * s.kernel * s.kernel));
+  for (int oc = 0; oc < s.out_c; ++oc) {
+    for (int c = 0; c < s.in_c; ++c) {
+      for (int kh = 0; kh < s.kernel; ++kh) {
+        for (int kw = 0; kw < s.kernel; ++kw) {
+          float acc = 0.0f;
+          for (int n = 0; n < input.n(); ++n) {
+            for (int y = 0; y < oh; ++y) {
+              const int iy = y * s.stride - s.pad + kh;
+              if (iy < 0 || iy >= s.in_h) continue;
+              for (int x = 0; x < ow; ++x) {
+                const int ix = x * s.stride - s.pad + kw;
+                if (ix < 0 || ix >= s.in_w) continue;
+                acc += dy.at(n, oc, y, x) * input.at(n, c, iy, ix);
+              }
+            }
+          }
+          dw(static_cast<std::size_t>(oc),
+             static_cast<std::size_t>((c * s.kernel + kh) * s.kernel + kw)) =
+              acc;
+        }
+      }
+    }
+  }
+  return dw;
+}
+
+Tensor4 conv_backward_data_direct(const ConvShape& s, const Matrixf& filters,
+                                  const Tensor4& dy) {
+  const int oh = s.out_h();
+  const int ow = s.out_w();
+  Tensor4 dx(dy.n(), s.in_c, s.in_h, s.in_w);
+  for (int n = 0; n < dy.n(); ++n) {
+    for (int oc = 0; oc < s.out_c; ++oc) {
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x) {
+          const float g = dy.at(n, oc, y, x);
+          for (int c = 0; c < s.in_c; ++c) {
+            for (int kh = 0; kh < s.kernel; ++kh) {
+              const int iy = y * s.stride - s.pad + kh;
+              if (iy < 0 || iy >= s.in_h) continue;
+              for (int kw = 0; kw < s.kernel; ++kw) {
+                const int ix = x * s.stride - s.pad + kw;
+                if (ix < 0 || ix >= s.in_w) continue;
+                const std::size_t fcol = static_cast<std::size_t>(
+                    (c * s.kernel + kh) * s.kernel + kw);
+                dx.at(n, c, iy, ix) +=
+                    g * filters(static_cast<std::size_t>(oc), fcol);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace ctb

@@ -1,0 +1,51 @@
+// Convolution backward passes as GEMMs.
+//
+// The paper motivates plan reuse with DNN training, whose steps repeat the
+// same batch shapes. A convolution's backward pass contributes two more
+// GEMMs per layer, both batchable by the framework:
+//   weight gradient: dW = dY * X_cols^T      (M=C_out, N=C_in*k*k, K=OHW*B)
+//   data gradient:   dX_cols = W^T * dY       (M=C_in*k*k, N=OHW*B, K=C_out)
+// followed by the col2im scatter for dX. The transpose-aware GemmEntry API
+// executes both directly (op_b = T for wgrad, op_a = T for dgrad).
+#pragma once
+
+#include "dnn/conv.hpp"
+#include "dnn/tensor.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ctb {
+
+/// GEMM dims of the weight-gradient computation for `batch` images.
+GemmDims wgrad_gemm_dims(const ConvShape& shape, int batch);
+
+/// GEMM dims of the data-gradient computation for `batch` images.
+GemmDims dgrad_gemm_dims(const ConvShape& shape, int batch);
+
+/// Flattens an output-gradient tensor (N, out_c, oh, ow) into the
+/// (out_c) x (oh*ow*n) matrix layout the backward GEMMs consume (the same
+/// column order as im2col / col2im_output).
+Matrixf flatten_output_grad(const ConvShape& shape, const Tensor4& dy);
+
+/// col2im scatter: folds a (in_c*k*k) x (oh*ow*n) column-gradient matrix
+/// back into the (N, in_c, h, w) input-gradient tensor, summing
+/// contributions of overlapping windows. The adjoint of im2col.
+Tensor4 col2im_scatter(const ConvShape& shape, int batch,
+                       const Matrixf& cols_grad);
+
+/// Weight gradient via GEMM: dW = dY * X_cols^T. `input` is the forward
+/// input; returns the (out_c) x (in_c*k*k) filter-gradient matrix.
+Matrixf conv_backward_weights(const ConvShape& shape, const Tensor4& input,
+                              const Tensor4& dy);
+
+/// Data gradient via GEMM + col2im scatter: returns dX with the input's
+/// shape. `filters` is the forward filter matrix.
+Tensor4 conv_backward_data(const ConvShape& shape, const Matrixf& filters,
+                           const Tensor4& dy);
+
+/// Direct (loop) references for both gradients — the correctness oracles.
+Matrixf conv_backward_weights_direct(const ConvShape& shape,
+                                     const Tensor4& input, const Tensor4& dy);
+Tensor4 conv_backward_data_direct(const ConvShape& shape,
+                                  const Matrixf& filters, const Tensor4& dy);
+
+}  // namespace ctb

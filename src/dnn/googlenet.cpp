@@ -1,0 +1,95 @@
+#include "dnn/googlenet.hpp"
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+
+ConvShape conv(std::string name, int in_c, int out_c, int kernel, int hw,
+               int stride = 1) {
+  ConvShape s;
+  s.name = std::move(name);
+  s.in_c = in_c;
+  s.out_c = out_c;
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = kernel / 2;  // "same" padding for stride 1
+  s.in_h = hw;
+  s.in_w = hw;
+  return s;
+}
+
+/// One inception module from the GoogleNet table: {#1x1, #3x3reduce, #3x3,
+/// #5x5reduce, #5x5, pool proj} filters over `hw` x `hw` maps of `in_c`
+/// channels.
+InceptionModule inception(const std::string& name, int in_c, int hw, int c1,
+                          int r3, int c3, int r5, int c5, int pp) {
+  InceptionModule m;
+  m.name = name;
+  m.in_c = in_c;
+  m.hw = hw;
+  m.conv1x1 = conv(name + "/1x1", in_c, c1, 1, hw);
+  m.reduce3 = conv(name + "/3x3_reduce", in_c, r3, 1, hw);
+  m.conv3x3 = conv(name + "/3x3", r3, c3, 3, hw);
+  m.reduce5 = conv(name + "/5x5_reduce", in_c, r5, 1, hw);
+  m.conv5x5 = conv(name + "/5x5", r5, c5, 5, hw);
+  m.pool_proj = conv(name + "/pool_proj", in_c, pp, 1, hw);
+  return m;
+}
+
+}  // namespace
+
+std::vector<GemmDims> InceptionModule::stage_gemms(int stage,
+                                                   int batch) const {
+  CTB_CHECK(stage == 1 || stage == 2);
+  std::vector<GemmDims> dims;
+  const auto convs = stage == 1 ? stage1() : stage2();
+  dims.reserve(convs.size());
+  for (const ConvShape* c : convs) dims.push_back(c->gemm_dims(batch));
+  return dims;
+}
+
+const std::vector<InceptionModule>& googlenet_inception_modules() {
+  // Filter counts from Table 1 of Szegedy et al. 2014; spatial sizes follow
+  // from the 224x224 input (28x28 for 3*, 14x14 for 4*, 7x7 for 5*).
+  static const std::vector<InceptionModule> modules = {
+      inception("inception3a", 192, 28, 64, 96, 128, 16, 32, 32),
+      inception("inception3b", 256, 28, 128, 128, 192, 32, 96, 64),
+      inception("inception4a", 480, 14, 192, 96, 208, 16, 48, 64),
+      inception("inception4b", 512, 14, 160, 112, 224, 24, 64, 64),
+      inception("inception4c", 512, 14, 128, 128, 256, 24, 64, 64),
+      inception("inception4d", 512, 14, 112, 144, 288, 32, 64, 64),
+      inception("inception4e", 528, 14, 256, 160, 320, 32, 128, 128),
+      inception("inception5a", 832, 7, 256, 160, 320, 32, 128, 128),
+      inception("inception5b", 832, 7, 384, 192, 384, 48, 128, 128),
+  };
+  return modules;
+}
+
+const std::vector<ConvShape>& googlenet_stem_convs() {
+  static const std::vector<ConvShape> stem = {
+      // conv1: 7x7/2 on the 224x224 RGB input.
+      conv("conv1/7x7_s2", 3, 64, 7, 224, 2),
+      // conv2 reduce and conv2, after the stride-2 pool to 56x56.
+      conv("conv2/3x3_reduce", 64, 64, 1, 56),
+      conv("conv2/3x3", 64, 192, 3, 56),
+  };
+  return stem;
+}
+
+std::vector<ConvShape> googlenet_all_convs() {
+  std::vector<ConvShape> all = googlenet_stem_convs();
+  for (const auto& m : googlenet_inception_modules()) {
+    all.push_back(m.conv1x1);
+    all.push_back(m.reduce3);
+    all.push_back(m.conv3x3);
+    all.push_back(m.reduce5);
+    all.push_back(m.conv5x5);
+    all.push_back(m.pool_proj);
+  }
+  CTB_CHECK(all.size() == 57);  // the paper's count
+  return all;
+}
+
+}  // namespace ctb

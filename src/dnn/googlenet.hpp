@@ -1,0 +1,54 @@
+// GoogleNet-v1 (Szegedy et al. 2014) shape tables: the 57 convolutions the
+// paper counts, organized as 3 stem convolutions plus 9 inception modules of
+// 6 convolutions each. Spatial sizes assume the standard 224x224 input.
+//
+// The fan structure of an inception module spawns four independent branches;
+// the first stage (1x1, 3x3-reduce, 5x5-reduce, pool-proj) is the "four
+// GEMMs" the paper batches per module (Section 7.3), and the second stage
+// (3x3, 5x5) is a further independent pair.
+#pragma once
+
+#include <vector>
+
+#include "dnn/conv.hpp"
+
+namespace ctb {
+
+struct InceptionModule {
+  std::string name;
+  int in_c = 0;   ///< channels entering the module.
+  int hw = 0;     ///< spatial size (square feature maps).
+  ConvShape conv1x1;
+  ConvShape reduce3;
+  ConvShape conv3x3;
+  ConvShape reduce5;
+  ConvShape conv5x5;
+  ConvShape pool_proj;
+
+  /// Output channels after concatenation.
+  int out_c() const {
+    return conv1x1.out_c + conv3x3.out_c + conv5x5.out_c + pool_proj.out_c;
+  }
+  /// Stage 1: the four branch GEMMs that consume the module input
+  /// concurrently.
+  std::vector<const ConvShape*> stage1() const {
+    return {&conv1x1, &reduce3, &reduce5, &pool_proj};
+  }
+  /// Stage 2: the two convolutions fed by the reduces.
+  std::vector<const ConvShape*> stage2() const {
+    return {&conv3x3, &conv5x5};
+  }
+  /// GEMM dims of a stage for `batch` images.
+  std::vector<GemmDims> stage_gemms(int stage, int batch = 1) const;
+};
+
+/// The 9 inception modules (3a..3b, 4a..4e, 5a..5b).
+const std::vector<InceptionModule>& googlenet_inception_modules();
+
+/// The 3 stem convolutions (conv1 7x7/2, conv2 reduce 1x1, conv2 3x3).
+const std::vector<ConvShape>& googlenet_stem_convs();
+
+/// All 57 convolutions in network order (stem + inception modules).
+std::vector<ConvShape> googlenet_all_convs();
+
+}  // namespace ctb

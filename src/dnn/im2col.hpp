@@ -1,0 +1,19 @@
+// im2col lowering: unrolls convolution input windows into a matrix so the
+// convolution becomes one GEMM (filters x columns).
+#pragma once
+
+#include "dnn/conv.hpp"
+#include "dnn/tensor.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ctb {
+
+/// Builds the (in_c * k * k) x (out_h * out_w * n) column matrix. Row order
+/// is (c, kh, kw); column order is (n, oh, ow). Out-of-image taps are zero.
+Matrixf im2col(const ConvShape& shape, const Tensor4& input);
+
+/// Reshapes the GEMM output (out_c x out_h*out_w*n) back into an NCHW
+/// tensor; inverse of the column order used by im2col.
+Tensor4 col2im_output(const ConvShape& shape, int batch, const Matrixf& out);
+
+}  // namespace ctb

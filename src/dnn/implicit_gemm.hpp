@@ -1,0 +1,46 @@
+// Implicit-GEMM convolution (paper Section 7.3: "The other algorithm to
+// compute convolution is implicit GEMM, which can also be batched using our
+// proposed framework").
+//
+// The convolution is executed as the same M x N x K GEMM as the im2col
+// lowering, but the B matrix is never materialized: the kernel's staging
+// loads compute the input address from the (k, j) coordinate on the fly.
+// This saves the im2col materialization pass — one full write + read of the
+// K x N column matrix through DRAM — at the cost of address arithmetic in
+// the kernel.
+#pragma once
+
+#include <vector>
+
+#include "core/api.hpp"
+#include "dnn/conv.hpp"
+#include "dnn/tensor.hpp"
+
+namespace ctb {
+
+/// Builds the implicit-GEMM operand for one convolution: A = filters,
+/// B(k, j) gathers from `input` with im2col's index mapping, C = `out`.
+/// `input` and `out` must outlive the returned operand.
+GemmOperands implicit_conv_operands(const ConvShape& shape,
+                                    const Tensor4& input,
+                                    const Matrixf& filters, Matrixf& out);
+
+/// Single implicit-GEMM convolution (functional); numerically identical to
+/// conv_forward_gemm for the same tiling strategy.
+Tensor4 conv_forward_implicit(const ConvShape& shape, const Tensor4& input,
+                              const Matrixf& filters);
+
+/// Batches several convolutions' implicit GEMMs through the planner, the
+/// way inception branches are batched, without materializing any im2col
+/// matrix. Inputs are parallel arrays; returns the output tensors.
+std::vector<Tensor4> conv_batch_implicit(
+    const std::vector<const ConvShape*>& shapes,
+    const std::vector<const Tensor4*>& inputs,
+    const std::vector<const Matrixf*>& filters, const PlannerConfig& config);
+
+/// Modeled cost of materializing the im2col matrix for one conv (the pass
+/// implicit GEMM avoids): writing and re-reading K x N floats through DRAM.
+double im2col_materialization_us(const GpuArch& arch, const ConvShape& shape,
+                                 int batch);
+
+}  // namespace ctb

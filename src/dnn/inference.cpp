@@ -1,0 +1,177 @@
+#include "dnn/inference.hpp"
+
+#include <array>
+
+#include "baselines/baselines.hpp"
+#include "dnn/im2col.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+
+/// Simulated GEMM time of one dependency stage under our framework.
+double time_stage_ours(const GpuArch& arch, const BatchedGemmPlanner& planner,
+                       const std::vector<GemmDims>& dims) {
+  const PlanSummary summary = planner.plan(dims);
+  return time_plan(arch, summary.plan, dims).time_us;
+}
+
+double time_stage_magma(const GpuArch& arch,
+                        const std::vector<GemmDims>& dims) {
+  return run_magma_timed(arch, dims).time_us;
+}
+
+}  // namespace
+
+std::vector<InceptionTimings> time_googlenet_inceptions(
+    const GpuArch& arch, int batch, const PlannerConfig& config) {
+  CTB_CHECK(batch >= 1);
+  const BatchedGemmPlanner planner(config);
+  std::vector<InceptionTimings> out;
+  for (const auto& m : googlenet_inception_modules()) {
+    InceptionTimings t;
+    t.name = m.name;
+    const std::vector<GemmDims> s1 = m.stage_gemms(1, batch);
+    const std::vector<GemmDims> s2 = m.stage_gemms(2, batch);
+
+    // default: all six convolutions, one kernel each, serial.
+    std::vector<GemmDims> all(s1);
+    all.insert(all.end(), s2.begin(), s2.end());
+    t.default_us = run_default_timed(arch, all).time_us;
+
+    // stream: each stage's branches over as many streams as branches.
+    t.stream_us = run_cke_timed(arch, s1, static_cast<int>(s1.size())).time_us +
+                  run_cke_timed(arch, s2, static_cast<int>(s2.size())).time_us;
+
+    // magma: one vbatch kernel per stage.
+    t.magma_us = time_stage_magma(arch, s1) + time_stage_magma(arch, s2);
+
+    // ours: one planned persistent-threads kernel per stage.
+    t.ours_us = time_stage_ours(arch, planner, s1) +
+                time_stage_ours(arch, planner, s2);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+GoogleNetTotals googlenet_forward_times(const GpuArch& arch, int batch,
+                                        const PlannerConfig& config) {
+  GoogleNetTotals totals;
+  // Stem convolutions execute serially in every variant.
+  std::vector<GemmDims> stem;
+  for (const auto& c : googlenet_stem_convs())
+    stem.push_back(c.gemm_dims(batch));
+  const double stem_us = run_default_timed(arch, stem).time_us;
+
+  const auto inceptions = time_googlenet_inceptions(arch, batch, config);
+  totals.default_ms = stem_us * 1e-3;
+  totals.stream_ms = stem_us * 1e-3;
+  totals.ours_ms = stem_us * 1e-3;
+  for (const auto& t : inceptions) {
+    totals.default_ms += t.default_us * 1e-3;
+    totals.stream_ms += t.stream_us * 1e-3;
+    totals.ours_ms += t.ours_us * 1e-3;
+  }
+  return totals;
+}
+
+InceptionWeights random_inception_weights(const InceptionModule& m,
+                                          Rng& rng) {
+  InceptionWeights w;
+  w.w1x1 = random_filters(m.conv1x1, rng);
+  w.wr3 = random_filters(m.reduce3, rng);
+  w.w3x3 = random_filters(m.conv3x3, rng);
+  w.wr5 = random_filters(m.reduce5, rng);
+  w.w5x5 = random_filters(m.conv5x5, rng);
+  w.wproj = random_filters(m.pool_proj, rng);
+  return w;
+}
+
+Tensor4 inception_forward_reference(const InceptionModule& m,
+                                    const Tensor4& input,
+                                    const InceptionWeights& w) {
+  Tensor4 b1 = conv_forward_direct(m.conv1x1, input, w.w1x1);
+  relu_inplace(b1);
+
+  Tensor4 r3 = conv_forward_direct(m.reduce3, input, w.wr3);
+  relu_inplace(r3);
+  Tensor4 b3 = conv_forward_direct(m.conv3x3, r3, w.w3x3);
+  relu_inplace(b3);
+
+  Tensor4 r5 = conv_forward_direct(m.reduce5, input, w.wr5);
+  relu_inplace(r5);
+  Tensor4 b5 = conv_forward_direct(m.conv5x5, r5, w.w5x5);
+  relu_inplace(b5);
+
+  Tensor4 pooled = max_pool(input, 3, 1, 1);
+  Tensor4 bp = conv_forward_direct(m.pool_proj, pooled, w.wproj);
+  relu_inplace(bp);
+
+  const std::array<const Tensor4*, 4> parts = {&b1, &b3, &b5, &bp};
+  return concat_channels(parts);
+}
+
+namespace {
+
+/// Runs one dependency stage — im2col each conv, batch the GEMMs through the
+/// planner, reshape the outputs back to tensors.
+std::vector<Tensor4> run_stage_batched(
+    const std::vector<const ConvShape*>& convs,
+    const std::vector<const Tensor4*>& inputs,
+    const std::vector<const Matrixf*>& weights,
+    const PlannerConfig& config) {
+  CTB_CHECK(convs.size() == inputs.size() &&
+            inputs.size() == weights.size());
+  std::vector<Matrixf> cols(convs.size());
+  std::vector<Matrixf> outs(convs.size());
+  std::vector<const Matrixf*> a(convs.size());
+  std::vector<const Matrixf*> b(convs.size());
+  std::vector<Matrixf*> c(convs.size());
+  for (std::size_t i = 0; i < convs.size(); ++i) {
+    cols[i] = im2col(*convs[i], *inputs[i]);
+    const GemmDims d = convs[i]->gemm_dims(inputs[i]->n());
+    outs[i] = Matrixf(static_cast<std::size_t>(d.m),
+                      static_cast<std::size_t>(d.n));
+    a[i] = weights[i];
+    b[i] = &cols[i];
+    c[i] = &outs[i];
+  }
+  batched_gemm(a, b, c, 1.0f, 0.0f, config);
+
+  std::vector<Tensor4> tensors;
+  tensors.reserve(convs.size());
+  for (std::size_t i = 0; i < convs.size(); ++i) {
+    tensors.push_back(
+        col2im_output(*convs[i], inputs[i]->n(), outs[i]));
+    relu_inplace(tensors.back());
+  }
+  return tensors;
+}
+
+}  // namespace
+
+Tensor4 inception_forward_batched(const InceptionModule& m,
+                                  const Tensor4& input,
+                                  const InceptionWeights& w,
+                                  const PlannerConfig& config) {
+  const Tensor4 pooled = max_pool(input, 3, 1, 1);
+
+  // Stage 1: the four branch convolutions share the module input (the pool
+  // branch consumes the pooled input).
+  std::vector<Tensor4> s1 = run_stage_batched(
+      {&m.conv1x1, &m.reduce3, &m.reduce5, &m.pool_proj},
+      {&input, &input, &input, &pooled},
+      {&w.w1x1, &w.wr3, &w.wr5, &w.wproj}, config);
+
+  // Stage 2: 3x3 and 5x5 consume the reduce outputs.
+  std::vector<Tensor4> s2 =
+      run_stage_batched({&m.conv3x3, &m.conv5x5}, {&s1[1], &s1[2]},
+                        {&w.w3x3, &w.w5x5}, config);
+
+  const std::array<const Tensor4*, 4> parts = {&s1[0], &s2[0], &s2[1],
+                                               &s1[3]};
+  return concat_channels(parts);
+}
+
+}  // namespace ctb

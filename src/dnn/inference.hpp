@@ -1,0 +1,68 @@
+// GoogleNet inference: functional forward pass of inception modules through
+// the batched-GEMM framework, and the timing harness behind the paper's
+// Fig. 10 (per-inception speedups and whole-network totals).
+//
+// Timing compares four executions of each inception module's convolutions:
+//   default — one kernel per conv, serial (the cuDNN-per-op baseline),
+//   stream  — branch convs spread over CUDA streams (baseline + CKE),
+//   magma   — each dependency stage as one vbatch kernel,
+//   ours    — each dependency stage planned by the framework.
+// Pooling/concat cost is identical across variants and excluded, as the
+// paper's comparison is over the GEMM executions.
+#pragma once
+
+#include <vector>
+
+#include "core/api.hpp"
+#include "dnn/googlenet.hpp"
+
+namespace ctb {
+
+struct InceptionTimings {
+  std::string name;
+  double default_us = 0.0;
+  double stream_us = 0.0;
+  double magma_us = 0.0;
+  double ours_us = 0.0;
+
+  double speedup_vs_magma() const { return magma_us / ours_us; }
+  double speedup_vs_stream() const { return stream_us / ours_us; }
+};
+
+/// Times every inception module for `batch` input images.
+std::vector<InceptionTimings> time_googlenet_inceptions(
+    const GpuArch& arch, int batch, const PlannerConfig& config);
+
+/// Whole-network forward-pass GEMM time (stem convs run serially in every
+/// variant; inception modules differ). Matches the paper's
+/// 3.18 ms / 2.41 ms / 2.01 ms comparison structure.
+struct GoogleNetTotals {
+  double default_ms = 0.0;
+  double stream_ms = 0.0;
+  double ours_ms = 0.0;
+};
+
+GoogleNetTotals googlenet_forward_times(const GpuArch& arch, int batch,
+                                        const PlannerConfig& config);
+
+/// Weights of one inception module in GEMM filter layout.
+struct InceptionWeights {
+  Matrixf w1x1, wr3, w3x3, wr5, w5x5, wproj;
+};
+
+InceptionWeights random_inception_weights(const InceptionModule& m, Rng& rng);
+
+/// Reference forward: direct convolutions, ReLU, pool branch, concat.
+Tensor4 inception_forward_reference(const InceptionModule& m,
+                                    const Tensor4& input,
+                                    const InceptionWeights& w);
+
+/// Framework forward: stage-1 branch convolutions as one batched GEMM
+/// through the planner, then stage 2, then the pool branch and concat.
+/// Numerically equivalent to the reference up to float accumulation order.
+Tensor4 inception_forward_batched(const InceptionModule& m,
+                                  const Tensor4& input,
+                                  const InceptionWeights& w,
+                                  const PlannerConfig& config);
+
+}  // namespace ctb

@@ -1,0 +1,143 @@
+#include "dnn/squeezenet.hpp"
+
+#include <array>
+
+#include "baselines/baselines.hpp"
+#include "dnn/im2col.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+
+ConvShape conv(std::string name, int in_c, int out_c, int kernel, int hw) {
+  ConvShape s;
+  s.name = std::move(name);
+  s.in_c = in_c;
+  s.out_c = out_c;
+  s.kernel = kernel;
+  s.stride = 1;
+  s.pad = kernel / 2;
+  s.in_h = hw;
+  s.in_w = hw;
+  return s;
+}
+
+FireModule fire(const std::string& name, int in_c, int hw, int s1x1, int e1x1,
+                int e3x3) {
+  FireModule m;
+  m.name = name;
+  m.in_c = in_c;
+  m.hw = hw;
+  m.squeeze = conv(name + "/squeeze1x1", in_c, s1x1, 1, hw);
+  m.expand1x1 = conv(name + "/expand1x1", s1x1, e1x1, 1, hw);
+  m.expand3x3 = conv(name + "/expand3x3", s1x1, e3x3, 3, hw);
+  return m;
+}
+
+}  // namespace
+
+const std::vector<FireModule>& squeezenet_fire_modules() {
+  // SqueezeNet v1.0 (Table 1 of Iandola et al.): {squeeze, expand1x1,
+  // expand3x3} filters, spatial sizes after the stride-2 pools.
+  static const std::vector<FireModule> modules = {
+      fire("fire2", 96, 55, 16, 64, 64),
+      fire("fire3", 128, 55, 16, 64, 64),
+      fire("fire4", 128, 55, 32, 128, 128),
+      fire("fire5", 256, 27, 32, 128, 128),
+      fire("fire6", 256, 27, 48, 192, 192),
+      fire("fire7", 384, 27, 48, 192, 192),
+      fire("fire8", 384, 27, 64, 256, 256),
+      fire("fire9", 512, 13, 64, 256, 256),
+  };
+  return modules;
+}
+
+FireWeights random_fire_weights(const FireModule& m, Rng& rng) {
+  FireWeights w;
+  w.squeeze = random_filters(m.squeeze, rng);
+  w.expand1 = random_filters(m.expand1x1, rng);
+  w.expand3 = random_filters(m.expand3x3, rng);
+  return w;
+}
+
+Tensor4 fire_forward_reference(const FireModule& m, const Tensor4& input,
+                               const FireWeights& w) {
+  Tensor4 squeezed = conv_forward_direct(m.squeeze, input, w.squeeze);
+  relu_inplace(squeezed);
+  Tensor4 e1 = conv_forward_direct(m.expand1x1, squeezed, w.expand1);
+  relu_inplace(e1);
+  Tensor4 e3 = conv_forward_direct(m.expand3x3, squeezed, w.expand3);
+  relu_inplace(e3);
+  const std::array<const Tensor4*, 2> parts = {&e1, &e3};
+  return concat_channels(parts);
+}
+
+Tensor4 fire_forward_batched(const FireModule& m, const Tensor4& input,
+                             const FireWeights& w,
+                             const PlannerConfig& config) {
+  // Squeeze: a single GEMM (nothing to batch with at module granularity).
+  const Matrixf squeeze_cols = im2col(m.squeeze, input);
+  const GemmDims ds = m.squeeze.gemm_dims(input.n());
+  Matrixf squeeze_out(static_cast<std::size_t>(ds.m),
+                      static_cast<std::size_t>(ds.n));
+  {
+    const std::vector<const Matrixf*> a = {&w.squeeze};
+    const std::vector<const Matrixf*> b = {&squeeze_cols};
+    std::vector<Matrixf*> c = {&squeeze_out};
+    batched_gemm(a, b, c, 1.0f, 0.0f, config);
+  }
+  Tensor4 squeezed = col2im_output(m.squeeze, input.n(), squeeze_out);
+  relu_inplace(squeezed);
+
+  // Expand: the two branch GEMMs as one batched plan.
+  const Matrixf cols1 = im2col(m.expand1x1, squeezed);
+  const Matrixf cols3 = im2col(m.expand3x3, squeezed);
+  const GemmDims d1 = m.expand1x1.gemm_dims(input.n());
+  const GemmDims d3 = m.expand3x3.gemm_dims(input.n());
+  Matrixf out1(static_cast<std::size_t>(d1.m),
+               static_cast<std::size_t>(d1.n));
+  Matrixf out3(static_cast<std::size_t>(d3.m),
+               static_cast<std::size_t>(d3.n));
+  {
+    const std::vector<const Matrixf*> a = {&w.expand1, &w.expand3};
+    const std::vector<const Matrixf*> b = {&cols1, &cols3};
+    std::vector<Matrixf*> c = {&out1, &out3};
+    batched_gemm(a, b, c, 1.0f, 0.0f, config);
+  }
+  Tensor4 e1 = col2im_output(m.expand1x1, input.n(), out1);
+  Tensor4 e3 = col2im_output(m.expand3x3, input.n(), out3);
+  relu_inplace(e1);
+  relu_inplace(e3);
+  const std::array<const Tensor4*, 2> parts = {&e1, &e3};
+  return concat_channels(parts);
+}
+
+std::vector<FireTimings> time_squeezenet_fires(const GpuArch& arch,
+                                               int batch,
+                                               const PlannerConfig& config) {
+  CTB_CHECK(batch >= 1);
+  const BatchedGemmPlanner planner(config);
+  std::vector<FireTimings> out;
+  for (const auto& m : squeezenet_fire_modules()) {
+    FireTimings t;
+    t.name = m.name;
+    const std::vector<GemmDims> squeeze = {m.squeeze.gemm_dims(batch)};
+    const std::vector<GemmDims> expand = m.expand_gemms(batch);
+
+    std::vector<GemmDims> all(squeeze);
+    all.insert(all.end(), expand.begin(), expand.end());
+    t.default_us = run_default_timed(arch, all).time_us;
+    t.stream_us = run_default_timed(arch, squeeze).time_us +
+                  run_cke_timed(arch, expand, 2).time_us;
+    t.magma_us = run_magma_timed(arch, squeeze).time_us +
+                 run_magma_timed(arch, expand).time_us;
+    t.ours_us =
+        time_plan(arch, planner.plan(squeeze).plan, squeeze).time_us +
+        time_plan(arch, planner.plan(expand).plan, expand).time_us;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace ctb

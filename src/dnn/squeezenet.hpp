@@ -1,0 +1,67 @@
+// SqueezeNet-v1.0 fire modules (Iandola et al. 2016) — the paper names
+// Squeeze-Net as another fan-structured CNN whose branch GEMMs the
+// framework can batch (Section 7.3). A fire module squeezes with a 1x1
+// convolution, then expands through two independent branches (1x1 and 3x3)
+// whose outputs concatenate — a two-GEMM batch per module.
+#pragma once
+
+#include <vector>
+
+#include "core/api.hpp"
+#include "dnn/conv.hpp"
+
+namespace ctb {
+
+struct FireModule {
+  std::string name;
+  int in_c = 0;  ///< channels entering the module.
+  int hw = 0;    ///< spatial size (square maps).
+  ConvShape squeeze;    ///< 1x1 squeeze.
+  ConvShape expand1x1;  ///< 1x1 expand branch.
+  ConvShape expand3x3;  ///< 3x3 expand branch (same padding).
+
+  int out_c() const { return expand1x1.out_c + expand3x3.out_c; }
+
+  /// The independent expand-branch GEMMs (the batchable fan).
+  std::vector<GemmDims> expand_gemms(int batch = 1) const {
+    return {expand1x1.gemm_dims(batch), expand3x3.gemm_dims(batch)};
+  }
+};
+
+/// The 8 fire modules of SqueezeNet v1.0 (fire2..fire9), standard 224x224
+/// input pipeline spatial sizes.
+const std::vector<FireModule>& squeezenet_fire_modules();
+
+/// Fire-module weights in GEMM filter layout.
+struct FireWeights {
+  Matrixf squeeze, expand1, expand3;
+};
+
+FireWeights random_fire_weights(const FireModule& m, Rng& rng);
+
+/// Reference forward (direct convolutions + ReLU + concat).
+Tensor4 fire_forward_reference(const FireModule& m, const Tensor4& input,
+                               const FireWeights& w);
+
+/// Framework forward: the squeeze GEMM alone, then both expand GEMMs as one
+/// batched plan.
+Tensor4 fire_forward_batched(const FireModule& m, const Tensor4& input,
+                             const FireWeights& w,
+                             const PlannerConfig& config);
+
+/// Per-fire-module simulated GEMM timing (default / streams / MAGMA / ours),
+/// mirroring the GoogleNet harness.
+struct FireTimings {
+  std::string name;
+  double default_us = 0.0;
+  double stream_us = 0.0;
+  double magma_us = 0.0;
+  double ours_us = 0.0;
+
+  double speedup_vs_magma() const { return magma_us / ours_us; }
+};
+
+std::vector<FireTimings> time_squeezenet_fires(const GpuArch& arch, int batch,
+                                               const PlannerConfig& config);
+
+}  // namespace ctb

@@ -1,0 +1,21 @@
+#include "dnn/tensor.hpp"
+
+#include <cmath>
+
+namespace ctb {
+
+void fill_random(Tensor4& t, Rng& rng, float lo, float hi) {
+  for (float& x : t.flat()) x = rng.uniform_float(lo, hi);
+}
+
+float max_abs_diff(const Tensor4& a, const Tensor4& b) {
+  CTB_CHECK(a.same_shape(b));
+  float worst = 0.0f;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    worst = std::max(worst, std::fabs(fa[i] - fb[i]));
+  return worst;
+}
+
+}  // namespace ctb

@@ -1,0 +1,63 @@
+// Minimal NCHW tensor for the GoogleNet case study (paper Section 7.3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ctb {
+
+/// Dense float tensor in NCHW layout.
+class Tensor4 {
+ public:
+  Tensor4() = default;
+  Tensor4(int n, int c, int h, int w)
+      : n_(n), c_(c), h_(h), w_(w),
+        data_(static_cast<std::size_t>(n) * c * h * w, 0.0f) {
+    CTB_CHECK(n > 0 && c > 0 && h > 0 && w > 0);
+  }
+
+  int n() const noexcept { return n_; }
+  int c() const noexcept { return c_; }
+  int h() const noexcept { return h_; }
+  int w() const noexcept { return w_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  float& at(int n, int c, int h, int w) {
+    return data_[index(n, c, h, w)];
+  }
+  float at(int n, int c, int h, int w) const {
+    return data_[index(n, c, h, w)];
+  }
+
+  std::span<float> flat() noexcept { return data_; }
+  std::span<const float> flat() const noexcept { return data_; }
+
+  bool same_shape(const Tensor4& other) const noexcept {
+    return n_ == other.n_ && c_ == other.c_ && h_ == other.h_ &&
+           w_ == other.w_;
+  }
+
+ private:
+  std::size_t index(int n, int c, int h, int w) const {
+    CTB_DCHECK(n >= 0 && n < n_ && c >= 0 && c < c_ && h >= 0 && h < h_ &&
+               w >= 0 && w < w_);
+    return ((static_cast<std::size_t>(n) * c_ + c) * h_ + h) *
+               static_cast<std::size_t>(w_) +
+           w;
+  }
+
+  int n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<float> data_;
+};
+
+/// Fills with uniform values from the given deterministic RNG.
+void fill_random(Tensor4& t, Rng& rng, float lo = -1.0f, float hi = 1.0f);
+
+/// max |a-b| over two same-shape tensors.
+float max_abs_diff(const Tensor4& a, const Tensor4& b);
+
+}  // namespace ctb

@@ -1,0 +1,169 @@
+#include "gpusim/arch.hpp"
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+
+GpuArch make_v100() {
+  GpuArch a;
+  a.name = "Tesla V100";
+  a.sm_count = 80;
+  a.fp32_lanes_per_sm = 64;
+  a.fp16_rate_multiplier = 8.0;  // tensor cores
+  a.clock_ghz = 1.53;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 32;
+  a.registers_per_sm = 64 * 1024;
+  a.shared_mem_per_sm = 96 * 1024;
+  a.shared_mem_per_block = 96 * 1024;
+  a.dram_bw_gbps = 900.0;
+  a.l2_bw_gbps = 2150.0;
+  a.mem_latency_cycles = 440;
+  a.cta_launch_per_us = 128.0;
+  return a;
+}
+
+GpuArch make_p100() {
+  GpuArch a;
+  a.name = "Tesla P100";
+  a.sm_count = 56;
+  a.fp32_lanes_per_sm = 64;
+  a.fp16_rate_multiplier = 2.0;  // half2 FMA
+  a.clock_ghz = 1.48;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 32;
+  a.registers_per_sm = 64 * 1024;
+  a.shared_mem_per_sm = 64 * 1024;
+  a.shared_mem_per_block = 48 * 1024;
+  a.dram_bw_gbps = 732.0;
+  a.l2_bw_gbps = 1620.0;
+  a.cta_launch_per_us = 96.0;
+  a.mem_latency_cycles = 480;
+  return a;
+}
+
+GpuArch make_1080ti() {
+  GpuArch a;
+  a.name = "GTX 1080 Ti";
+  a.sm_count = 28;
+  a.fp32_lanes_per_sm = 128;
+  a.clock_ghz = 1.58;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 32;
+  a.registers_per_sm = 64 * 1024;
+  a.shared_mem_per_sm = 96 * 1024;
+  a.shared_mem_per_block = 48 * 1024;
+  a.dram_bw_gbps = 484.0;
+  a.l2_bw_gbps = 1210.0;
+  a.cta_launch_per_us = 96.0;
+  a.mem_latency_cycles = 500;
+  return a;
+}
+
+GpuArch make_titan_xp() {
+  GpuArch a;
+  a.name = "Titan Xp";
+  a.sm_count = 30;
+  a.fp32_lanes_per_sm = 128;
+  a.clock_ghz = 1.58;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 32;
+  a.registers_per_sm = 64 * 1024;
+  a.shared_mem_per_sm = 96 * 1024;
+  a.shared_mem_per_block = 48 * 1024;
+  a.dram_bw_gbps = 547.0;
+  a.l2_bw_gbps = 1320.0;
+  a.cta_launch_per_us = 96.0;
+  a.mem_latency_cycles = 500;
+  return a;
+}
+
+GpuArch make_m60() {
+  GpuArch a;
+  a.name = "Tesla M60";
+  a.sm_count = 16;
+  a.fp32_lanes_per_sm = 128;
+  a.clock_ghz = 1.18;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 32;
+  a.registers_per_sm = 64 * 1024;
+  a.shared_mem_per_sm = 96 * 1024;
+  a.shared_mem_per_block = 48 * 1024;
+  a.dram_bw_gbps = 160.0;
+  a.l2_bw_gbps = 640.0;
+  a.cta_launch_per_us = 64.0;
+  a.mem_latency_cycles = 520;
+  return a;
+}
+
+GpuArch make_titan_x() {
+  GpuArch a;
+  a.name = "GTX Titan X";
+  a.sm_count = 24;
+  a.fp32_lanes_per_sm = 128;
+  a.clock_ghz = 1.0;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 32;
+  a.registers_per_sm = 64 * 1024;
+  a.shared_mem_per_sm = 96 * 1024;
+  a.shared_mem_per_block = 48 * 1024;
+  a.dram_bw_gbps = 336.0;
+  a.l2_bw_gbps = 900.0;
+  a.cta_launch_per_us = 64.0;
+  a.mem_latency_cycles = 520;
+  return a;
+}
+
+}  // namespace
+
+const GpuArch& gpu_arch(GpuModel model) {
+  static const GpuArch v100 = make_v100();
+  static const GpuArch p100 = make_p100();
+  static const GpuArch gtx1080ti = make_1080ti();
+  static const GpuArch titan_xp = make_titan_xp();
+  static const GpuArch m60 = make_m60();
+  static const GpuArch titan_x = make_titan_x();
+  switch (model) {
+    case GpuModel::kV100:
+      return v100;
+    case GpuModel::kP100:
+      return p100;
+    case GpuModel::kGTX1080Ti:
+      return gtx1080ti;
+    case GpuModel::kTitanXp:
+      return titan_xp;
+    case GpuModel::kM60:
+      return m60;
+    case GpuModel::kGTXTitanX:
+      return titan_x;
+  }
+  CTB_CHECK_MSG(false, "unknown GpuModel");
+  return v100;  // unreachable
+}
+
+std::vector<GpuModel> all_gpu_models() {
+  return {GpuModel::kV100,    GpuModel::kP100, GpuModel::kGTX1080Ti,
+          GpuModel::kTitanXp, GpuModel::kM60,  GpuModel::kGTXTitanX};
+}
+
+const char* to_string(GpuModel model) {
+  switch (model) {
+    case GpuModel::kV100:
+      return "V100";
+    case GpuModel::kP100:
+      return "P100";
+    case GpuModel::kGTX1080Ti:
+      return "GTX1080Ti";
+    case GpuModel::kTitanXp:
+      return "TitanXp";
+    case GpuModel::kM60:
+      return "M60";
+    case GpuModel::kGTXTitanX:
+      return "GTXTitanX";
+  }
+  return "?";
+}
+
+}  // namespace ctb

@@ -1,0 +1,103 @@
+// GPU architecture model.
+//
+// The paper evaluates on real NVIDIA GPUs (V100, P100, GTX 1080 Ti, Titan Xp,
+// Tesla M60, GTX Titan X). This environment has no GPU, so the library runs
+// every kernel through an execution-model simulator parameterized by the
+// structures below. The parameters are taken from the public datasheets of
+// each card; the calibration constants (latency-hiding warp count, per-SM
+// burst bandwidth factor, scheduling overheads) are shared knobs validated by
+// the sanity benches (bench_single_gemm reproduces the paper's ~93%-of-peak
+// large-GEMM and <10%-of-peak tiny-GEMM endpoints).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctb {
+
+/// Static description of one GPU. All cycle quantities are in core clocks.
+struct GpuArch {
+  std::string name;
+
+  // Compute resources.
+  int sm_count = 80;
+  int fp32_lanes_per_sm = 64;  ///< FMA issue slots per cycle per SM.
+  /// FP16 throughput relative to FP32: tensor cores on Volta (~8x for
+  /// GEMM-shaped work), paired half2 math on P100 (2x), 1x elsewhere.
+  double fp16_rate_multiplier = 1.0;
+  int sm_subpartitions = 4;    ///< warp schedulers; warps pin to one each.
+  double clock_ghz = 1.53;
+  int warp_size = 32;
+
+  // Per-SM occupancy limits.
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  int max_threads_per_block = 1024;
+  int registers_per_sm = 64 * 1024;  ///< 32-bit registers.
+  int max_registers_per_thread = 255;
+  int shared_mem_per_sm = 96 * 1024;  ///< bytes.
+  int shared_mem_per_block = 96 * 1024;
+
+  // Memory system.
+  double dram_bw_gbps = 900.0;    ///< aggregate device-memory bandwidth.
+  /// L2 bandwidth: duplicate loads of shared A/B bands across sibling tiles
+  /// hit L2, so only unique bytes pay the DRAM rate.
+  double l2_bw_gbps = 2150.0;
+  int mem_latency_cycles = 440;   ///< global-load latency to shared memory.
+  double per_sm_bw_burst = 6.0;   ///< one SM may draw burst*(BW/sm_count).
+
+  // Scheduling costs.
+  /// GigaThread-engine CTA dispatch throughput: at most this many blocks
+  /// start per microsecond, device-wide. This is why plans with fewer,
+  /// deeper blocks win at small K — chaining tiles into one block halves
+  /// the launch traffic (the batching engine's ILP argument).
+  double cta_launch_per_us = 128.0;
+  int block_sched_overhead_cycles = 300;  ///< CTA launch/drain, even if empty.
+  int tile_switch_overhead_cycles = 60;   ///< aux-array reads between tiles.
+  double kernel_launch_us = 4.0;          ///< host-side launch latency.
+  double stream_dispatch_us = 1.5;        ///< extra per-kernel gap under CKE.
+
+  // Latency-hiding model: full hiding once `hide_warps` worth of active,
+  // ILP-weighted warps are resident on an SM.
+  double hide_warps = 8.0;
+  /// Fraction of the load latency that is exposed per main-loop iteration
+  /// when an SM has no latency hiding at all.
+  double unhidden_latency_fraction = 0.25;
+
+  /// Peak FP32 throughput in GFLOP/s (2 flops per FMA).
+  double peak_gflops() const {
+    return sm_count * fp32_lanes_per_sm * 2.0 * clock_ghz;
+  }
+  /// Aggregate DRAM bandwidth in bytes per core clock.
+  double bytes_per_cycle() const { return dram_bw_gbps / clock_ghz; }
+  /// Aggregate L2 bandwidth in bytes per core clock.
+  double l2_bytes_per_cycle() const { return l2_bw_gbps / clock_ghz; }
+  /// Burst bandwidth available to a single SM, bytes per cycle.
+  double per_sm_burst_bytes_per_cycle() const {
+    return per_sm_bw_burst * bytes_per_cycle() / sm_count;
+  }
+  double cycles_to_us(double cycles) const {
+    return cycles / (clock_ghz * 1e3);
+  }
+};
+
+/// Architectures used in the paper's evaluation (Figs. 8-11).
+enum class GpuModel {
+  kV100,       // Volta, primary evaluation platform
+  kP100,       // Pascal
+  kGTX1080Ti,  // Pascal
+  kTitanXp,    // Pascal
+  kM60,        // Maxwell
+  kGTXTitanX,  // Maxwell
+};
+
+/// Returns the preset description of `model`.
+const GpuArch& gpu_arch(GpuModel model);
+
+/// All presets, in the order of Fig. 11.
+std::vector<GpuModel> all_gpu_models();
+
+const char* to_string(GpuModel model);
+
+}  // namespace ctb

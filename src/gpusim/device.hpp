@@ -1,0 +1,139 @@
+// Simulated device memory.
+//
+// Device buffers are host allocations tagged with the owning Device so the
+// API shape of the library (allocate, H2D copy, launch, D2H copy) matches
+// what the CUDA implementation in the paper does. The Device also tracks
+// allocation statistics and models transfer time over a PCIe-like link for
+// timeline experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gpusim/arch.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+
+class Device;
+
+/// Owning, typed device allocation. Movable, non-copyable (like a cudaMalloc
+/// pointer wrapped in a unique owner).
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(Device* device, std::size_t count);
+  ~DeviceBuffer();
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      device_ = other.device_;
+      data_ = std::move(other.data_);
+      other.device_ = nullptr;
+    }
+    return *this;
+  }
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Raw simulated-device pointer; only the functional executor and the
+  /// copy routines should touch it.
+  T* device_data() noexcept { return data_.data(); }
+  const T* device_data() const noexcept { return data_.data(); }
+
+  std::span<T> span() noexcept { return data_; }
+  std::span<const T> span() const noexcept { return data_; }
+
+ private:
+  void release();
+
+  Device* device_ = nullptr;
+  std::vector<T> data_;
+};
+
+/// One simulated GPU: architecture plus memory bookkeeping.
+class Device {
+ public:
+  explicit Device(const GpuArch& arch) : arch_(arch) {}
+  explicit Device(GpuModel model) : arch_(gpu_arch(model)) {}
+
+  const GpuArch& arch() const noexcept { return arch_; }
+
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t count) {
+    return DeviceBuffer<T>(this, count);
+  }
+
+  std::int64_t bytes_allocated() const noexcept { return bytes_allocated_; }
+  std::int64_t peak_bytes() const noexcept { return peak_bytes_; }
+  std::int64_t alloc_count() const noexcept { return alloc_count_; }
+
+  /// Modeled host<->device transfer time (PCIe 3.0 x16-ish: 12 GB/s plus a
+  /// fixed per-call latency).
+  double transfer_time_us(std::int64_t bytes) const {
+    constexpr double kPciGbps = 12.0;
+    constexpr double kCallOverheadUs = 8.0;
+    return kCallOverheadUs + static_cast<double>(bytes) / (kPciGbps * 1e3);
+  }
+
+ private:
+  template <typename T>
+  friend class DeviceBuffer;
+
+  void on_alloc(std::int64_t bytes) {
+    bytes_allocated_ += bytes;
+    peak_bytes_ = std::max(peak_bytes_, bytes_allocated_);
+    ++alloc_count_;
+  }
+  void on_free(std::int64_t bytes) { bytes_allocated_ -= bytes; }
+
+  GpuArch arch_;
+  std::int64_t bytes_allocated_ = 0;
+  std::int64_t peak_bytes_ = 0;
+  std::int64_t alloc_count_ = 0;
+};
+
+template <typename T>
+DeviceBuffer<T>::DeviceBuffer(Device* device, std::size_t count)
+    : device_(device), data_(count) {
+  CTB_CHECK(device != nullptr);
+  device_->on_alloc(static_cast<std::int64_t>(count * sizeof(T)));
+}
+
+template <typename T>
+DeviceBuffer<T>::~DeviceBuffer() {
+  release();
+}
+
+template <typename T>
+void DeviceBuffer<T>::release() {
+  if (device_ != nullptr) {
+    device_->on_free(static_cast<std::int64_t>(data_.size() * sizeof(T)));
+    device_ = nullptr;
+  }
+  data_.clear();
+}
+
+/// Host -> device copy. Sizes must match exactly.
+template <typename T>
+void copy_to_device(std::span<const T> host, DeviceBuffer<T>& dev) {
+  CTB_CHECK_MSG(host.size() == dev.size(), "H2D size mismatch");
+  std::copy(host.begin(), host.end(), dev.span().begin());
+}
+
+/// Device -> host copy. Sizes must match exactly.
+template <typename T>
+void copy_to_host(const DeviceBuffer<T>& dev, std::span<T> host) {
+  CTB_CHECK_MSG(host.size() == dev.size(), "D2H size mismatch");
+  std::copy(dev.span().begin(), dev.span().end(), host.begin());
+}
+
+}  // namespace ctb

@@ -1,0 +1,41 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+OccupancyResult occupancy(const GpuArch& arch, const BlockResources& block) {
+  CTB_CHECK_MSG(block.threads > 0, "block must have threads");
+  OccupancyResult r;
+
+  if (block.threads > arch.max_threads_per_block ||
+      block.regs_per_thread > arch.max_registers_per_thread ||
+      block.smem_bytes > arch.shared_mem_per_block) {
+    r.limiter = "unlaunchable";
+    return r;  // blocks_per_sm == 0
+  }
+
+  // A resource the block does not use cannot be the limiter; use a sentinel
+  // above any real limit.
+  constexpr int kUnlimited = 1 << 30;
+  r.limit_threads = arch.max_threads_per_sm / block.threads;
+  const int regs_per_block = block.regs_per_thread * block.threads;
+  r.limit_regs = regs_per_block > 0 ? arch.registers_per_sm / regs_per_block
+                                    : kUnlimited;
+  r.limit_smem = block.smem_bytes > 0
+                     ? arch.shared_mem_per_sm / block.smem_bytes
+                     : kUnlimited;
+  r.limit_blocks = arch.max_blocks_per_sm;
+
+  r.blocks_per_sm = std::min({r.limit_threads, r.limit_regs, r.limit_smem,
+                              r.limit_blocks});
+  if (r.blocks_per_sm == r.limit_threads) r.limiter = "threads";
+  if (r.blocks_per_sm == r.limit_blocks) r.limiter = "block-slots";
+  if (r.blocks_per_sm == r.limit_smem) r.limiter = "shared-memory";
+  if (r.blocks_per_sm == r.limit_regs) r.limiter = "registers";
+  return r;
+}
+
+}  // namespace ctb

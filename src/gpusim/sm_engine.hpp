@@ -1,0 +1,71 @@
+// Event-driven GPU simulator.
+//
+// Thread blocks are dispatched in submission order (GigaThread-style): the
+// head of the pending queue is admitted to the least-loaded SM that has room
+// for its thread/register/shared-memory footprint; if no SM has room the
+// dispatcher stalls until a block completes. A block's duration is fixed at
+// admission from the timing model, using an effective-residency estimate that
+// accounts for the backlog about to land on the same SM (so first-wave blocks
+// see steady-state contention, not an empty machine).
+//
+// The engine is deterministic: identical inputs produce identical timelines.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gpusim/arch.hpp"
+#include "gpusim/timing_model.hpp"
+#include "gpusim/trace.hpp"
+#include "gpusim/work.hpp"
+
+namespace ctb {
+
+/// A kernel submitted to the device at `arrival_us` (relative to timeline 0).
+/// Kernels sharing a non-negative `stream` id serialize in submission order
+/// (CUDA stream semantics); stream -1 means fully independent.
+struct LaunchedKernel {
+  const KernelWork* work = nullptr;
+  double arrival_us = 0.0;
+  int stream = -1;
+};
+
+/// Aggregate simulation outcome.
+struct SimStats {
+  double makespan_us = 0.0;       ///< completion time of the last block.
+  std::int64_t total_flops = 0;
+  std::int64_t total_bytes = 0;
+  std::int64_t block_count = 0;
+  std::int64_t bubble_blocks = 0; ///< blocks with no tiles (vbatch padding).
+  double achieved_gflops = 0.0;
+  double avg_resident_blocks = 0.0;  ///< time-averaged resident CTAs.
+  double sm_busy_fraction = 0.0;     ///< time-avg fraction of SMs with work.
+  double mean_hide_factor = 0.0;     ///< block-averaged latency hiding.
+};
+
+/// Simulates one or more kernels sharing the device. Throws CheckError when
+/// a block cannot launch on this architecture at all. When `trace` is
+/// non-null, one BlockSpan per block is appended (chrome://tracing export
+/// via write_chrome_trace).
+SimStats simulate(const GpuArch& arch, std::span<const LaunchedKernel> kernels,
+                  ExecutionTrace* trace = nullptr);
+
+/// Single kernel at time zero (no host launch overhead included; callers add
+/// arch.kernel_launch_us per launch as appropriate for their baseline).
+SimStats simulate_kernel(const GpuArch& arch, const KernelWork& work,
+                         ExecutionTrace* trace = nullptr);
+
+/// Kernels executed back-to-back in one CUDA stream: each kernel starts after
+/// the previous finishes plus a host launch gap. Models the paper's
+/// "default" execution mode.
+SimStats simulate_serial(const GpuArch& arch,
+                         std::span<const KernelWork> kernels);
+
+/// Concurrent kernel execution over `num_streams` streams: kernel i goes to
+/// stream i % num_streams; streams serialize internally, and the device
+/// interleaves whatever is available. Models the paper's "cke" baseline.
+SimStats simulate_concurrent(const GpuArch& arch,
+                             std::span<const KernelWork> kernels,
+                             int num_streams);
+
+}  // namespace ctb

@@ -1,0 +1,131 @@
+#include "gpusim/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+double tile_ilp_weight(const TileWork& tile) {
+  // 128 FMAs per thread per iteration (e.g. a 4x4 sub-tile over BK=8) is the
+  // reference depth that earns weight 1.0.
+  const double w = tile.fmas_per_thread_iter / 128.0;
+  // Even a 1x1 sub-tile has BK=8 independent FMA chains plus the
+  // double-buffered loads in flight, hence the 0.5 floor.
+  return std::clamp(w, 0.5, 2.0);
+}
+
+BlockCost block_cost(const GpuArch& arch, const BlockWork& block,
+                     const BlockContext& ctx) {
+  CTB_CHECK(ctx.resident_on_sm >= 1);
+  CTB_CHECK(ctx.resident_total >= ctx.resident_on_sm ||
+            ctx.resident_total >= 1);
+
+  BlockCost cost;
+  cost.sched_cycles = arch.block_sched_overhead_cycles;
+
+  if (block.tiles.empty()) {  // bubble block: guard check and exit
+    cost.total_cycles = cost.sched_cycles;
+    return cost;
+  }
+
+  // Compute rate: FP32 lanes on this SM divided among co-resident blocks.
+  // A block is further capped by its warp count: each warp pins to one SM
+  // sub-partition, so a block with W warps can use at most W partitions'
+  // worth of lanes (this is why Table-1's 32/64-thread blocks cannot reach
+  // full SM throughput on their own).
+  const int block_warps =
+      (block.threads + arch.warp_size - 1) / arch.warp_size;
+  const double lanes_per_partition =
+      static_cast<double>(arch.fp32_lanes_per_sm) / arch.sm_subpartitions;
+  const double lanes_share = std::max(
+      1.0, static_cast<double>(arch.fp32_lanes_per_sm) / ctx.resident_on_sm);
+  const double lanes_avail =
+      std::min({lanes_share, static_cast<double>(block.threads),
+                block_warps * lanes_per_partition});
+
+  // Memory rates: DRAM and L2 bandwidth are divided among all resident
+  // blocks, but one SM can burst only so far above its fair share. All
+  // loaded bytes pass through L2; only the unique bytes pay the DRAM rate
+  // (sibling tiles re-read shared A/B bands from L2).
+  const double bw_total = arch.bytes_per_cycle();
+  const double bw_burst_sm = arch.per_sm_burst_bytes_per_cycle();
+  const double bw_block =
+      std::min(bw_burst_sm / ctx.resident_on_sm,
+               bw_total / std::max(1, ctx.resident_total));
+  const double l2_total = arch.l2_bytes_per_cycle();
+  const double l2_burst_sm =
+      arch.per_sm_bw_burst * l2_total / arch.sm_count;
+  const double l2_block =
+      std::min(l2_burst_sm / ctx.resident_on_sm,
+               l2_total / std::max(1, ctx.resident_total));
+
+  // Warps issuing real work in this block round up to warp granularity:
+  // partially-filled warps occupy full SIMD lanes.
+  const int active_warps_block =
+      (block.active_threads + arch.warp_size - 1) / arch.warp_size;
+
+  cost.fill_cycles = arch.mem_latency_cycles;  // once per tile chain
+
+  double mainloop = 0.0;
+  double hide_acc = 0.0;
+  for (const auto& tile : block.tiles) {
+    CTB_CHECK(tile.iters > 0);
+    const double fmas_block_iter =
+        static_cast<double>(tile.fmas_per_thread_iter) * active_warps_block *
+        arch.warp_size;
+    const double fp16_rate =
+        block.fp16 ? arch.fp16_rate_multiplier : 1.0;
+    const double compute_it =
+        fmas_block_iter / (lanes_avail * fp16_rate) / block.code_efficiency;
+    const std::int64_t dram_bytes = tile.dram_bytes_per_iter >= 0
+                                        ? tile.dram_bytes_per_iter
+                                        : tile.bytes_per_iter;
+    const double memory_it =
+        std::max(static_cast<double>(tile.bytes_per_iter) / l2_block,
+                 static_cast<double>(dram_bytes) / bw_block);
+
+    // Latency hiding: resident ILP-weighted warps versus the count needed
+    // for full hiding. Idle threads (MAGMA's uniform-block penalty) inflate
+    // occupancy without contributing warps here, so they buy no hiding.
+    // Phase-serialized (non-double-buffered) kernels cannot overlap their
+    // own loads with their own compute, so only *other* blocks' warps hide.
+    const double ilp = tile_ilp_weight(tile);
+    const double hiding_warps =
+        block.double_buffered
+            ? static_cast<double>(ctx.active_warps_on_sm)
+            : std::max(0, ctx.active_warps_on_sm - active_warps_block);
+    const double hide =
+        std::clamp(hiding_warps * ilp / arch.hide_warps, 0.0, 1.0);
+    hide_acc += hide;
+
+    const double stage = std::max(compute_it, memory_it);
+    const double exposed = std::min(compute_it, memory_it) +
+                           arch.unhidden_latency_fraction *
+                               arch.mem_latency_cycles;
+    const double per_iter = stage + (1.0 - hide) * exposed;
+    mainloop += per_iter * tile.iters;
+
+    // Epilogue: write C back (unique bytes, DRAM bound) plus alpha/beta
+    // flops.
+    cost.epilogue_cycles +=
+        std::max(static_cast<double>(tile.epilogue_bytes) / l2_block,
+                 static_cast<double>(tile.epilogue_bytes) / bw_block) +
+        static_cast<double>(tile.epilogue_flops) / lanes_avail;
+
+    cost.compute_cycles_per_iter = compute_it;
+    cost.memory_cycles_per_iter = memory_it;
+  }
+  cost.mainloop_cycles = mainloop;
+  cost.hide_factor = hide_acc / static_cast<double>(block.tiles.size());
+  cost.switch_cycles = arch.tile_switch_overhead_cycles *
+                       static_cast<double>(block.tiles.size() - 1);
+
+  cost.total_cycles = cost.sched_cycles + cost.fill_cycles +
+                      cost.mainloop_cycles + cost.epilogue_cycles +
+                      cost.switch_cycles;
+  return cost;
+}
+
+}  // namespace ctb

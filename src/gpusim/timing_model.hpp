@@ -1,0 +1,57 @@
+// Analytical per-block timing model.
+//
+// The model follows the cost structure of the double-buffered GEMM kernel in
+// the paper's Fig. 2 / Fig. 7:
+//
+//   block time = sched + Σ_chain [ fill + Σ_iters stage ] + switches + epi
+//
+// where `stage` is the steady-state cost of one K-loop iteration. Under
+// software pipelining the iteration cost is max(compute, memory) when the SM
+// has enough resident, ILP-weighted warps to hide the load latency; as
+// occupancy drops, an increasing fraction of the smaller term plus a slice of
+// the raw memory latency is exposed. `fill` (one load latency) is paid once
+// per tile chain — batching several small-K tiles into one block amortizes it,
+// which is exactly the ILP benefit the paper's batching engine targets.
+//
+// Compute and memory rates are shared resources: FP32 lanes are divided among
+// blocks co-resident on the same SM, and DRAM bandwidth is divided among all
+// resident blocks on the GPU (with a per-SM burst cap so a single resident
+// block cannot monopolize the full device bandwidth).
+#pragma once
+
+#include "gpusim/arch.hpp"
+#include "gpusim/work.hpp"
+
+namespace ctb {
+
+/// Runtime context at block admission time; produced by the SM engine.
+struct BlockContext {
+  int resident_on_sm = 1;      ///< blocks co-resident on this SM (incl. this).
+  int resident_total = 1;      ///< blocks resident across the GPU (incl. this).
+  int active_warps_on_sm = 8;  ///< useful warps resident on this SM.
+};
+
+/// Cost breakdown of one block, in core-clock cycles.
+struct BlockCost {
+  double total_cycles = 0.0;
+  double sched_cycles = 0.0;
+  double fill_cycles = 0.0;
+  double mainloop_cycles = 0.0;
+  double epilogue_cycles = 0.0;
+  double switch_cycles = 0.0;
+  double compute_cycles_per_iter = 0.0;  ///< of the last tile (diagnostic).
+  double memory_cycles_per_iter = 0.0;   ///< of the last tile (diagnostic).
+  double hide_factor = 0.0;              ///< latency hiding achieved, [0,1].
+};
+
+/// Cost of one block in the given context. Empty (bubble) blocks cost only
+/// the scheduling overhead.
+BlockCost block_cost(const GpuArch& arch, const BlockWork& block,
+                     const BlockContext& ctx);
+
+/// ILP weight of a tile: deeper per-thread work (larger sub-tiles) provides
+/// more independent instructions per warp, so fewer warps are needed to hide
+/// latency. Normalized so a 4x4 sub-tile over BK=8 (128 FMAs/iter) ~ 1.0.
+double tile_ilp_weight(const TileWork& tile);
+
+}  // namespace ctb

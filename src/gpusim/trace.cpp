@@ -1,0 +1,22 @@
+#include "gpusim/trace.hpp"
+
+#include <ostream>
+
+namespace ctb {
+
+void write_chrome_trace(std::ostream& os, const ExecutionTrace& trace,
+                        const GpuArch& arch) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+        "\"args\":{\"name\":\""
+     << arch.name << "\"}}";
+  for (const BlockSpan& s : trace.spans) {
+    os << ",\n{\"name\":\"k" << s.kernel << ".b" << s.block
+       << (s.bubble ? " (bubble)" : "") << "\",\"ph\":\"X\",\"pid\":0,"
+       << "\"tid\":" << s.sm << ",\"ts\":" << s.start_us
+       << ",\"dur\":" << (s.end_us - s.start_us) << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace ctb

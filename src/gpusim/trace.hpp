@@ -1,0 +1,40 @@
+// Execution-trace capture and export.
+//
+// The SM engine can record one span per thread block (which SM ran it,
+// when, for how long); write_chrome_trace() emits the spans in the Chrome
+// tracing JSON format, so a simulated kernel's schedule can be inspected in
+// chrome://tracing or Perfetto — SM occupancy gaps, wave boundaries, and
+// the long-block tails of over-deep batching chains are all visible.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "gpusim/arch.hpp"
+
+namespace ctb {
+
+/// One block's execution interval.
+struct BlockSpan {
+  int sm = 0;
+  int kernel = 0;
+  int block = 0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  bool bubble = false;  ///< vbatch padding block.
+};
+
+struct ExecutionTrace {
+  std::vector<BlockSpan> spans;
+
+  void clear() { spans.clear(); }
+  bool empty() const { return spans.empty(); }
+};
+
+/// Writes the trace as Chrome tracing JSON (one complete event per block;
+/// tid = SM index, pid = 0). Timestamps are microseconds as the format
+/// expects.
+void write_chrome_trace(std::ostream& os, const ExecutionTrace& trace,
+                        const GpuArch& arch);
+
+}  // namespace ctb

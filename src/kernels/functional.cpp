@@ -1,0 +1,200 @@
+#include "kernels/functional.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "kernels/thread_map.hpp"
+#include "linalg/half.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+
+// Largest tile is 128x128 with BK=8: shared-memory emulation buffers.
+constexpr int kMaxBy = 128;
+constexpr int kMaxBx = 128;
+constexpr int kMaxBk = 8;
+
+/// Emulated shared memory for one block: the staged A tile (BY x BK) and
+/// B tile (BK x BX), with zero padding past the matrix edges exactly as the
+/// guarded global loads of the real kernel produce.
+struct SharedTiles {
+  float a[kMaxBy * kMaxBk];
+  float b[kMaxBk * kMaxBx];
+
+  void stage(const TilingStrategy& s, const GemmOperands& g, int row0,
+             int col0, int k0) {
+    const auto& d = g.dims;
+    // Logical A(i, k): stored at a[i * K + k] for kN, a[k * M + i] for kT.
+    for (int i = 0; i < s.by; ++i) {
+      for (int p = 0; p < s.bk; ++p) {
+        const int gi = row0 + i;
+        const int gk = k0 + p;
+        float v = 0.0f;
+        if (gi < d.m && gk < d.k) {
+          v = g.op_a == Op::kN
+                  ? g.a[static_cast<std::size_t>(gi) * d.k + gk]
+                  : g.a[static_cast<std::size_t>(gk) * d.m + gi];
+        }
+        if (g.precision == Precision::kFp16) v = round_to_half(v);
+        a[i * s.bk + p] = v;
+      }
+    }
+    // Logical B(k, j): stored at b[k * N + j] for kN, b[j * K + k] for kT,
+    // or computed by the gather for the implicit-GEMM path.
+    for (int p = 0; p < s.bk; ++p) {
+      for (int j = 0; j < s.bx; ++j) {
+        const int gk = k0 + p;
+        const int gj = col0 + j;
+        float v = 0.0f;
+        if (gk < d.k && gj < d.n) {
+          if (g.b_gather) {
+            v = g.b_gather(gk, gj);
+          } else {
+            v = g.op_b == Op::kN
+                    ? g.b[static_cast<std::size_t>(gk) * d.n + gj]
+                    : g.b[static_cast<std::size_t>(gj) * d.k + gk];
+          }
+        }
+        if (g.precision == Precision::kFp16) v = round_to_half(v);
+        b[p * s.bx + j] = v;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void execute_tile(const TilingStrategy& s, const GemmOperands& g, int ty,
+                  int tx, float alpha, float beta) {
+  CTB_CHECK(g.a != nullptr && g.c != nullptr);
+  CTB_CHECK_MSG(g.b != nullptr || g.b_gather,
+                "B operand needs storage or a gather");
+  CTB_CHECK(g.dims.valid());
+  const int row0 = ty * s.by;
+  const int col0 = tx * s.bx;
+  CTB_CHECK_MSG(row0 < g.dims.m && col0 < g.dims.n,
+                "tile (" << ty << "," << tx << ") outside GEMM");
+
+  // Per-thread C accumulators ("reg_C" in Fig. 2), zero-initialized.
+  const int acc_per_thread = s.sub_y * s.sub_x;
+  std::vector<float> reg_c(
+      static_cast<std::size_t>(s.threads) * acc_per_thread, 0.0f);
+
+  static thread_local SharedTiles shared;
+
+  // Main loop along the K dimension in BK steps.
+  for (int k0 = 0; k0 < g.dims.k; k0 += s.bk) {
+    shared.stage(s, g, row0, col0, k0);
+    // All threads of the block consume the staged tiles. Accumulation order
+    // (p innermost) matches the FMA chain of the real kernel.
+    for (int t = 0; t < s.threads; ++t) {
+      const SubTileOrigin o = thread_sub_tile(s, t);
+      float* acc = &reg_c[static_cast<std::size_t>(t) * acc_per_thread];
+      for (int i = 0; i < s.sub_y; ++i) {
+        for (int j = 0; j < s.sub_x; ++j) {
+          float v = acc[i * s.sub_x + j];
+          const float* sa = &shared.a[(o.row + i) * s.bk];
+          const float* sb = &shared.b[o.col + j];
+          for (int p = 0; p < s.bk; ++p) v += sa[p] * sb[p * s.bx];
+          acc[i * s.sub_x + j] = v;
+        }
+      }
+    }
+  }
+
+  // Epilogue: C = alpha * acc + beta * C, guarded against the matrix edge.
+  for (int t = 0; t < s.threads; ++t) {
+    const SubTileOrigin o = thread_sub_tile(s, t);
+    const float* acc = &reg_c[static_cast<std::size_t>(t) * acc_per_thread];
+    for (int i = 0; i < s.sub_y; ++i) {
+      const int gi = row0 + o.row + i;
+      if (gi >= g.dims.m) continue;
+      for (int j = 0; j < s.sub_x; ++j) {
+        const int gj = col0 + o.col + j;
+        if (gj >= g.dims.n) continue;
+        float* cell = &g.c[static_cast<std::size_t>(gi) * g.dims.n + gj];
+        if (g.precision == Precision::kFp16) {
+          const float prior =
+              beta == 0.0f ? 0.0f : beta * round_to_half(*cell);
+          *cell = round_to_half(alpha * acc[i * s.sub_x + j] + prior);
+        } else {
+          const float prior = beta == 0.0f ? 0.0f : beta * *cell;
+          *cell = alpha * acc[i * s.sub_x + j] + prior;
+        }
+      }
+    }
+  }
+}
+
+void run_single_gemm(const TilingStrategy& s, const GemmOperands& g,
+                     float alpha, float beta) {
+  const int ty_count = (g.dims.m + s.by - 1) / s.by;
+  const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
+  for (int ty = 0; ty < ty_count; ++ty)
+    for (int tx = 0; tx < tx_count; ++tx)
+      execute_tile(s, g, ty, tx, alpha, beta);
+}
+
+void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
+                float alpha, float beta) {
+  // Grid X/Y sized by the largest GEMM (paper Fig. 3a); smaller GEMMs leave
+  // bubble blocks, which the guard below skips.
+  int max_ty = 0, max_tx = 0;
+  for (const auto& g : batch) {
+    max_ty = std::max(max_ty, (g.dims.m + s.by - 1) / s.by);
+    max_tx = std::max(max_tx, (g.dims.n + s.bx - 1) / s.bx);
+  }
+  for (std::size_t z = 0; z < batch.size(); ++z) {
+    const auto& g = batch[z];
+    const int ty_count = (g.dims.m + s.by - 1) / s.by;
+    const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
+    for (int ty = 0; ty < max_ty; ++ty) {
+      for (int tx = 0; tx < max_tx; ++tx) {
+        if (ty >= ty_count || tx >= tx_count) continue;  // bubble block
+        execute_tile(s, g, ty, tx, alpha, beta);
+      }
+    }
+  }
+}
+
+void run_batched_plan(const BatchPlan& plan,
+                      std::span<const GemmOperands> batch, float alpha,
+                      float beta) {
+  // Fig. 7: each block walks its tile range from the aux arrays.
+  for (int b = 0; b < plan.num_blocks(); ++b) {
+    const auto [begin, end] = plan.block_tiles(b);
+    for (int t = begin; t < end; ++t) {
+      const int g = plan.gemm_of_tile[static_cast<std::size_t>(t)];
+      CTB_CHECK_MSG(g >= 0 && g < static_cast<int>(batch.size()),
+                    "plan references GEMM " << g << " beyond the batch");
+      const TilingStrategy& s = batched_strategy_by_id(
+          plan.strategy_of_tile[static_cast<std::size_t>(t)]);
+      execute_tile(s, batch[static_cast<std::size_t>(g)],
+                   plan.y_coord[static_cast<std::size_t>(t)],
+                   plan.x_coord[static_cast<std::size_t>(t)], alpha, beta);
+    }
+  }
+}
+
+GemmOperands operands(const Matrixf& a, const Matrixf& b, Matrixf& c) {
+  return operands(a, b, c, Op::kN, Op::kN);
+}
+
+GemmOperands operands(const Matrixf& a, const Matrixf& b, Matrixf& c,
+                      Op op_a, Op op_b) {
+  GemmOperands g;
+  g.dims = gemm_dims_for(op_a, op_b, a, b);
+  CTB_CHECK_MSG(static_cast<int>(c.rows()) == g.dims.m &&
+                    static_cast<int>(c.cols()) == g.dims.n,
+                "operand shape mismatch");
+  g.a = a.data();
+  g.b = b.data();
+  g.c = c.data();
+  g.op_a = op_a;
+  g.op_b = op_b;
+  return g;
+}
+
+}  // namespace ctb

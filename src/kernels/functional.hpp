@@ -1,0 +1,81 @@
+// Functional executors for the simulated device kernels.
+//
+// These run the exact code skeletons of the paper on the CPU, thread block
+// by thread block: the single-GEMM kernel of Fig. 2 (shared-memory staged
+// A/B tiles, per-thread register sub-tiles, K-loop in BK steps), the MAGMA
+// vbatch kernel (gridDim.z slices with bubble-block guards), and the
+// persistent-threads batched kernel of Fig. 7 driven by the five auxiliary
+// arrays. Double buffering changes only timing, not values, so the
+// functional path uses single buffers; the timing model accounts for the
+// pipeline.
+//
+// All results are bit-exact across executors for a given strategy because
+// every executor accumulates in the same (k0, p) order.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/batch_plan.hpp"
+#include "core/tiling_strategy.hpp"
+#include "linalg/gemm_ref.hpp"
+
+namespace ctb {
+
+/// One GEMM's operands on the simulated device. The logical problem is
+/// C(MxN) = alpha * op(A)(MxK) * op(B)(KxN) + beta * C; all storage is
+/// row-major with leading dimension == stored column count. With Op::kT an
+/// operand is stored transposed (A storage KxM, B storage NxK), and the
+/// kernel's staging loads transpose on the fly — exactly what the guarded
+/// global->shared copies of a real NT/TN kernel do.
+struct GemmOperands {
+  const float* a = nullptr;
+  const float* b = nullptr;
+  float* c = nullptr;
+  GemmDims dims;
+  Op op_a = Op::kN;
+  Op op_b = Op::kN;
+  /// kFp16 emulates the tensor-core path: staged A/B values round through
+  /// binary16, accumulation stays FP32, and the epilogue rounds C to
+  /// binary16 (storage remains float arrays holding half-exact values).
+  Precision precision = Precision::kFp32;
+  /// Optional gather for logical B(k, j). When set, `b` may be null and the
+  /// staging loads call the gather instead of reading memory — this is the
+  /// implicit-GEMM convolution path (the real kernel computes the input
+  /// address from (k, j) instead of reading a materialized im2col matrix).
+  std::function<float(int k, int j)> b_gather;
+};
+
+/// Executes one C tile (ty, tx) of `g` under `strategy`: stages A/B tiles
+/// through an emulated shared memory, accumulates per-thread register
+/// sub-tiles over the K loop, and applies the alpha/beta epilogue with
+/// boundary guards.
+void execute_tile(const TilingStrategy& strategy, const GemmOperands& g,
+                  int ty, int tx, float alpha, float beta);
+
+/// Fig. 2: classic one-tile-per-block single GEMM.
+void run_single_gemm(const TilingStrategy& strategy, const GemmOperands& g,
+                     float alpha, float beta);
+
+/// MAGMA vbatch: one uniform strategy, grid sized by the largest GEMM's tile
+/// count, gridDim.z = batch; out-of-range (bubble) blocks return immediately.
+void run_vbatch(const TilingStrategy& strategy,
+                std::span<const GemmOperands> batch, float alpha, float beta);
+
+/// Fig. 7: persistent-threads batched kernel driven by the plan's aux
+/// arrays. `batch` is indexed by the plan's GEMM ids.
+void run_batched_plan(const BatchPlan& plan,
+                      std::span<const GemmOperands> batch, float alpha,
+                      float beta);
+
+/// Convenience: wraps host matrices as device operands (they share storage
+/// in the simulator). Shapes are validated.
+GemmOperands operands(const Matrixf& a, const Matrixf& b, Matrixf& c);
+
+/// Transpose-aware variant: logical dims are derived from the stored shapes
+/// and the ops (e.g. op_a == kT means `a` stores K x M).
+GemmOperands operands(const Matrixf& a, const Matrixf& b, Matrixf& c,
+                      Op op_a, Op op_b);
+
+}  // namespace ctb

@@ -1,0 +1,81 @@
+#include "linalg/half.hpp"
+
+namespace ctb {
+
+std::uint16_t float_to_half_bits(float value) noexcept {
+  std::uint32_t f;
+  std::memcpy(&f, &value, sizeof(f));
+
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t exp = (f >> 23) & 0xFFu;
+  std::uint32_t mant = f & 0x7FFFFFu;
+
+  if (exp == 0xFF) {  // Inf or NaN
+    // Preserve NaN-ness (set a mantissa bit so NaN does not become Inf).
+    const std::uint32_t nan_bit = mant != 0 ? 0x200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | nan_bit |
+                                      (mant >> 13));
+  }
+
+  // Unbiased exponent; half bias is 15, float bias is 127.
+  const int e = static_cast<int>(exp) - 127 + 15;
+
+  if (e >= 0x1F) {  // overflow -> Inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  if (e <= 0) {
+    // Subnormal half (or zero). The implicit leading 1 becomes explicit.
+    if (e < -10) return static_cast<std::uint16_t>(sign);  // too small: 0
+    mant |= 0x800000u;  // implicit bit
+    const int shift = 14 - e;  // 14..24
+    const std::uint32_t sub = mant >> shift;
+    // Round to nearest even on the dropped bits.
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t rounded = sub;
+    if (rem > halfway || (rem == halfway && (sub & 1u))) ++rounded;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+
+  // Normal half: keep 10 mantissa bits, round to nearest even on the 13
+  // dropped bits.
+  std::uint32_t h = sign | (static_cast<std::uint32_t>(e) << 10) |
+                    (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;  // may carry: OK
+  return static_cast<std::uint16_t>(h);
+}
+
+float half_bits_to_float(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(bits) & 0x8000u)
+                             << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mant = bits & 0x3FFu;
+
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1F) {
+    f = sign | 0x7F800000u | (mant << 13);  // Inf / NaN
+  } else {
+    f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+}  // namespace ctb

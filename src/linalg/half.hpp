@@ -1,0 +1,55 @@
+// IEEE 754 binary16 ("half") implemented from scratch on uint16 storage.
+//
+// The paper's evaluation is FP32, but its introduction motivates Volta's
+// FP16/Tensor-Core GEMM path; the library supports FP16 batched GEMM with
+// tensor-core-style semantics (FP16 operands, FP32 accumulation). This
+// header provides the storage type and the float conversions the functional
+// executor uses to emulate that numerically.
+//
+// Conversions implement round-to-nearest-even, gradual underflow to
+// subnormals, and Inf/NaN propagation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace ctb {
+
+/// Converts a float to binary16 bits (round to nearest even).
+std::uint16_t float_to_half_bits(float value) noexcept;
+
+/// Converts binary16 bits to float (exact).
+float half_bits_to_float(std::uint16_t bits) noexcept;
+
+/// Minimal half-precision value type. Arithmetic happens in float; this
+/// type only stores and converts (exactly how GPU FP16 storage behaves
+/// around an FP32 accumulator).
+class half_t {
+ public:
+  half_t() = default;
+  explicit half_t(float value) noexcept
+      : bits_(float_to_half_bits(value)) {}
+
+  static half_t from_bits(std::uint16_t bits) noexcept {
+    half_t h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  float to_float() const noexcept { return half_bits_to_float(bits_); }
+  explicit operator float() const noexcept { return to_float(); }
+  std::uint16_t bits() const noexcept { return bits_; }
+
+  bool operator==(const half_t& other) const = default;
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Rounds a float through fp16 storage precision and back — the value a
+/// tensor-core input register would hold.
+inline float round_to_half(float value) noexcept {
+  return half_bits_to_float(float_to_half_bits(value));
+}
+
+}  // namespace ctb

@@ -1,0 +1,39 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace ctb {
+
+void fill_random(Matrixf& m, Rng& rng, float lo, float hi) {
+  for (float& x : m.flat()) x = rng.uniform_float(lo, hi);
+}
+
+void fill_pattern(Matrixf& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      m(i, j) = 0.001f * static_cast<float>(i) +
+                0.0001f * static_cast<float>(j) + 1.0f;
+}
+
+float max_abs_diff(const Matrixf& a, const Matrixf& b) {
+  CTB_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  float worst = 0.0f;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    worst = std::max(worst, std::fabs(fa[i] - fb[i]));
+  return worst;
+}
+
+bool allclose(const Matrixf& a, const Matrixf& b, float rtol, float atol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    if (std::fabs(fa[i] - fb[i]) > atol + rtol * std::fabs(fb[i]))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace ctb

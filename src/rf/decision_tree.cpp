@@ -1,0 +1,212 @@
+#include "rf/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+void Dataset::add(std::vector<double> features, int label) {
+  if (samples.empty() && num_features == 0)
+    num_features = static_cast<int>(features.size());
+  CTB_CHECK_MSG(static_cast<int>(features.size()) == num_features,
+                "feature count mismatch");
+  CTB_CHECK_MSG(label >= 0, "labels must be non-negative");
+  num_classes = std::max(num_classes, label + 1);
+  samples.push_back(Sample{std::move(features), label});
+}
+
+namespace {
+
+double gini(std::span<const std::size_t> counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::train(const Dataset& data,
+                         std::span<const std::size_t> indices,
+                         const TreeParams& params, Rng& rng) {
+  CTB_CHECK(!indices.empty());
+  CTB_CHECK(data.num_classes >= 2);
+  nodes_.clear();
+  num_classes_ = data.num_classes;
+  importance_.assign(static_cast<std::size_t>(data.num_features), 0.0);
+  std::vector<std::size_t> work(indices.begin(), indices.end());
+  build(data, work, 0, work.size(), 0, params, rng);
+}
+
+int DecisionTree::build(const Dataset& data,
+                        std::vector<std::size_t>& indices, std::size_t begin,
+                        std::size_t end, int depth, const TreeParams& params,
+                        Rng& rng) {
+  CTB_CHECK(begin < end);
+  const std::size_t n = end - begin;
+
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes_), 0);
+  for (std::size_t i = begin; i < end; ++i)
+    ++counts[static_cast<std::size_t>(data.samples[indices[i]].label)];
+  const double node_gini = gini(counts, n);
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.probs.resize(static_cast<std::size_t>(num_classes_));
+    for (int c = 0; c < num_classes_; ++c)
+      leaf.probs[static_cast<std::size_t>(c)] =
+          static_cast<double>(counts[static_cast<std::size_t>(c)]) /
+          static_cast<double>(n);
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size()) - 1;
+  };
+
+  if (depth >= params.max_depth || node_gini == 0.0 ||
+      n < 2 * static_cast<std::size_t>(params.min_samples_leaf))
+    return make_leaf();
+
+  // Candidate features: a random subset of size mtry.
+  int mtry = params.features_per_split;
+  if (mtry <= 0)
+    mtry = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(data.num_features))));
+  mtry = std::min(mtry, data.num_features);
+  std::vector<int> features(static_cast<std::size_t>(data.num_features));
+  for (int f = 0; f < data.num_features; ++f)
+    features[static_cast<std::size_t>(f)] = f;
+  rng.shuffle(features);
+  features.resize(static_cast<std::size_t>(mtry));
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_impurity = node_gini;
+
+  std::vector<std::size_t> left_counts(
+      static_cast<std::size_t>(num_classes_));
+  for (int f : features) {
+    // Sort this node's slice by the candidate feature.
+    std::sort(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+              indices.begin() + static_cast<std::ptrdiff_t>(end),
+              [&](std::size_t a, std::size_t b) {
+                return data.samples[a].features[static_cast<std::size_t>(f)] <
+                       data.samples[b].features[static_cast<std::size_t>(f)];
+              });
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+      const auto& cur = data.samples[indices[i]];
+      ++left_counts[static_cast<std::size_t>(cur.label)];
+      const double v = cur.features[static_cast<std::size_t>(f)];
+      const double next =
+          data.samples[indices[i + 1]].features[static_cast<std::size_t>(f)];
+      if (v == next) continue;  // no split between equal values
+      const std::size_t nl = i - begin + 1;
+      const std::size_t nr = n - nl;
+      if (nl < static_cast<std::size_t>(params.min_samples_leaf) ||
+          nr < static_cast<std::size_t>(params.min_samples_leaf))
+        continue;
+      std::vector<std::size_t> right_counts(counts);
+      for (int c = 0; c < num_classes_; ++c)
+        right_counts[static_cast<std::size_t>(c)] -=
+            left_counts[static_cast<std::size_t>(c)];
+      const double impurity =
+          (gini(left_counts, nl) * static_cast<double>(nl) +
+           gini(right_counts, nr) * static_cast<double>(nr)) /
+          static_cast<double>(n);
+      if (impurity + 1e-12 < best_impurity) {
+        best_impurity = impurity;
+        best_feature = f;
+        best_threshold = (v + next) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Mean-decrease-in-impurity bookkeeping for feature importance.
+  importance_[static_cast<std::size_t>(best_feature)] +=
+      static_cast<double>(n) * (node_gini - best_impurity);
+
+  // Partition around the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t a) {
+        return data.samples[a]
+                   .features[static_cast<std::size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  CTB_CHECK(mid > begin && mid < end);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const int left = build(data, indices, begin, mid, depth + 1, params, rng);
+  const int right = build(data, indices, mid, end, depth + 1, params, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> features) const {
+  CTB_CHECK_MSG(trained(), "tree not trained");
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    const double v = features[static_cast<std::size_t>(nd.feature)];
+    node = v <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].probs;
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  const auto probs = predict_proba(features);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+int DecisionTree::depth() const { return trained() ? depth_below(0) : 0; }
+
+int DecisionTree::depth_below(int node) const {
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  if (nd.feature < 0) return 1;
+  return 1 + std::max(depth_below(nd.left), depth_below(nd.right));
+}
+
+void DecisionTree::save(std::ostream& os) const {
+  os << nodes_.size() << '\n';
+  for (const Node& nd : nodes_) {
+    os << nd.feature << ' ' << nd.threshold << ' ' << nd.left << ' '
+       << nd.right;
+    os << ' ' << nd.probs.size();
+    for (double p : nd.probs) os << ' ' << p;
+    os << '\n';
+  }
+}
+
+void DecisionTree::load(std::istream& is, int num_classes) {
+  std::size_t count = 0;
+  is >> count;
+  CTB_CHECK_MSG(is.good(), "corrupt tree stream");
+  nodes_.assign(count, Node{});
+  num_classes_ = num_classes;
+  for (Node& nd : nodes_) {
+    std::size_t np = 0;
+    is >> nd.feature >> nd.threshold >> nd.left >> nd.right >> np;
+    nd.probs.resize(np);
+    for (double& p : nd.probs) is >> p;
+    CTB_CHECK_MSG(!is.fail(), "corrupt tree stream");
+  }
+}
+
+}  // namespace ctb

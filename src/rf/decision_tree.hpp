@@ -1,0 +1,84 @@
+// CART decision tree for classification, built from scratch (the paper's
+// online batching policy is a random forest; no ML library is assumed).
+// Trees split on gini impurity, support feature subsampling per node for
+// forest de-correlation, and store class probability vectors at leaves.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ctb {
+
+/// A labelled training sample.
+struct Sample {
+  std::vector<double> features;
+  int label = 0;
+};
+
+/// Training set. All samples must share feature count; labels must be in
+/// [0, num_classes).
+struct Dataset {
+  std::vector<Sample> samples;
+  int num_features = 0;
+  int num_classes = 0;
+
+  void add(std::vector<double> features, int label);
+};
+
+struct TreeParams {
+  int max_depth = 8;
+  int min_samples_leaf = 2;
+  /// Features considered per split; 0 means ceil(sqrt(num_features)).
+  int features_per_split = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fits the tree on the subset of `data` given by `indices`.
+  void train(const Dataset& data, std::span<const std::size_t> indices,
+             const TreeParams& params, Rng& rng);
+
+  /// Class probability vector for a feature vector.
+  std::vector<double> predict_proba(std::span<const double> features) const;
+
+  /// argmax of predict_proba.
+  int predict(std::span<const double> features) const;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+  bool trained() const { return !nodes_.empty(); }
+
+  /// Per-feature total gini decrease accumulated during training (mean
+  /// decrease in impurity, unnormalized). Empty before training.
+  const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+
+  /// Text serialization: one node per line.
+  void save(std::ostream& os) const;
+  void load(std::istream& is, int num_classes);
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 for leaves.
+    double threshold = 0.0; ///< go left when x[feature] <= threshold.
+    int left = -1;
+    int right = -1;
+    std::vector<double> probs;  ///< class distribution (leaves only).
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& indices,
+            std::size_t begin, std::size_t end, int depth,
+            const TreeParams& params, Rng& rng);
+  int depth_below(int node) const;
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  int num_classes_ = 0;
+};
+
+}  // namespace ctb

@@ -1,0 +1,115 @@
+#include "rf/random_forest.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+void RandomForest::train(const Dataset& data, const ForestParams& params,
+                         Rng& rng) {
+  CTB_CHECK_MSG(!data.samples.empty(), "empty training set");
+  CTB_CHECK(params.num_trees >= 1);
+  CTB_CHECK(params.bootstrap_fraction > 0.0 &&
+            params.bootstrap_fraction <= 1.0);
+  trees_.assign(static_cast<std::size_t>(params.num_trees), DecisionTree{});
+  num_classes_ = data.num_classes;
+
+  const std::size_t bag_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params.bootstrap_fraction *
+                                  static_cast<double>(data.samples.size())));
+  // Out-of-bag vote tally: votes[sample][class].
+  std::vector<std::vector<double>> oob_votes(
+      data.samples.size(),
+      std::vector<double>(static_cast<std::size_t>(num_classes_), 0.0));
+  std::vector<bool> in_bag(data.samples.size());
+  for (auto& tree : trees_) {
+    std::fill(in_bag.begin(), in_bag.end(), false);
+    std::vector<std::size_t> bag(bag_size);
+    for (auto& idx : bag) {
+      idx = rng.pick_index(data.samples.size());
+      in_bag[idx] = true;
+    }
+    tree.train(data, bag, params.tree, rng);
+    for (std::size_t s = 0; s < data.samples.size(); ++s) {
+      if (in_bag[s]) continue;
+      const auto p = tree.predict_proba(data.samples[s].features);
+      for (std::size_t c = 0; c < p.size(); ++c) oob_votes[s][c] += p[c];
+    }
+  }
+  std::size_t scored = 0, correct = 0;
+  for (std::size_t s = 0; s < data.samples.size(); ++s) {
+    double total = 0.0;
+    for (double v : oob_votes[s]) total += v;
+    if (total == 0.0) continue;  // sample was in every bag
+    ++scored;
+    const int pred = static_cast<int>(
+        std::max_element(oob_votes[s].begin(), oob_votes[s].end()) -
+        oob_votes[s].begin());
+    correct += pred == data.samples[s].label ? 1 : 0;
+  }
+  oob_accuracy_ = scored > 0
+                      ? static_cast<double>(correct) /
+                            static_cast<double>(scored)
+                      : -1.0;
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  CTB_CHECK_MSG(trained(), "forest not trained");
+  std::vector<double> acc;
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.feature_importance();
+    if (acc.empty()) acc.assign(imp.size(), 0.0);
+    for (std::size_t f = 0; f < imp.size(); ++f) acc[f] += imp[f];
+  }
+  double total = 0.0;
+  for (double v : acc) total += v;
+  if (total > 0.0)
+    for (double& v : acc) v /= total;
+  return acc;
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> features) const {
+  CTB_CHECK_MSG(trained(), "forest not trained");
+  std::vector<double> acc(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto p = tree.predict_proba(features);
+    for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+  }
+  for (double& p : acc) p /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+int RandomForest::predict(std::span<const double> features) const {
+  const auto probs = predict_proba(features);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+double RandomForest::accuracy(const Dataset& data) const {
+  CTB_CHECK(!data.samples.empty());
+  std::size_t correct = 0;
+  for (const auto& s : data.samples)
+    if (predict(s.features) == s.label) ++correct;
+  return static_cast<double>(correct) /
+         static_cast<double>(data.samples.size());
+}
+
+void RandomForest::save(std::ostream& os) const {
+  os << trees_.size() << ' ' << num_classes_ << '\n';
+  for (const auto& tree : trees_) tree.save(os);
+}
+
+void RandomForest::load(std::istream& is) {
+  std::size_t count = 0;
+  is >> count >> num_classes_;
+  CTB_CHECK_MSG(is.good() && count > 0 && num_classes_ >= 2,
+                "corrupt forest stream");
+  trees_.assign(count, DecisionTree{});
+  for (auto& tree : trees_) tree.load(is, num_classes_);
+}
+
+}  // namespace ctb

@@ -1,0 +1,57 @@
+// Random forest classifier: bootstrap-aggregated CART trees with per-node
+// feature subsampling. The paper's online batching policy sums leaf
+// probability vectors across trees and picks the argmax (Section 5).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "rf/decision_tree.hpp"
+
+namespace ctb {
+
+struct ForestParams {
+  int num_trees = 32;
+  TreeParams tree;
+  /// Bootstrap sample fraction per tree (with replacement).
+  double bootstrap_fraction = 1.0;
+};
+
+class RandomForest {
+ public:
+  /// Fits the forest; deterministic given the RNG seed.
+  void train(const Dataset& data, const ForestParams& params, Rng& rng);
+
+  /// Mean class-probability vector over all trees.
+  std::vector<double> predict_proba(std::span<const double> features) const;
+
+  /// argmax class.
+  int predict(std::span<const double> features) const;
+
+  /// Fraction of `data` classified correctly.
+  double accuracy(const Dataset& data) const;
+
+  /// Out-of-bag accuracy estimated during train(): each sample is scored
+  /// only by the trees whose bootstrap bag excluded it. NaN-free: samples
+  /// that every tree saw are skipped. Returns -1 before training.
+  double oob_accuracy() const { return oob_accuracy_; }
+
+  /// Mean decrease in impurity per feature, normalized to sum to 1
+  /// (all-zero if no split ever used any feature).
+  std::vector<double> feature_importance() const;
+
+  int tree_count() const { return static_cast<int>(trees_.size()); }
+  int num_classes() const { return num_classes_; }
+  bool trained() const { return !trees_.empty(); }
+
+  /// Text serialization (portable across runs).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+  double oob_accuracy_ = -1.0;
+};
+
+}  // namespace ctb

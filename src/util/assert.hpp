@@ -1,0 +1,58 @@
+// Lightweight runtime checking macros used across the library.
+//
+// CTB_CHECK(cond)        - always-on invariant check; throws ctb::CheckError.
+// CTB_CHECK_MSG(cond, m) - same, with a caller-supplied message streamed in.
+// CTB_DCHECK(cond)       - debug-only check, compiled out in NDEBUG builds.
+//
+// The library throws rather than aborts so tests can assert on failure paths
+// (gtest EXPECT_THROW) and callers can recover from invalid plans.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ctb {
+
+/// Exception thrown by CTB_CHECK failures. Carries file/line context.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace ctb
+
+#define CTB_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::ctb::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define CTB_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream ctb_check_os_;                              \
+      ctb_check_os_ << msg;                                          \
+      ::ctb::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                  ctb_check_os_.str());              \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define CTB_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define CTB_DCHECK(cond) CTB_CHECK(cond)
+#endif

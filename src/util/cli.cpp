@@ -1,0 +1,88 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+void CliFlags::define(const std::string& name,
+                      const std::string& default_value,
+                      const std::string& help) {
+  CTB_CHECK_MSG(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{default_value, help};
+}
+
+std::vector<std::string> CliFlags::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    CTB_CHECK_MSG(it != flags_.end(), "unknown flag --" << name);
+    if (!has_value) {
+      // Bare boolean flags may omit the value ("--verbose").
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return positional;
+}
+
+std::string CliFlags::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  CTB_CHECK_MSG(it != flags_.end(), "undefined flag --" << name);
+  return it->second.value;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const std::int64_t r = std::stoll(v, &pos);
+  CTB_CHECK_MSG(pos == v.size(), "flag --" << name << " is not an int: " << v);
+  return r;
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const double r = std::stod(v, &pos);
+  CTB_CHECK_MSG(pos == v.size(),
+                "flag --" << name << " is not a number: " << v);
+  return r;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  CTB_CHECK_MSG(false, "flag --" << name << " is not a bool: " << v);
+  return false;  // unreachable
+}
+
+std::string CliFlags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.value << ")  " << flag.help
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ctb

@@ -1,0 +1,40 @@
+// Minimal command-line flag parser for example binaries and bench harnesses.
+// Supports "--name value" and "--name=value"; unknown flags are an error so
+// typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ctb {
+
+class CliFlags {
+ public:
+  /// Registers a flag with a default value and help text. Must be called
+  /// before parse().
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv. Throws CheckError on unknown flags or missing values.
+  /// Returns positional (non-flag) arguments in order.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// One-line-per-flag usage text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace ctb

@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace ctb {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void init_log_level_from_env() {
+  const char* env = std::getenv("CTB_LOG_LEVEL");
+  if (env == nullptr) return;
+  const std::string v = env;
+  if (v == "debug") set_log_level(LogLevel::kDebug);
+  else if (v == "info") set_log_level(LogLevel::kInfo);
+  else if (v == "warn") set_log_level(LogLevel::kWarn);
+  else if (v == "error") set_log_level(LogLevel::kError);
+  else if (v == "off") set_log_level(LogLevel::kOff);
+}
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::cerr << "[ctb " << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace ctb

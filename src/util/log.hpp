@@ -1,0 +1,38 @@
+// Leveled logging to stderr. Benches run quiet by default; set
+// ctb::set_log_level(LogLevel::kDebug) or CTB_LOG_LEVEL=debug to trace the
+// planner's decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ctb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Reads CTB_LOG_LEVEL from the environment once ("debug"/"info"/...).
+void init_log_level_from_env();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace ctb
+
+#define CTB_LOG(level, msg)                                      \
+  do {                                                           \
+    if (static_cast<int>(level) >=                               \
+        static_cast<int>(::ctb::log_level())) {                  \
+      std::ostringstream ctb_log_os_;                            \
+      ctb_log_os_ << msg;                                        \
+      ::ctb::detail::log_line(level, ctb_log_os_.str());         \
+    }                                                            \
+  } while (0)
+
+#define CTB_DEBUG(msg) CTB_LOG(::ctb::LogLevel::kDebug, msg)
+#define CTB_INFO(msg) CTB_LOG(::ctb::LogLevel::kInfo, msg)
+#define CTB_WARN(msg) CTB_LOG(::ctb::LogLevel::kWarn, msg)
+#define CTB_ERROR(msg) CTB_LOG(::ctb::LogLevel::kError, msg)

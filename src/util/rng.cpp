@@ -1,0 +1,83 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  CTB_DCHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % span);
+  std::uint64_t r;
+  do {
+    r = next();
+  } while (r >= limit && limit != 0);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform_float(float lo, float hi) noexcept {
+  return lo + static_cast<float>(uniform()) * (hi - lo);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::int64_t Rng::log_uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  CTB_DCHECK(lo >= 1 && lo <= hi);
+  const double llo = std::log(static_cast<double>(lo));
+  const double lhi = std::log(static_cast<double>(hi) + 1.0);
+  const double v = std::exp(llo + uniform() * (lhi - llo));
+  auto r = static_cast<std::int64_t>(v);
+  if (r < lo) r = lo;
+  if (r > hi) r = hi;
+  return r;
+}
+
+std::size_t Rng::pick_index(std::size_t n) noexcept {
+  CTB_DCHECK(n > 0);
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Rng Rng::split() noexcept { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
+
+}  // namespace ctb

@@ -1,0 +1,70 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic behaviour in the library (workload generation, random-forest
+// bootstrap, matrix fills) flows through Rng so that every test and benchmark
+// is reproducible from a single seed. The generator is xoshiro256**, seeded
+// through splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ctb {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface so Rng works with <random> and
+  // std::shuffle.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform float in [lo, hi).
+  float uniform_float(float lo, float hi) noexcept;
+
+  /// True with probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Log-uniform integer in [lo, hi]: uniform over magnitudes, which matches
+  /// how GEMM sizes are distributed in the paper's random sweeps.
+  std::int64_t log_uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Pick one index in [0, n) uniformly. Requires n > 0.
+  std::size_t pick_index(std::size_t n) noexcept;
+
+  /// A fresh generator whose seed is derived from this one; use to hand
+  /// independent streams to sub-components.
+  Rng split() noexcept;
+
+  /// Fisher-Yates shuffle of a vector (deterministic given the Rng state).
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = pick_index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ctb

@@ -1,0 +1,84 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    CTB_CHECK_MSG(x > 0.0, "geomean requires positive samples, got " << x);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) {
+  CTB_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  CTB_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  CTB_CHECK(!xs.empty());
+  CTB_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.geomean = geomean(xs);
+  s.stddev = stddev(xs);
+  s.min = min_of(xs);
+  s.p25 = percentile(xs, 25.0);
+  s.median = percentile(xs, 50.0);
+  s.p75 = percentile(xs, 75.0);
+  s.max = max_of(xs);
+  return s;
+}
+
+std::string to_string(const Summary& s) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "n=" << s.count << " mean=" << s.mean << " geomean=" << s.geomean
+     << " sd=" << s.stddev << " min=" << s.min << " p25=" << s.p25
+     << " p50=" << s.median << " p75=" << s.p75 << " max=" << s.max;
+  return os.str();
+}
+
+}  // namespace ctb

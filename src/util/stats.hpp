@@ -1,0 +1,45 @@
+// Small statistics helpers used by benchmark harnesses and the random-forest
+// trainer: mean, geometric mean (the paper reports geomean speedups),
+// standard deviation, and percentiles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ctb {
+
+double mean(std::span<const double> xs);
+
+/// Geometric mean; requires every element > 0.
+double geomean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Five-number-style summary of a sample, for printing in bench output.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double geomean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// "n=100 mean=1.40 geomean=1.38 min=0.98 p50=1.35 max=2.10" style line.
+std::string to_string(const Summary& s);
+
+}  // namespace ctb

@@ -1,0 +1,78 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ctb {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::fmt(long long v) { return std::to_string(v); }
+std::string TextTable::fmt(int v) { return std::to_string(v); }
+
+void TextTable::print(std::ostream& os, int indent) const {
+  // Compute column widths over the header and all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      width[c] = std::max(width[c], cells[c].size());
+  };
+  account(header_);
+  for (const auto& r : rows_) account(r);
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << pad;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    os << pad << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TextTable::to_string(int indent) const {
+  std::ostringstream os;
+  print(os, indent);
+  return os.str();
+}
+
+std::string ascii_bar(double value, int baseline_chars, int max_chars) {
+  int n = static_cast<int>(value * baseline_chars + 0.5);
+  if (n < 0) n = 0;
+  if (n > max_chars) n = max_chars;
+  std::string bar(static_cast<std::size_t>(n), '#');
+  if (static_cast<int>(value * baseline_chars + 0.5) > max_chars) bar += '+';
+  return bar;
+}
+
+void TextTable::clear() {
+  header_.clear();
+  rows_.clear();
+}
+
+}  // namespace ctb

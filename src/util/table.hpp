@@ -1,0 +1,46 @@
+// Fixed-width ASCII table printer for benchmark harness output. Benches
+// reproduce the paper's tables/figures as text tables, so readable aligned
+// output matters.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ctb {
+
+/// Column-aligned text table. Add a header once, then rows; width of each
+/// column is computed from content when printed.
+class TextTable {
+ public:
+  /// Sets the header row. Clears nothing else; call before print().
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; rows may have fewer cells than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(long long v);
+  static std::string fmt(int v);
+
+  /// Renders the table. `indent` spaces prefix every line.
+  void print(std::ostream& os, int indent = 0) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string(int indent = 0) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  void clear();
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-width ASCII bar for histogram-style bench output: value 1.0 maps
+/// to `baseline_chars` characters; capped at `max_chars`.
+std::string ascii_bar(double value, int baseline_chars = 10,
+                      int max_chars = 40);
+
+}  // namespace ctb

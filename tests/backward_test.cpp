@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "dnn/backward.hpp"
+#include "dnn/im2col.hpp"
+
+namespace ctb {
+namespace {
+
+ConvShape mk_conv(int in_c, int out_c, int kernel, int stride, int pad,
+                  int hw) {
+  ConvShape s;
+  s.name = "bwd-test";
+  s.in_c = in_c;
+  s.out_c = out_c;
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  s.in_h = hw;
+  s.in_w = hw;
+  return s;
+}
+
+TEST(BackwardDims, WgradAndDgradShapes) {
+  const ConvShape s = mk_conv(16, 32, 3, 1, 1, 14);
+  const GemmDims w = wgrad_gemm_dims(s, 4);
+  EXPECT_EQ(w.m, 32);
+  EXPECT_EQ(w.n, 16 * 9);
+  EXPECT_EQ(w.k, 14 * 14 * 4);
+  const GemmDims d = dgrad_gemm_dims(s, 4);
+  EXPECT_EQ(d.m, 16 * 9);
+  EXPECT_EQ(d.n, 14 * 14 * 4);
+  EXPECT_EQ(d.k, 32);
+}
+
+TEST(FlattenOutputGrad, InverseOfCol2ImOutput) {
+  const ConvShape s = mk_conv(2, 3, 1, 1, 0, 4);
+  Matrixf gemm_out(3, 4 * 4 * 2);
+  fill_pattern(gemm_out);
+  const Tensor4 y = col2im_output(s, 2, gemm_out);
+  const Matrixf back = flatten_output_grad(s, y);
+  EXPECT_EQ(max_abs_diff(gemm_out, back), 0.0f);
+}
+
+TEST(Col2ImScatter, AdjointOfIm2col) {
+  // <im2col(x), g> == <x, col2im_scatter(g)> for random x, g — the
+  // defining property of the adjoint.
+  const ConvShape s = mk_conv(3, 2, 3, 2, 1, 7);
+  Rng rng(31);
+  Tensor4 x(2, 3, 7, 7);
+  fill_random(x, rng);
+  const Matrixf cols = im2col(s, x);
+  Matrixf g(cols.rows(), cols.cols());
+  fill_random(g, rng);
+
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.rows(); ++i)
+    for (std::size_t j = 0; j < cols.cols(); ++j)
+      lhs += static_cast<double>(cols(i, j)) * g(i, j);
+
+  const Tensor4 scattered = col2im_scatter(s, 2, g);
+  double rhs = 0.0;
+  const auto fx = x.flat();
+  const auto fs = scattered.flat();
+  for (std::size_t i = 0; i < fx.size(); ++i)
+    rhs += static_cast<double>(fx[i]) * fs[i];
+
+  EXPECT_NEAR(lhs, rhs, std::abs(lhs) * 1e-4 + 1e-4);
+}
+
+struct BwdCase {
+  int in_c, out_c, kernel, stride, pad, hw, batch;
+};
+
+class BackwardGemmEquivalence : public ::testing::TestWithParam<BwdCase> {};
+
+TEST_P(BackwardGemmEquivalence, WgradMatchesDirect) {
+  const BwdCase p = GetParam();
+  const ConvShape s =
+      mk_conv(p.in_c, p.out_c, p.kernel, p.stride, p.pad, p.hw);
+  Rng rng(static_cast<std::uint64_t>(p.in_c * 41 + p.kernel));
+  Tensor4 input(p.batch, p.in_c, p.hw, p.hw);
+  Tensor4 dy(p.batch, p.out_c, s.out_h(), s.out_w());
+  fill_random(input, rng);
+  fill_random(dy, rng);
+  const Matrixf gemm_path = conv_backward_weights(s, input, dy);
+  const Matrixf direct = conv_backward_weights_direct(s, input, dy);
+  EXPECT_LT(max_abs_diff(gemm_path, direct), 1e-2f);
+}
+
+TEST_P(BackwardGemmEquivalence, DgradMatchesDirect) {
+  const BwdCase p = GetParam();
+  const ConvShape s =
+      mk_conv(p.in_c, p.out_c, p.kernel, p.stride, p.pad, p.hw);
+  Rng rng(static_cast<std::uint64_t>(p.out_c * 17 + p.hw));
+  Tensor4 dy(p.batch, p.out_c, s.out_h(), s.out_w());
+  fill_random(dy, rng);
+  Matrixf filters(static_cast<std::size_t>(p.out_c),
+                  static_cast<std::size_t>(p.in_c * p.kernel * p.kernel));
+  fill_random(filters, rng);
+  const Tensor4 gemm_path = conv_backward_data(s, filters, dy);
+  const Tensor4 direct = conv_backward_data_direct(s, filters, dy);
+  ASSERT_TRUE(gemm_path.same_shape(direct));
+  EXPECT_LT(max_abs_diff(gemm_path, direct), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BackwardGemmEquivalence,
+    ::testing::Values(BwdCase{1, 1, 1, 1, 0, 4, 1},
+                      BwdCase{3, 8, 3, 1, 1, 8, 2},
+                      BwdCase{4, 6, 5, 1, 2, 9, 1},
+                      BwdCase{2, 4, 3, 2, 1, 12, 2},
+                      BwdCase{8, 3, 1, 1, 0, 6, 3}));
+
+TEST(Backward, MismatchedDyThrows) {
+  const ConvShape s = mk_conv(3, 4, 3, 1, 1, 8);
+  Tensor4 wrong(1, 5, 8, 8);  // wrong channel count
+  EXPECT_THROW(flatten_output_grad(s, wrong), CheckError);
+}
+
+}  // namespace
+}  // namespace ctb

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <algorithm>
+
+#include "core/calibrate.hpp"
+#include "core/exhaustive.hpp"
+#include "core/tiling_engine.hpp"
+#include "gpusim/sm_engine.hpp"
+#include "kernels/work_builder.hpp"
+#include "core/api.hpp"
+
+namespace ctb {
+namespace {
+
+TEST(CalibrateTlp, ProducesMonotonicallyUsableThreshold) {
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  const TlpCalibration cal = calibrate_tlp_threshold(arch);
+  EXPECT_GT(cal.threshold, 0);
+  EXPECT_GE(cal.curve.size(), 4u);
+  // The curve is sorted by TLP ascending.
+  for (std::size_t i = 1; i < cal.curve.size(); ++i)
+    EXPECT_LE(cal.curve[i - 1].tlp, cal.curve[i].tlp);
+  // Low-TLP probes must underperform the plateau (the knee exists).
+  double lo = cal.curve.front().gflops;
+  double hi = 0;
+  for (const auto& p : cal.curve) hi = std::max(hi, p.gflops);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(CalibrateTlp, ThresholdNearPaperValueOnV100) {
+  // The paper picked 65536 on V100; the automated knee should land within
+  // an order of magnitude (the procedure is coarse by construction).
+  const TlpCalibration cal = calibrate_tlp_threshold(gpu_arch(GpuModel::kV100));
+  EXPECT_GE(cal.threshold, 65536 / 8);
+  EXPECT_LE(cal.threshold, 65536 * 8);
+}
+
+TEST(CalibrateTlp, SmallerGpuGetsSmallerOrEqualThreshold) {
+  const TlpCalibration v100 =
+      calibrate_tlp_threshold(gpu_arch(GpuModel::kV100));
+  const TlpCalibration m60 = calibrate_tlp_threshold(gpu_arch(GpuModel::kM60));
+  EXPECT_LE(m60.threshold, v100.threshold * 2);
+}
+
+TEST(CalibrateTheta, CurveAndChoiceSane) {
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  const ThetaCalibration cal = calibrate_theta(arch, 65536);
+  EXPECT_GE(cal.theta, 32);
+  EXPECT_LE(cal.theta, 2048);
+  EXPECT_EQ(cal.curve.size(), 7u);  // 32..2048 in powers of two
+  for (const auto& [theta, us] : cal.curve) EXPECT_GT(us, 0.0);
+}
+
+TEST(CalibrateTheta, PaperValueWithinSweep) {
+  const ThetaCalibration cal =
+      calibrate_theta(gpu_arch(GpuModel::kV100), 65536);
+  // 256 was the paper's value; accept a factor-of-4 band.
+  EXPECT_GE(cal.theta, 32);
+  EXPECT_LE(cal.theta, 1024);
+}
+
+// ----------------------------------------------------------- exhaustive --
+
+TEST(Exhaustive, PartitionCountsAreBellNumbers) {
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  // 1 GEMM of one tile: B(1) = 1 partition.
+  const std::vector<GemmDims> one = {{16, 16, 16}};
+  EXPECT_EQ(exhaustive_batching(arch, one, 65536).partitions, 1);
+  // 3 tiles: B(3) = 5.
+  const std::vector<GemmDims> three(3, GemmDims{16, 16, 16});
+  EXPECT_EQ(exhaustive_batching(arch, three, 65536).partitions, 5);
+  // 4 tiles: B(4) = 15.
+  const std::vector<GemmDims> four(4, GemmDims{16, 16, 16});
+  EXPECT_EQ(exhaustive_batching(arch, four, 65536).partitions, 15);
+}
+
+TEST(Exhaustive, OptimumNeverWorseThanHeuristics) {
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  const std::vector<GemmDims> dims = {
+      {16, 16, 32}, {32, 32, 64}, {16, 32, 512}, {32, 16, 16}};
+  const ExhaustiveResult opt = exhaustive_batching(arch, dims, 65536);
+  EXPECT_NO_THROW(validate_plan(opt.best_plan, dims));
+  for (BatchingPolicy policy :
+       {BatchingPolicy::kThresholdOnly, BatchingPolicy::kBinaryOnly,
+        BatchingPolicy::kTilingOnly}) {
+    PlannerConfig config;
+    config.policy = policy;
+    const BatchedGemmPlanner planner(config);
+    const double heuristic =
+        time_plan(arch, planner.plan(dims).plan, dims).time_us;
+    // Tolerance: the search canonicalizes block order (partitions), while
+    // heuristics may emit another order, which shifts the SM assignment by
+    // a fraction of a percent.
+    EXPECT_GE(heuristic, opt.best_us * 0.99) << to_string(policy);
+  }
+}
+
+TEST(Exhaustive, RefusesExplosiveTileCounts) {
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  const std::vector<GemmDims> big(4, GemmDims{256, 256, 64});
+  EXPECT_THROW(exhaustive_batching(arch, big, 65536, 10), CheckError);
+}
+
+// ---------------------------------------------------------------- trace --
+
+TEST(Trace, RecordsOneSpanPerBlock) {
+  const std::vector<GemmDims> dims(8, GemmDims{64, 64, 64});
+  const BatchedGemmPlanner planner{PlannerConfig{}};
+  const PlanSummary s = planner.plan(dims);
+  const KernelWork work = work_from_plan(s.plan, dims);
+  ExecutionTrace trace;
+  const SimStats stats =
+      simulate_kernel(gpu_arch(GpuModel::kV100), work, &trace);
+  EXPECT_EQ(trace.spans.size(), work.blocks.size());
+  for (const auto& span : trace.spans) {
+    EXPECT_GE(span.sm, 0);
+    EXPECT_LT(span.sm, 80);
+    EXPECT_LT(span.start_us, span.end_us);
+    EXPECT_LE(span.end_us, stats.makespan_us + 1e-9);
+    EXPECT_FALSE(span.bubble);
+  }
+}
+
+TEST(Trace, MarksBubbleBlocks) {
+  const std::vector<GemmDims> dims = {{16, 16, 16}, {128, 128, 16}};
+  const TilingStrategy& s = magma_uniform_strategy(dims);
+  const KernelWork work = work_vbatch(dims, s);
+  ExecutionTrace trace;
+  simulate_kernel(gpu_arch(GpuModel::kV100), work, &trace);
+  int bubbles = 0;
+  for (const auto& span : trace.spans) bubbles += span.bubble ? 1 : 0;
+  EXPECT_GT(bubbles, 0);
+}
+
+TEST(Trace, ChromeJsonWellFormedEnough) {
+  const std::vector<GemmDims> dims(4, GemmDims{32, 32, 32});
+  const BatchedGemmPlanner planner{PlannerConfig{}};
+  const KernelWork work = work_from_plan(planner.plan(dims).plan, dims);
+  ExecutionTrace trace;
+  simulate_kernel(gpu_arch(GpuModel::kV100), work, &trace);
+  std::stringstream ss;
+  write_chrome_trace(ss, trace, gpu_arch(GpuModel::kV100));
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural check).
+  long braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, SameStreamKernelsNeverOverlap) {
+  // CUDA stream semantics through the trace: with both kernels on stream 0,
+  // every span of kernel 1 starts after every span of kernel 0 ends.
+  KernelWork k;
+  for (int i = 0; i < 4; ++i) {
+    BlockWork b;
+    b.threads = 256;
+    b.active_threads = 256;
+    b.regs_per_thread = 32;
+    b.smem_bytes = 4096;
+    TileWork tw;
+    tw.iters = 32;
+    tw.fmas_per_thread_iter = 128;
+    tw.bytes_per_iter = 4096;
+    tw.epilogue_bytes = 1024;
+    tw.flops = 1000;
+    b.tiles = {tw};
+    k.blocks.push_back(b);
+  }
+  const LaunchedKernel launches[] = {{&k, 0.0, 0}, {&k, 0.0, 0}};
+  ExecutionTrace trace;
+  simulate(gpu_arch(GpuModel::kV100), launches, &trace);
+  double k0_end = 0.0, k1_start = 1e18;
+  for (const auto& s : trace.spans) {
+    if (s.kernel == 0) k0_end = std::max(k0_end, s.end_us);
+    if (s.kernel == 1) k1_start = std::min(k1_start, s.start_us);
+  }
+  EXPECT_GE(k1_start, k0_end - 1e-9);
+}
+
+TEST(Trace, DifferentStreamsOverlap) {
+  KernelWork k;
+  for (int i = 0; i < 4; ++i) {
+    BlockWork b;
+    b.threads = 256;
+    b.active_threads = 256;
+    b.regs_per_thread = 32;
+    b.smem_bytes = 4096;
+    TileWork tw;
+    tw.iters = 32;
+    tw.fmas_per_thread_iter = 128;
+    tw.bytes_per_iter = 4096;
+    tw.epilogue_bytes = 1024;
+    tw.flops = 1000;
+    b.tiles = {tw};
+    k.blocks.push_back(b);
+  }
+  const LaunchedKernel launches[] = {{&k, 0.0, 0}, {&k, 0.0, 1}};
+  ExecutionTrace trace;
+  simulate(gpu_arch(GpuModel::kV100), launches, &trace);
+  double k0_end = 0.0, k1_start = 1e18;
+  for (const auto& s : trace.spans) {
+    if (s.kernel == 0) k0_end = std::max(k0_end, s.end_us);
+    if (s.kernel == 1) k1_start = std::min(k1_start, s.start_us);
+  }
+  EXPECT_LT(k1_start, k0_end);
+}
+
+TEST(Trace, NullTraceIsNoop) {
+  const KernelWork empty;
+  EXPECT_NO_THROW(simulate_kernel(gpu_arch(GpuModel::kV100), empty, nullptr));
+}
+
+}  // namespace
+}  // namespace ctb

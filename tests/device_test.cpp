@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gpusim/device.hpp"
+
+namespace ctb {
+namespace {
+
+TEST(Device, AllocTracksBytes) {
+  Device dev(GpuModel::kV100);
+  EXPECT_EQ(dev.bytes_allocated(), 0);
+  {
+    auto buf = dev.alloc<float>(1024);
+    EXPECT_EQ(dev.bytes_allocated(), 4096);
+    EXPECT_EQ(dev.alloc_count(), 1);
+    EXPECT_EQ(buf.size(), 1024u);
+  }
+  EXPECT_EQ(dev.bytes_allocated(), 0);  // freed on scope exit
+  EXPECT_EQ(dev.peak_bytes(), 4096);
+}
+
+TEST(Device, PeakTracksHighWaterMark) {
+  Device dev(GpuModel::kV100);
+  auto a = dev.alloc<double>(100);  // 800 B
+  {
+    auto b = dev.alloc<double>(300);  // +2400 B
+    EXPECT_EQ(dev.bytes_allocated(), 3200);
+  }
+  auto c = dev.alloc<double>(50);
+  EXPECT_EQ(dev.peak_bytes(), 3200);
+}
+
+TEST(Device, MoveTransfersOwnership) {
+  Device dev(GpuModel::kV100);
+  auto a = dev.alloc<int>(10);
+  auto b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(dev.bytes_allocated(), 40);
+  b = DeviceBuffer<int>{};
+  EXPECT_EQ(dev.bytes_allocated(), 0);
+}
+
+TEST(Device, CopyRoundTrip) {
+  Device dev(GpuModel::kV100);
+  auto buf = dev.alloc<float>(16);
+  std::vector<float> host(16);
+  std::iota(host.begin(), host.end(), 1.0f);
+  copy_to_device<float>(host, buf);
+  std::vector<float> back(16, 0.0f);
+  copy_to_host<float>(buf, back);
+  EXPECT_EQ(host, back);
+}
+
+TEST(Device, CopySizeMismatchThrows) {
+  Device dev(GpuModel::kV100);
+  auto buf = dev.alloc<float>(8);
+  std::vector<float> host(9);
+  EXPECT_THROW(copy_to_device<float>(host, buf), CheckError);
+}
+
+TEST(Device, TransferTimeModelIsMonotone) {
+  Device dev(GpuModel::kV100);
+  EXPECT_LT(dev.transfer_time_us(1024), dev.transfer_time_us(1024 * 1024));
+  EXPECT_GT(dev.transfer_time_us(0), 0.0);  // per-call latency
+}
+
+TEST(Device, ArchAccessible) {
+  Device dev(GpuModel::kP100);
+  EXPECT_EQ(dev.arch().name, "Tesla P100");
+}
+
+}  // namespace
+}  // namespace ctb

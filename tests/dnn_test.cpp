@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "dnn/conv.hpp"
+#include "dnn/im2col.hpp"
+#include "dnn/tensor.hpp"
+
+namespace ctb {
+namespace {
+
+// ----------------------------------------------------------------- tensor --
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor4 t(2, 3, 4, 5);
+  EXPECT_EQ(t.size(), 2u * 3 * 4 * 5);
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t.at(1, 2, 3, 4), 9.0f);
+  EXPECT_EQ(t.flat()[t.size() - 1], 9.0f);  // last element NCHW
+}
+
+TEST(Tensor, SameShape) {
+  Tensor4 a(1, 2, 3, 4), b(1, 2, 3, 4), c(1, 2, 4, 3);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor4 a(1, 1, 2, 2), b(1, 1, 2, 2);
+  b.at(0, 0, 1, 1) = 3.0f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 3.0f);
+}
+
+TEST(Tensor, InvalidShapeThrows) {
+  EXPECT_THROW(Tensor4(0, 1, 1, 1), CheckError);
+}
+
+// -------------------------------------------------------------- ConvShape --
+
+TEST(ConvShape, OutputDims) {
+  ConvShape s;
+  s.in_c = 3;
+  s.out_c = 8;
+  s.kernel = 3;
+  s.stride = 1;
+  s.pad = 1;
+  s.in_h = 28;
+  s.in_w = 28;
+  EXPECT_EQ(s.out_h(), 28);  // same padding
+  EXPECT_EQ(s.out_w(), 28);
+}
+
+TEST(ConvShape, StridedOutputDims) {
+  ConvShape s;
+  s.kernel = 7;
+  s.stride = 2;
+  s.pad = 3;
+  s.in_h = 224;
+  s.in_w = 224;
+  EXPECT_EQ(s.out_h(), 112);
+}
+
+TEST(ConvShape, GemmLoweringDims) {
+  // Paper Section 1: M = filters, K = filter size * channels, N = feature
+  // map * batch. The inception3a/5x5reduce example: 16x784x192.
+  ConvShape s;
+  s.in_c = 192;
+  s.out_c = 16;
+  s.kernel = 1;
+  s.stride = 1;
+  s.pad = 0;
+  s.in_h = 28;
+  s.in_w = 28;
+  const GemmDims d = s.gemm_dims(1);
+  EXPECT_EQ(d.m, 16);
+  EXPECT_EQ(d.n, 784);
+  EXPECT_EQ(d.k, 192);
+}
+
+TEST(ConvShape, BatchScalesN) {
+  ConvShape s;
+  s.in_c = 4;
+  s.out_c = 8;
+  s.kernel = 3;
+  s.pad = 1;
+  s.in_h = 8;
+  s.in_w = 8;
+  EXPECT_EQ(s.gemm_dims(4).n, 4 * 64);
+  EXPECT_EQ(s.gemm_dims(4).k, 4 * 9);
+}
+
+// ----------------------------------------------------------------- im2col --
+
+TEST(Im2col, Identity1x1Conv) {
+  // A 1x1 conv's im2col is just the channel-major flattening.
+  ConvShape s;
+  s.in_c = 2;
+  s.out_c = 1;
+  s.kernel = 1;
+  s.in_h = 2;
+  s.in_w = 2;
+  Tensor4 input(1, 2, 2, 2);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input.flat()[i] = static_cast<float>(i);
+  const Matrixf cols = im2col(s, input);
+  EXPECT_EQ(cols.rows(), 2u);
+  EXPECT_EQ(cols.cols(), 4u);
+  EXPECT_EQ(cols(0, 0), 0.0f);
+  EXPECT_EQ(cols(1, 0), 4.0f);  // channel 1, position 0
+}
+
+TEST(Im2col, ZeroPaddingOutsideImage) {
+  ConvShape s;
+  s.in_c = 1;
+  s.out_c = 1;
+  s.kernel = 3;
+  s.pad = 1;
+  s.in_h = 2;
+  s.in_w = 2;
+  Tensor4 input(1, 1, 2, 2);
+  input.flat()[0] = 1;
+  input.flat()[1] = 2;
+  input.flat()[2] = 3;
+  input.flat()[3] = 4;
+  const Matrixf cols = im2col(s, input);
+  // Output position (0,0), tap (kh=0, kw=0) reads (-1,-1): zero.
+  EXPECT_EQ(cols(0, 0), 0.0f);
+  // Tap (1,1) at output (0,0) reads input (0,0) = 1.
+  EXPECT_EQ(cols(4, 0), 1.0f);
+}
+
+TEST(Im2col, ShapeMismatchThrows) {
+  ConvShape s;
+  s.in_c = 3;
+  s.kernel = 1;
+  s.in_h = 4;
+  s.in_w = 4;
+  Tensor4 wrong(1, 2, 4, 4);
+  EXPECT_THROW(im2col(s, wrong), CheckError);
+}
+
+TEST(Col2Im, RoundTripsGemmOutput) {
+  ConvShape s;
+  s.in_c = 1;
+  s.out_c = 2;
+  s.kernel = 1;
+  s.in_h = 2;
+  s.in_w = 3;
+  Matrixf out(2, 2 * 2 * 3);  // batch 2
+  fill_pattern(out);
+  const Tensor4 t = col2im_output(s, 2, out);
+  EXPECT_EQ(t.n(), 2);
+  EXPECT_EQ(t.c(), 2);
+  EXPECT_EQ(t.at(1, 1, 0, 1), out(1, static_cast<std::size_t>(1 * 6 + 1)));
+}
+
+// ------------------------------------------------------------- conv paths --
+
+struct ConvCase {
+  int in_c, out_c, kernel, stride, pad, hw, batch;
+};
+
+class ConvGemmEquivalence : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGemmEquivalence, GemmPathMatchesDirect) {
+  const ConvCase p = GetParam();
+  ConvShape s;
+  s.in_c = p.in_c;
+  s.out_c = p.out_c;
+  s.kernel = p.kernel;
+  s.stride = p.stride;
+  s.pad = p.pad;
+  s.in_h = p.hw;
+  s.in_w = p.hw;
+  Rng rng(static_cast<std::uint64_t>(p.in_c * 131 + p.kernel));
+  Tensor4 input(p.batch, p.in_c, p.hw, p.hw);
+  fill_random(input, rng);
+  const Matrixf filters = random_filters(s, rng);
+  const Tensor4 direct = conv_forward_direct(s, input, filters);
+  const Tensor4 gemm = conv_forward_gemm(s, input, filters);
+  ASSERT_TRUE(direct.same_shape(gemm));
+  EXPECT_LT(max_abs_diff(direct, gemm), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConvGemmEquivalence,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 4, 1},
+                      ConvCase{3, 8, 3, 1, 1, 8, 1},
+                      ConvCase{4, 6, 5, 1, 2, 9, 2},
+                      ConvCase{2, 4, 3, 2, 1, 12, 1},
+                      ConvCase{8, 16, 1, 1, 0, 7, 3},
+                      ConvCase{3, 2, 7, 2, 3, 16, 1}));
+
+// -------------------------------------------------------------- pool/relu --
+
+TEST(Relu, ClampsNegatives) {
+  Tensor4 t(1, 1, 1, 3);
+  t.flat()[0] = -1.0f;
+  t.flat()[1] = 0.0f;
+  t.flat()[2] = 2.0f;
+  relu_inplace(t);
+  EXPECT_EQ(t.flat()[0], 0.0f);
+  EXPECT_EQ(t.flat()[1], 0.0f);
+  EXPECT_EQ(t.flat()[2], 2.0f);
+}
+
+TEST(MaxPool, WindowMaximum) {
+  Tensor4 t(1, 1, 2, 2);
+  t.flat()[0] = 1;
+  t.flat()[1] = 5;
+  t.flat()[2] = 3;
+  t.flat()[3] = 2;
+  const Tensor4 out = max_pool(t, 2, 2, 0);
+  EXPECT_EQ(out.h(), 1);
+  EXPECT_EQ(out.w(), 1);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 5.0f);
+}
+
+TEST(MaxPool, SamePaddingKeepsSize) {
+  Tensor4 t(1, 2, 7, 7);
+  Rng rng(3);
+  fill_random(t, rng);
+  const Tensor4 out = max_pool(t, 3, 1, 1);
+  EXPECT_EQ(out.h(), 7);
+  EXPECT_EQ(out.w(), 7);
+  // Pooling can only keep or increase each value vs. the centre tap.
+  for (int y = 0; y < 7; ++y)
+    for (int x = 0; x < 7; ++x)
+      EXPECT_GE(out.at(0, 1, y, x), t.at(0, 1, y, x));
+}
+
+TEST(AvgPool, WindowMean) {
+  Tensor4 t(1, 1, 2, 2);
+  t.flat()[0] = 1;
+  t.flat()[1] = 5;
+  t.flat()[2] = 3;
+  t.flat()[3] = 3;
+  const Tensor4 out = avg_pool(t, 2, 2, 0);
+  EXPECT_EQ(out.h(), 1);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 3.0f);
+}
+
+TEST(AvgPool, ExclusivePaddingCounting) {
+  // With padding, the corner window covers only one in-image tap: the mean
+  // divides by 1, not the window area.
+  Tensor4 t(1, 1, 2, 2);
+  t.flat()[0] = 8;
+  const Tensor4 out = avg_pool(t, 3, 2, 1);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), (8.0f + 0 + 0 + 0) / 4.0f);
+}
+
+TEST(AvgPool, GlobalPoolReducesToOnePixel) {
+  Tensor4 t(1, 2, 7, 7);
+  Rng rng(9);
+  fill_random(t, rng);
+  const Tensor4 out = avg_pool(t, 7, 1, 0);
+  EXPECT_EQ(out.h(), 1);
+  EXPECT_EQ(out.w(), 1);
+  float sum = 0;
+  for (int y = 0; y < 7; ++y)
+    for (int x = 0; x < 7; ++x) sum += t.at(0, 1, y, x);
+  EXPECT_NEAR(out.at(0, 1, 0, 0), sum / 49.0f, 1e-5f);
+}
+
+TEST(AddBias, PerChannel) {
+  Tensor4 t(1, 2, 2, 2);
+  const std::vector<float> bias = {1.0f, -2.0f};
+  add_bias_inplace(t, bias);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1, 0, 0), -2.0f);
+}
+
+TEST(AddBias, SizeMismatchThrows) {
+  Tensor4 t(1, 3, 1, 1);
+  const std::vector<float> bias = {1.0f};
+  EXPECT_THROW(add_bias_inplace(t, bias), CheckError);
+}
+
+TEST(Lrn, IdentityWhenInputZero) {
+  Tensor4 t(1, 4, 2, 2);
+  const Tensor4 out = lrn_across_channels(t);
+  for (float v : out.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Lrn, NormalizesLargeActivations) {
+  Tensor4 t(1, 5, 1, 1);
+  for (int c = 0; c < 5; ++c) t.at(0, c, 0, 0) = 100.0f;
+  const Tensor4 out = lrn_across_channels(t, 5, 1e-4f, 0.75f, 1.0f);
+  // scale = (1 + 1e-4/5 * 5*1e4)^0.75 = 2^0.75 ~ 1.68: output < input.
+  EXPECT_LT(out.at(0, 2, 0, 0), 100.0f);
+  EXPECT_GT(out.at(0, 2, 0, 0), 0.0f);
+  // Edge channels see fewer neighbours, so they are damped less.
+  EXPECT_GT(out.at(0, 0, 0, 0), out.at(0, 2, 0, 0));
+}
+
+TEST(Softmax, SumsToOneAndOrdersPreserved) {
+  const std::vector<float> logits = {1.0f, 3.0f, 2.0f};
+  const auto p = softmax(logits);
+  float sum = 0;
+  for (float v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(Softmax, StableForHugeLogits) {
+  const std::vector<float> logits = {1000.0f, 1000.0f};
+  const auto p = softmax(logits);
+  EXPECT_NEAR(p[0], 0.5f, 1e-6f);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(ConcatChannels, StacksInOrder) {
+  Tensor4 a(1, 1, 2, 2), b(1, 2, 2, 2);
+  a.flat()[0] = 1.0f;
+  b.flat()[0] = 2.0f;
+  const std::array<const Tensor4*, 2> parts = {&a, &b};
+  const Tensor4 out = concat_channels(parts);
+  EXPECT_EQ(out.c(), 3);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 1.0f);
+  EXPECT_EQ(out.at(0, 1, 0, 0), 2.0f);
+}
+
+TEST(ConcatChannels, MismatchedSpatialThrows) {
+  Tensor4 a(1, 1, 2, 2), b(1, 1, 3, 3);
+  const std::array<const Tensor4*, 2> parts = {&a, &b};
+  EXPECT_THROW(concat_channels(parts), CheckError);
+}
+
+}  // namespace
+}  // namespace ctb

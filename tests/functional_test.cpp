@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "kernels/functional.hpp"
+#include "linalg/gemm_ref.hpp"
+
+namespace ctb {
+namespace {
+
+struct Case {
+  int m, n, k;
+  float alpha, beta;
+};
+
+Matrixf rand_mat(int r, int c, Rng& rng) {
+  Matrixf m(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+  fill_random(m, rng);
+  return m;
+}
+
+void expect_matches_reference(const TilingStrategy& s, const Case& tc,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  const Matrixf a = rand_mat(tc.m, tc.k, rng);
+  const Matrixf b = rand_mat(tc.k, tc.n, rng);
+  Matrixf c_init = rand_mat(tc.m, tc.n, rng);
+
+  Matrixf c_ref = c_init;
+  gemm_naive(a, b, c_ref, tc.alpha, tc.beta);
+
+  Matrixf c_dev = c_init;
+  const GemmOperands g = operands(a, b, c_dev);
+  run_single_gemm(s, g, tc.alpha, tc.beta);
+  EXPECT_TRUE(allclose(c_dev, c_ref))
+      << s.name() << " m=" << tc.m << " n=" << tc.n << " k=" << tc.k
+      << " max_diff=" << max_abs_diff(c_dev, c_ref);
+}
+
+// Every Table-2 strategy computes correct GEMMs, including edge tiles and
+// K values that are not multiples of BK.
+class FunctionalAllStrategies : public ::testing::TestWithParam<int> {};
+
+TEST_P(FunctionalAllStrategies, ExactTileSizes) {
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  expect_matches_reference(s, Case{s.by, s.bx, 16, 1.0f, 0.0f}, 100);
+}
+
+TEST_P(FunctionalAllStrategies, MultipleTiles) {
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  expect_matches_reference(s, Case{2 * s.by, 3 * s.bx, 24, 1.0f, 0.0f}, 200);
+}
+
+TEST_P(FunctionalAllStrategies, RaggedEdges) {
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  expect_matches_reference(s, Case{s.by + 3, s.bx + 5, 19, 1.0f, 0.0f}, 300);
+}
+
+TEST_P(FunctionalAllStrategies, SmallerThanOneTile) {
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  expect_matches_reference(s, Case{5, 7, 11, 1.0f, 0.0f}, 400);
+}
+
+TEST_P(FunctionalAllStrategies, AlphaBeta) {
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  expect_matches_reference(s, Case{s.by, s.bx, 32, 2.5f, -0.75f}, 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ids, FunctionalAllStrategies,
+                         ::testing::Range(0, 12));
+
+// Table-1 strategies drive the baselines; they must also be correct.
+TEST(FunctionalTable1, AllStrategiesCorrect) {
+  for (const auto& s : single_gemm_strategies()) {
+    expect_matches_reference(s, Case{s.by + 7, s.bx + 9, 21, 1.0f, 1.0f},
+                             600);
+  }
+}
+
+TEST(Functional, KSmallerThanBk) {
+  const auto& s = batched_strategy(TileShape::kSmall, ThreadVariant::k256);
+  expect_matches_reference(s, Case{16, 16, 3, 1.0f, 0.0f}, 700);
+}
+
+TEST(Functional, KOne) {
+  const auto& s = batched_strategy(TileShape::kMedium, ThreadVariant::k128);
+  expect_matches_reference(s, Case{32, 32, 1, 1.0f, 0.0f}, 800);
+}
+
+TEST(Functional, BetaZeroOverwritesNaN) {
+  const auto& s = batched_strategy(TileShape::kSmall, ThreadVariant::k256);
+  Rng rng(900);
+  const Matrixf a = rand_mat(16, 8, rng);
+  const Matrixf b = rand_mat(8, 16, rng);
+  Matrixf c(16, 16);
+  c.fill(std::numeric_limits<float>::quiet_NaN());
+  const GemmOperands g = operands(a, b, c);
+  run_single_gemm(s, g, 1.0f, 0.0f);
+  for (float v : c.flat()) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Functional, ExecuteTileOutsideGemmThrows) {
+  const auto& s = batched_strategy(TileShape::kSmall, ThreadVariant::k256);
+  Rng rng(1000);
+  const Matrixf a = rand_mat(16, 8, rng);
+  const Matrixf b = rand_mat(8, 16, rng);
+  Matrixf c(16, 16);
+  const GemmOperands g = operands(a, b, c);
+  EXPECT_THROW(execute_tile(s, g, 1, 0, 1.0f, 0.0f), CheckError);
+}
+
+TEST(Functional, OperandsValidateShapes) {
+  Matrixf a(4, 8), b(7, 4), c(4, 4);
+  EXPECT_THROW(operands(a, b, c), CheckError);
+}
+
+// ----------------------------------------------------------------- vbatch --
+
+TEST(Vbatch, MixedSizesMatchReference) {
+  const auto& s = single_gemm_strategy(TileShape::kSmall);
+  Rng rng(1100);
+  const std::vector<GemmDims> dims = {
+      {16, 32, 128}, {64, 48, 64}, {64, 64, 128}};
+  std::vector<Matrixf> as, bs, cs, refs;
+  for (const auto& d : dims) {
+    as.push_back(rand_mat(d.m, d.k, rng));
+    bs.push_back(rand_mat(d.k, d.n, rng));
+    cs.push_back(rand_mat(d.m, d.n, rng));
+    refs.push_back(cs.back());
+  }
+  std::vector<GemmOperands> ops;
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    ops.push_back(operands(as[i], bs[i], cs[i]));
+  run_vbatch(s, ops, 1.25f, 0.5f);
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    gemm_naive(as[i], bs[i], refs[i], 1.25f, 0.5f);
+    EXPECT_TRUE(allclose(cs[i], refs[i])) << "gemm " << i;
+  }
+}
+
+TEST(Vbatch, UniformLargeTileOnSmallGemms) {
+  // The Fig. 3b pathology: large tiles on small GEMMs still compute
+  // correctly (idle threads just do nothing).
+  const auto& s = single_gemm_strategy(TileShape::kLarge);
+  Rng rng(1200);
+  const std::vector<GemmDims> dims = {{16, 16, 32}, {128, 100, 16}};
+  std::vector<Matrixf> as, bs, cs, refs;
+  for (const auto& d : dims) {
+    as.push_back(rand_mat(d.m, d.k, rng));
+    bs.push_back(rand_mat(d.k, d.n, rng));
+    cs.push_back(rand_mat(d.m, d.n, rng));
+    refs.push_back(cs.back());
+  }
+  std::vector<GemmOperands> ops;
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    ops.push_back(operands(as[i], bs[i], cs[i]));
+  run_vbatch(s, ops, 1.0f, 0.0f);
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    gemm_naive(as[i], bs[i], refs[i], 1.0f, 0.0f);
+    EXPECT_TRUE(allclose(cs[i], refs[i])) << "gemm " << i;
+  }
+}
+
+// ------------------------------------------------------------------ plan --
+
+TEST(RunBatchedPlan, ForeignGemmIndexThrows) {
+  const auto& s = batched_strategy(TileShape::kSmall, ThreadVariant::k256);
+  BatchPlan plan;
+  plan.tile_offsets = {0, 1};
+  plan.gemm_of_tile = {2};  // batch has one GEMM only
+  plan.strategy_of_tile = {s.id};
+  plan.y_coord = {0};
+  plan.x_coord = {0};
+  Rng rng(1300);
+  Matrixf a = rand_mat(16, 8, rng), b = rand_mat(8, 16, rng), c(16, 16);
+  std::vector<GemmOperands> ops = {operands(a, b, c)};
+  EXPECT_THROW(run_batched_plan(plan, ops, 1.0f, 0.0f), CheckError);
+}
+
+}  // namespace
+}  // namespace ctb

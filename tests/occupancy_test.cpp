@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include "util/assert.hpp"
+
+#include "gpusim/arch.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace ctb {
+namespace {
+
+const GpuArch& v100() { return gpu_arch(GpuModel::kV100); }
+
+TEST(Occupancy, ThreadLimited) {
+  // 1024-thread blocks with negligible other resources: 2048/1024 = 2.
+  const auto r = occupancy(v100(), BlockResources{1024, 16, 0});
+  EXPECT_EQ(r.blocks_per_sm, 2);
+  EXPECT_STREQ(r.limiter, "threads");
+}
+
+TEST(Occupancy, RegisterLimited) {
+  // 256 threads * 255 regs = 65280 regs -> 1 block per SM.
+  const auto r = occupancy(v100(), BlockResources{256, 255, 0});
+  EXPECT_EQ(r.blocks_per_sm, 1);
+  EXPECT_STREQ(r.limiter, "registers");
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  // 40 KB of smem on a 96 KB SM -> 2 blocks.
+  const auto r = occupancy(v100(), BlockResources{64, 16, 40 * 1024});
+  EXPECT_EQ(r.blocks_per_sm, 2);
+  EXPECT_STREQ(r.limiter, "shared-memory");
+}
+
+TEST(Occupancy, BlockSlotLimited) {
+  // Tiny blocks: capped by the 32-CTA hardware limit.
+  const auto r = occupancy(v100(), BlockResources{32, 8, 0});
+  EXPECT_EQ(r.blocks_per_sm, 32);
+  EXPECT_STREQ(r.limiter, "block-slots");
+}
+
+TEST(Occupancy, UnlaunchableTooManyThreads) {
+  const auto r = occupancy(v100(), BlockResources{2048, 16, 0});
+  EXPECT_EQ(r.blocks_per_sm, 0);
+  EXPECT_STREQ(r.limiter, "unlaunchable");
+}
+
+TEST(Occupancy, UnlaunchableTooMuchSmem) {
+  const auto r =
+      occupancy(v100(), BlockResources{128, 16, 128 * 1024});
+  EXPECT_EQ(r.blocks_per_sm, 0);
+}
+
+TEST(Occupancy, UnlaunchableTooManyRegs) {
+  const auto r = occupancy(v100(), BlockResources{128, 300, 0});
+  EXPECT_EQ(r.blocks_per_sm, 0);
+}
+
+TEST(Occupancy, ThreadOccupancyFraction) {
+  const auto r = occupancy(v100(), BlockResources{256, 32, 0});
+  // 256*32 regs = 8192 -> reg limit 8; threads limit 8; -> 8 blocks.
+  EXPECT_EQ(r.blocks_per_sm, 8);
+  EXPECT_DOUBLE_EQ(r.thread_occupancy(v100(), 256), 1.0);
+}
+
+TEST(Occupancy, P100SmallerSmemBudgetBinds) {
+  const GpuArch& p100 = gpu_arch(GpuModel::kP100);
+  // 20 KB blocks: V100 (96 KB) fits 4, P100 (64 KB) fits 3.
+  const BlockResources blk{128, 16, 20 * 1024};
+  EXPECT_EQ(occupancy(v100(), blk).blocks_per_sm, 4);
+  EXPECT_EQ(occupancy(p100, blk).blocks_per_sm, 3);
+}
+
+TEST(Occupancy, ZeroThreadBlockRejected) {
+  EXPECT_THROW(occupancy(v100(), BlockResources{0, 16, 0}), CheckError);
+}
+
+// -------------------------------------------------------------- presets --
+
+TEST(ArchPresets, AllModelsHaveSaneParameters) {
+  for (GpuModel model : all_gpu_models()) {
+    const GpuArch& a = gpu_arch(model);
+    EXPECT_GT(a.sm_count, 0) << a.name;
+    EXPECT_GT(a.fp32_lanes_per_sm, 0) << a.name;
+    EXPECT_GT(a.clock_ghz, 0.5) << a.name;
+    EXPECT_GT(a.dram_bw_gbps, 50.0) << a.name;
+    EXPECT_GT(a.peak_gflops(), 1000.0) << a.name;
+    EXPECT_GT(a.mem_latency_cycles, 100) << a.name;
+    EXPECT_FALSE(std::string(to_string(model)).empty());
+  }
+}
+
+TEST(ArchPresets, V100PeakMatchesDatasheet) {
+  // 80 SMs * 64 lanes * 2 flops * 1.53 GHz ~ 15.7 TFLOP/s.
+  EXPECT_NEAR(v100().peak_gflops(), 15667.2, 1.0);
+}
+
+TEST(ArchPresets, V100IsTheFastest) {
+  for (GpuModel model : all_gpu_models()) {
+    EXPECT_GE(v100().peak_gflops(), gpu_arch(model).peak_gflops() - 1e9);
+    EXPECT_GE(v100().dram_bw_gbps, gpu_arch(model).dram_bw_gbps);
+  }
+}
+
+TEST(ArchPresets, BytesPerCycleConsistent) {
+  const GpuArch& a = v100();
+  EXPECT_NEAR(a.bytes_per_cycle(), 900.0 / 1.53, 1e-9);
+  EXPECT_NEAR(a.cycles_to_us(1530.0), 1.0, 1e-9);
+}
+
+TEST(ArchPresets, DistinctNames) {
+  std::set<std::string> names;
+  for (GpuModel model : all_gpu_models()) names.insert(gpu_arch(model).name);
+  EXPECT_EQ(names.size(), all_gpu_models().size());
+}
+
+}  // namespace
+}  // namespace ctb

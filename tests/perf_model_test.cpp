@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+namespace {
+
+const TilingStrategy& strat(TileShape shape,
+                            ThreadVariant v = ThreadVariant::k256) {
+  return batched_strategy(shape, v);
+}
+
+// ------------------------------------------------------------------ Eq 1 --
+
+TEST(Eq1Tlp, SingleGemmExactDivision) {
+  // 16x32 GEMM under small tiles: 1x2 tiles * 256 threads = 512.
+  EXPECT_EQ(gemm_tlp(GemmDims{16, 32, 128}, strat(TileShape::kSmall)), 512);
+}
+
+TEST(Eq1Tlp, CeilingOnNonMultiples) {
+  // 17x17 under 16x16 tiles -> 2x2 tiles.
+  EXPECT_EQ(gemm_tlp(GemmDims{17, 17, 8}, strat(TileShape::kSmall)),
+            4 * 256);
+}
+
+TEST(Eq1Tlp, PaperWorkedExampleFirstIteration) {
+  // Paper Section 4.2.3: GEMMs 16x32x128, 64x64x64, 256x256x64 all under
+  // small/256 give TLP = 70144.
+  const std::vector<GemmDims> dims = {
+      {16, 32, 128}, {64, 64, 64}, {256, 256, 64}};
+  const std::vector<const TilingStrategy*> s = {
+      &strat(TileShape::kSmall), &strat(TileShape::kSmall),
+      &strat(TileShape::kSmall)};
+  EXPECT_EQ(batch_tlp(dims, s), 70144);
+}
+
+TEST(Eq1Tlp, PaperWorkedExampleSecondIteration) {
+  // (small, medium, medium) gives TLP = 17920.
+  const std::vector<GemmDims> dims = {
+      {16, 32, 128}, {64, 64, 64}, {256, 256, 64}};
+  const std::vector<const TilingStrategy*> s = {
+      &strat(TileShape::kSmall), &strat(TileShape::kMedium),
+      &strat(TileShape::kMedium)};
+  EXPECT_EQ(batch_tlp(dims, s), 17920);
+}
+
+TEST(Eq1Tlp, MismatchedSpansThrow) {
+  const std::vector<GemmDims> dims = {{16, 16, 16}};
+  const std::vector<const TilingStrategy*> s;
+  EXPECT_THROW(batch_tlp(dims, s), CheckError);
+}
+
+TEST(Eq1Tlp, DecreasesWithTileSize) {
+  const GemmDims d{256, 256, 64};
+  long long prev = gemm_tlp(d, strat(TileShape::kSmall));
+  for (TileShape shape :
+       {TileShape::kMedium, TileShape::kLarge, TileShape::kHuge}) {
+    const long long cur = gemm_tlp(d, strat(shape));
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Eq1Tlp, VariantScalesThreads) {
+  const GemmDims d{256, 256, 64};
+  EXPECT_EQ(gemm_tlp(d, strat(TileShape::kLarge, ThreadVariant::k256)),
+            2 * gemm_tlp(d, strat(TileShape::kLarge, ThreadVariant::k128)));
+}
+
+// --------------------------------------------------------------- Eq 2, 3 --
+
+TEST(Eq2Load, SmallStrategy) {
+  // (16*8 + 8*16) / (4 * 256) = 256/1024 = 0.25 loads per thread per iter.
+  EXPECT_DOUBLE_EQ(num_load_per_thread(strat(TileShape::kSmall)), 0.25);
+}
+
+TEST(Eq3Fma, HugeStrategy) {
+  // 128*128*8 / 256 = 512.
+  EXPECT_DOUBLE_EQ(num_fma_per_thread(strat(TileShape::kHuge)), 512.0);
+}
+
+TEST(Eq3Fma, HalvingThreadsDoublesWork) {
+  for (TileShape shape : all_tile_shapes()) {
+    EXPECT_DOUBLE_EQ(
+        num_fma_per_thread(batched_strategy(shape, ThreadVariant::k128)),
+        2.0 * num_fma_per_thread(batched_strategy(shape,
+                                                  ThreadVariant::k256)));
+  }
+}
+
+// ------------------------------------------------------------------ Eq 4 --
+
+TEST(Eq4Intensity, ClosedFormHolds) {
+  // AI = 4*BY*BX/(BY+BX) regardless of the thread count.
+  for (const auto& s : batched_strategies()) {
+    const double expected = 4.0 * s.by * s.bx / (s.by + s.bx);
+    EXPECT_DOUBLE_EQ(arithmetic_intensity(s), expected) << s.name();
+  }
+}
+
+TEST(Eq4Intensity, KnownValues) {
+  EXPECT_DOUBLE_EQ(arithmetic_intensity(strat(TileShape::kSmall)), 32.0);
+  EXPECT_DOUBLE_EQ(arithmetic_intensity(strat(TileShape::kMedium)), 64.0);
+  EXPECT_DOUBLE_EQ(arithmetic_intensity(strat(TileShape::kLarge)), 128.0);
+  EXPECT_DOUBLE_EQ(arithmetic_intensity(strat(TileShape::kHuge)), 256.0);
+}
+
+TEST(Eq4Intensity, MonotoneInTileArea) {
+  // Larger (squarer) tiles always have higher intensity in the suite.
+  double prev = 0.0;
+  for (TileShape shape :
+       {TileShape::kSmall, TileShape::kMedium, TileShape::kLarge,
+        TileShape::kHuge}) {
+    const double ai = arithmetic_intensity(strat(shape));
+    EXPECT_GT(ai, prev);
+    prev = ai;
+  }
+}
+
+TEST(Eq4Intensity, IndependentOfThreadVariant) {
+  for (TileShape shape : all_tile_shapes()) {
+    EXPECT_DOUBLE_EQ(
+        arithmetic_intensity(batched_strategy(shape, ThreadVariant::k128)),
+        arithmetic_intensity(batched_strategy(shape, ThreadVariant::k256)));
+  }
+}
+
+TEST(Eq4Intensity, TallAndWideEqual) {
+  // 128x64 and 64x128 are symmetric in Eq. 4.
+  EXPECT_DOUBLE_EQ(arithmetic_intensity(strat(TileShape::kTall)),
+                   arithmetic_intensity(strat(TileShape::kWide)));
+}
+
+TEST(Eq1Tlp, InvalidDimsThrow) {
+  EXPECT_THROW(gemm_tlp(GemmDims{0, 16, 16}, strat(TileShape::kSmall)),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace ctb

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "core/rf_policy.hpp"
+
+namespace ctb {
+namespace {
+
+TEST(BatchingFeatures, PaperFeatureVector) {
+  // Features are {mean M, mean N, mean K, B}.
+  const std::vector<GemmDims> dims = {{16, 32, 128}, {64, 64, 64}};
+  const auto f = batching_features(dims);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[0], 40.0);
+  EXPECT_DOUBLE_EQ(f[1], 48.0);
+  EXPECT_DOUBLE_EQ(f[2], 96.0);
+  EXPECT_DOUBLE_EQ(f[3], 2.0);
+}
+
+TEST(RandomBatch, RespectsRanges) {
+  Rng rng(1);
+  CaseRanges r;
+  r.min_batch = 3;
+  r.max_batch = 5;
+  r.min_mn = 32;
+  r.max_mn = 64;
+  r.min_k = 100;
+  r.max_k = 200;
+  for (int i = 0; i < 50; ++i) {
+    const auto dims = random_batch(rng, r);
+    EXPECT_GE(dims.size(), 3u);
+    EXPECT_LE(dims.size(), 5u);
+    for (const auto& d : dims) {
+      EXPECT_GE(d.m, 32);
+      EXPECT_LE(d.m, 64);
+      EXPECT_GE(d.n, 32);
+      EXPECT_LE(d.n, 64);
+      EXPECT_GE(d.k, 100);
+      EXPECT_LE(d.k, 200);
+    }
+  }
+}
+
+TEST(RandomBatch, DeterministicGivenSeed) {
+  Rng r1(7), r2(7);
+  CaseRanges r;
+  const auto a = random_batch(r1, r);
+  const auto b = random_batch(r2, r);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+}
+
+TEST(OracleLabel, ReturnsBinaryLabel) {
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  const std::vector<GemmDims> dims(16, GemmDims{64, 64, 64});
+  const int label = oracle_label(arch, dims, 65536, 256);
+  EXPECT_TRUE(label == 0 || label == 1);
+}
+
+TEST(OracleLabel, AgreesWithDirectSimulation) {
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  const std::vector<GemmDims> dims(32, GemmDims{32, 32, 48});
+  const TilingResult tiling = select_tiling(dims, TilingConfig{65536});
+  const auto tiles = enumerate_tiles(dims, tiling.per_gemm);
+  const int threads = static_cast<int>(tiling.variant);
+  const BatchingConfig bc{256, 65536};
+  const double t_thr =
+      time_plan(arch, batch_threshold(tiles, threads, bc), dims).time_us;
+  const double t_bin =
+      time_plan(arch, batch_binary(tiles, threads, bc), dims).time_us;
+  const int expected = t_thr <= t_bin ? 0 : 1;
+  EXPECT_EQ(oracle_label(arch, dims, 65536, 256), expected);
+}
+
+// Dataset generation is slow-ish (2 plans simulated per case); keep counts
+// modest but meaningful.
+TEST(GenerateDataset, ShapeAndDeterminism) {
+  RfTrainingConfig config;
+  config.num_cases = 24;
+  config.seed = 42;
+  config.ranges.max_batch = 16;
+  config.ranges.max_mn = 256;
+  config.ranges.max_k = 512;
+  const Dataset d1 = generate_batching_dataset(config);
+  const Dataset d2 = generate_batching_dataset(config);
+  ASSERT_EQ(d1.samples.size(), 24u);
+  EXPECT_EQ(d1.num_features, 4);
+  EXPECT_EQ(d1.num_classes, 2);
+  for (std::size_t i = 0; i < d1.samples.size(); ++i) {
+    EXPECT_EQ(d1.samples[i].label, d2.samples[i].label);
+    EXPECT_EQ(d1.samples[i].features, d2.samples[i].features);
+  }
+}
+
+TEST(TrainForest, PredictsOracleWellOnTrainingSet) {
+  RfTrainingConfig config;
+  config.num_cases = 60;
+  config.seed = 7;
+  config.ranges.max_batch = 24;
+  config.ranges.max_mn = 256;
+  config.ranges.max_k = 1024;
+  config.forest.num_trees = 16;
+  Dataset data;
+  const RandomForest forest = train_batching_forest(config, &data);
+  EXPECT_TRUE(forest.trained());
+  // The forest should beat always-predicting the majority class unless the
+  // dataset is one-sided; at minimum it must fit the training set well.
+  EXPECT_GE(forest.accuracy(data), 0.75);
+}
+
+TEST(OracleTimes, MarginAndLabelConsistent) {
+  OracleTimes t;
+  t.threshold_us = 100.0;
+  t.binary_us = 120.0;
+  EXPECT_EQ(t.label(), 0);
+  EXPECT_NEAR(t.margin(), 0.2, 1e-12);
+  std::swap(t.threshold_us, t.binary_us);
+  EXPECT_EQ(t.label(), 1);
+}
+
+TEST(OracleTimes, AgreesWithOracleLabel) {
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  const std::vector<GemmDims> dims(16, GemmDims{64, 64, 48});
+  const OracleTimes t = oracle_times(arch, dims, 65536, 256);
+  EXPECT_EQ(t.label(), oracle_label(arch, dims, 65536, 256));
+  EXPECT_GT(t.threshold_us, 0.0);
+  EXPECT_GT(t.binary_us, 0.0);
+}
+
+TEST(GenerateDataset, MarginFilterKeepsOnlyConfidentLabels) {
+  RfTrainingConfig config;
+  config.num_cases = 16;
+  config.seed = 99;
+  config.ranges.max_batch = 32;
+  config.ranges.max_mn = 256;
+  config.ranges.max_k = 512;
+  config.label_margin = 0.02;
+  const Dataset d = generate_batching_dataset(config);
+  const GpuArch& arch = gpu_arch(config.gpu);
+  // Every kept sample must replay with margin >= the filter. We cannot
+  // recover the dims from features alone, so regenerate and check the
+  // pipeline end to end instead: the filtered set is no larger than the
+  // unfiltered one and non-empty.
+  RfTrainingConfig unfiltered = config;
+  unfiltered.label_margin = 0.0;
+  const Dataset all = generate_batching_dataset(unfiltered);
+  (void)arch;
+  EXPECT_GE(all.samples.size(), d.samples.size());
+  EXPECT_GE(d.samples.size(), 2u);
+}
+
+TEST(GenerateDataset, ExtremeMarginThrows) {
+  RfTrainingConfig config;
+  config.num_cases = 8;
+  config.seed = 5;
+  config.ranges.max_batch = 4;
+  config.ranges.max_mn = 64;
+  config.ranges.max_k = 64;
+  config.label_margin = 1e9;  // nothing can pass
+  config.max_attempts_factor = 2;
+  EXPECT_THROW(generate_batching_dataset(config), CheckError);
+}
+
+TEST(RfChoose, MapsLabelsToHeuristics) {
+  RfTrainingConfig config;
+  config.num_cases = 30;
+  config.seed = 11;
+  config.ranges.max_batch = 16;
+  config.ranges.max_mn = 128;
+  config.ranges.max_k = 512;
+  config.forest.num_trees = 8;
+  const RandomForest forest = train_batching_forest(config);
+  const std::vector<GemmDims> dims(8, GemmDims{64, 64, 64});
+  const BatchingHeuristic h = rf_choose(forest, dims);
+  EXPECT_TRUE(h == BatchingHeuristic::kThreshold ||
+              h == BatchingHeuristic::kBinary);
+}
+
+}  // namespace
+}  // namespace ctb

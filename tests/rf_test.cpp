@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include "util/assert.hpp"
+
+#include <sstream>
+
+#include "rf/random_forest.hpp"
+
+namespace ctb {
+namespace {
+
+/// Linearly separable toy problem: class = x0 > 0.5.
+Dataset linear_dataset(int n, Rng& rng) {
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();  // noise feature
+    d.add({x0, x1}, x0 > 0.5 ? 1 : 0);
+  }
+  return d;
+}
+
+/// XOR-ish problem a single split cannot solve.
+Dataset xor_dataset(int n, Rng& rng) {
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    d.add({x0, x1}, (x0 > 0.5) != (x1 > 0.5) ? 1 : 0);
+  }
+  return d;
+}
+
+TEST(Dataset, AddValidatesFeatureCount) {
+  Dataset d;
+  d.add({1.0, 2.0}, 0);
+  EXPECT_EQ(d.num_features, 2);
+  EXPECT_THROW(d.add({1.0}, 0), CheckError);
+  EXPECT_THROW(d.add({1.0, 2.0}, -1), CheckError);
+}
+
+TEST(Dataset, NumClassesTracksMaxLabel) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({1.0}, 3);
+  EXPECT_EQ(d.num_classes, 4);
+}
+
+TEST(DecisionTree, LearnsLinearSplit) {
+  Rng rng(1);
+  const Dataset d = linear_dataset(200, rng);
+  DecisionTree tree;
+  std::vector<std::size_t> all(d.samples.size());
+  std::iota(all.begin(), all.end(), 0u);
+  tree.train(d, all, TreeParams{6, 2, 2}, rng);
+  int correct = 0;
+  for (const auto& s : d.samples)
+    correct += tree.predict(s.features) == s.label ? 1 : 0;
+  EXPECT_GT(correct, 190);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeaf) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) d.add({static_cast<double>(i)}, 0);
+  d.add({100.0}, 1);  // make it 2-class
+  Rng rng(2);
+  DecisionTree tree;
+  std::vector<std::size_t> all(d.samples.size());
+  std::iota(all.begin(), all.end(), 0u);
+  tree.train(d, all, TreeParams{8, 1, 1}, rng);
+  const std::vector<double> lo{0.0}, hi{100.0};
+  EXPECT_EQ(tree.predict(lo), 0);
+  EXPECT_EQ(tree.predict(hi), 1);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  Rng rng(3);
+  const Dataset d = xor_dataset(400, rng);
+  DecisionTree tree;
+  std::vector<std::size_t> all(d.samples.size());
+  std::iota(all.begin(), all.end(), 0u);
+  tree.train(d, all, TreeParams{1, 1, 2}, rng);
+  EXPECT_LE(tree.depth(), 2);  // root + leaves
+}
+
+TEST(DecisionTree, ProbabilitiesSumToOne) {
+  Rng rng(4);
+  const Dataset d = linear_dataset(100, rng);
+  DecisionTree tree;
+  std::vector<std::size_t> all(d.samples.size());
+  std::iota(all.begin(), all.end(), 0u);
+  tree.train(d, all, TreeParams{}, rng);
+  const std::vector<double> x{0.3, 0.7};
+  const auto p = tree.predict_proba(x);
+  double sum = 0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(DecisionTree, UntrainedPredictThrows) {
+  DecisionTree tree;
+  const std::vector<double> x{0.0};
+  EXPECT_THROW(tree.predict(x), CheckError);
+}
+
+TEST(DecisionTree, SaveLoadRoundTrip) {
+  Rng rng(5);
+  const Dataset d = xor_dataset(300, rng);
+  DecisionTree tree;
+  std::vector<std::size_t> all(d.samples.size());
+  std::iota(all.begin(), all.end(), 0u);
+  tree.train(d, all, TreeParams{8, 2, 2}, rng);
+  std::stringstream ss;
+  tree.save(ss);
+  DecisionTree loaded;
+  loaded.load(ss, 2);
+  for (const auto& s : d.samples)
+    EXPECT_EQ(tree.predict(s.features), loaded.predict(s.features));
+}
+
+TEST(RandomForest, BeatsSingleTreeOnXor) {
+  Rng rng(6);
+  const Dataset train = xor_dataset(600, rng);
+  RandomForest forest;
+  ForestParams params;
+  params.num_trees = 40;
+  params.tree.max_depth = 10;
+  Rng train_rng(7);
+  forest.train(train, params, train_rng);
+  EXPECT_GT(forest.accuracy(train), 0.9);
+  Rng test_rng(8);
+  const Dataset test = xor_dataset(300, test_rng);
+  EXPECT_GT(forest.accuracy(test), 0.8);
+}
+
+TEST(RandomForest, ProbabilitiesAreMeanOverTrees) {
+  Rng rng(9);
+  const Dataset d = linear_dataset(200, rng);
+  RandomForest forest;
+  ForestParams params;
+  params.num_trees = 8;
+  Rng train_rng(10);
+  forest.train(d, params, train_rng);
+  const std::vector<double> x{0.9, 0.5};
+  const auto p = forest.predict_proba(x);
+  ASSERT_EQ(p.size(), 2u);
+  double sum = 0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(p[1], p[0]);  // x0 = 0.9 is clearly class 1
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  Rng rng(11);
+  const Dataset d = xor_dataset(200, rng);
+  RandomForest f1, f2;
+  ForestParams params;
+  params.num_trees = 10;
+  Rng r1(12), r2(12);
+  f1.train(d, params, r1);
+  f2.train(d, params, r2);
+  Rng probe(13);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{probe.uniform(), probe.uniform()};
+    EXPECT_EQ(f1.predict(x), f2.predict(x));
+  }
+}
+
+TEST(RandomForest, SaveLoadRoundTrip) {
+  Rng rng(14);
+  const Dataset d = xor_dataset(300, rng);
+  RandomForest forest;
+  ForestParams params;
+  params.num_trees = 12;
+  Rng train_rng(15);
+  forest.train(d, params, train_rng);
+  std::stringstream ss;
+  forest.save(ss);
+  RandomForest loaded;
+  loaded.load(ss);
+  EXPECT_EQ(loaded.tree_count(), 12);
+  Rng probe(16);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{probe.uniform(), probe.uniform()};
+    EXPECT_EQ(forest.predict(x), loaded.predict(x));
+  }
+}
+
+TEST(RandomForest, OobAccuracyEstimatesGeneralization) {
+  Rng rng(42);
+  const Dataset train = xor_dataset(500, rng);
+  RandomForest forest;
+  ForestParams params;
+  params.num_trees = 30;
+  params.tree.max_depth = 10;
+  Rng train_rng(43);
+  forest.train(train, params, train_rng);
+  const double oob = forest.oob_accuracy();
+  EXPECT_GT(oob, 0.6);  // far above chance on learnable data
+  EXPECT_LE(oob, 1.0);
+  // OOB should track held-out accuracy within a reasonable band.
+  Rng test_rng(44);
+  const Dataset test = xor_dataset(300, test_rng);
+  EXPECT_NEAR(oob, forest.accuracy(test), 0.15);
+}
+
+TEST(RandomForest, OobUnsetBeforeTraining) {
+  RandomForest forest;
+  EXPECT_EQ(forest.oob_accuracy(), -1.0);
+}
+
+TEST(RandomForest, FeatureImportanceFindsTheSignal) {
+  // Class depends only on x0; x1 is noise: importance must concentrate
+  // on feature 0.
+  Rng rng(45);
+  const Dataset d = linear_dataset(400, rng);
+  RandomForest forest;
+  ForestParams params;
+  params.num_trees = 20;
+  params.tree.features_per_split = 2;  // both features always candidates
+  Rng train_rng(46);
+  forest.train(d, params, train_rng);
+  const auto imp = forest.feature_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], 0.8);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+}
+
+TEST(RandomForest, ImportanceRequiresTraining) {
+  RandomForest forest;
+  EXPECT_THROW(forest.feature_importance(), CheckError);
+}
+
+TEST(RandomForest, LoadRejectsCorruptStream) {
+  std::stringstream ss("garbage");
+  RandomForest forest;
+  EXPECT_THROW(forest.load(ss), CheckError);
+}
+
+TEST(RandomForest, EmptyTrainingSetThrows) {
+  RandomForest forest;
+  Dataset d;
+  Rng rng(17);
+  EXPECT_THROW(forest.train(d, ForestParams{}, rng), CheckError);
+}
+
+TEST(RandomForest, UntrainedPredictThrows) {
+  RandomForest forest;
+  const std::vector<double> x{1.0};
+  EXPECT_THROW(forest.predict(x), CheckError);
+}
+
+}  // namespace
+}  // namespace ctb

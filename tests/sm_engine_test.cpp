@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/arch.hpp"
+#include "gpusim/sm_engine.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+namespace {
+
+const GpuArch& v100() { return gpu_arch(GpuModel::kV100); }
+
+BlockWork simple_block(int iters = 16, int threads = 256,
+                       std::int64_t bytes_per_iter = 4096) {
+  BlockWork b;
+  b.threads = threads;
+  b.active_threads = threads;
+  b.regs_per_thread = 64;
+  b.smem_bytes = 8192;
+  TileWork t;
+  t.iters = iters;
+  t.fmas_per_thread_iter = 128;
+  t.bytes_per_iter = bytes_per_iter;
+  t.epilogue_bytes = 2048;
+  t.epilogue_flops = 512;
+  t.flops = 100000;
+  b.tiles = {t};
+  return b;
+}
+
+KernelWork kernel_of(int blocks, int iters = 16) {
+  KernelWork k;
+  for (int i = 0; i < blocks; ++i) k.blocks.push_back(simple_block(iters));
+  return k;
+}
+
+TEST(SmEngine, EmptyKernelCompletesInstantly) {
+  const SimStats s = simulate_kernel(v100(), KernelWork{});
+  EXPECT_EQ(s.block_count, 0);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 0.0);
+}
+
+TEST(SmEngine, SingleBlockMakespanEqualsBlockCost) {
+  const SimStats s = simulate_kernel(v100(), kernel_of(1));
+  EXPECT_GT(s.makespan_us, 0.0);
+  EXPECT_EQ(s.block_count, 1);
+  EXPECT_EQ(s.bubble_blocks, 0);
+}
+
+TEST(SmEngine, OneWaveRunsFullyParallel) {
+  // 80 identical compute-bound blocks on 80 SMs run in one wave: makespan
+  // equals the single-block makespan (memory-bound blocks would slow each
+  // other through DRAM sharing, so keep bytes tiny here).
+  KernelWork k1, k80;
+  k1.blocks.push_back(simple_block(16, 256, 256));
+  for (int i = 0; i < 80; ++i) k80.blocks.push_back(simple_block(16, 256, 256));
+  const double t1 = simulate_kernel(v100(), k1).makespan_us;
+  const double t80 = simulate_kernel(v100(), k80).makespan_us;
+  // Tolerance: the C write-back epilogue and the L2 path still share
+  // device-wide bandwidth across the wave.
+  EXPECT_NEAR(t80, t1, t1 * 0.2);
+}
+
+TEST(SmEngine, MemoryBoundWaveSlowerThanSingleBlock) {
+  // The converse: memory-heavy blocks contend for DRAM, so a full wave is
+  // slower than one block alone.
+  KernelWork k1, k80;
+  k1.blocks.push_back(simple_block(16, 256, 65536));
+  for (int i = 0; i < 80; ++i)
+    k80.blocks.push_back(simple_block(16, 256, 65536));
+  EXPECT_GT(simulate_kernel(v100(), k80).makespan_us,
+            simulate_kernel(v100(), k1).makespan_us * 1.5);
+}
+
+TEST(SmEngine, MakespanMonotoneInBlockCount) {
+  double prev = 0.0;
+  for (int blocks : {1, 80, 160, 640, 1280}) {
+    const double t = simulate_kernel(v100(), kernel_of(blocks)).makespan_us;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(SmEngine, ManyWavesScaleRoughlyLinearly) {
+  // Far beyond capacity, doubling work should roughly double time.
+  const double t1 = simulate_kernel(v100(), kernel_of(4000)).makespan_us;
+  const double t2 = simulate_kernel(v100(), kernel_of(8000)).makespan_us;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.2);
+}
+
+TEST(SmEngine, StatsAccumulateFlopsAndBytes) {
+  const KernelWork k = kernel_of(10);
+  const SimStats s = simulate_kernel(v100(), k);
+  EXPECT_EQ(s.total_flops, k.total_flops());
+  EXPECT_EQ(s.total_bytes, k.total_bytes());
+  EXPECT_GT(s.achieved_gflops, 0.0);
+}
+
+TEST(SmEngine, BubbleBlocksCounted) {
+  KernelWork k = kernel_of(4);
+  BlockWork bubble;
+  bubble.threads = 256;
+  bubble.active_threads = 0;
+  bubble.smem_bytes = 1024;
+  bubble.regs_per_thread = 32;
+  k.blocks.push_back(bubble);
+  const SimStats s = simulate_kernel(v100(), k);
+  EXPECT_EQ(s.bubble_blocks, 1);
+  EXPECT_EQ(s.block_count, 5);
+}
+
+TEST(SmEngine, UnlaunchableBlockThrows) {
+  KernelWork k;
+  BlockWork bad = simple_block();
+  bad.smem_bytes = 200 * 1024;  // more than one SM has
+  k.blocks.push_back(bad);
+  EXPECT_THROW(simulate_kernel(v100(), k), CheckError);
+}
+
+TEST(SmEngine, DeterministicAcrossRuns) {
+  const KernelWork k = kernel_of(500);
+  const double a = simulate_kernel(v100(), k).makespan_us;
+  const double b = simulate_kernel(v100(), k).makespan_us;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SmEngine, SerialSumsKernelsPlusLaunchOverhead) {
+  std::vector<KernelWork> kernels{kernel_of(10), kernel_of(10)};
+  const double single = simulate_kernel(v100(), kernels[0]).makespan_us;
+  const SimStats serial = simulate_serial(v100(), kernels);
+  EXPECT_NEAR(serial.makespan_us,
+              2.0 * (single + v100().kernel_launch_us), single * 0.01);
+}
+
+TEST(SmEngine, ConcurrentBeatsSerialForManySmallKernels) {
+  // 16 kernels of 8 blocks each: serial leaves the GPU mostly idle.
+  std::vector<KernelWork> kernels;
+  for (int i = 0; i < 16; ++i) kernels.push_back(kernel_of(8, 64));
+  const double serial = simulate_serial(v100(), kernels).makespan_us;
+  const double conc =
+      simulate_concurrent(v100(), kernels, 16).makespan_us;
+  EXPECT_LT(conc, serial * 0.7);
+}
+
+TEST(SmEngine, SingleStreamConcurrentSerializes) {
+  // Small kernels that underfill the GPU: one stream serializes them, two
+  // streams overlap them. (Device-filling kernels would gain nothing from
+  // overlap, so use 8-block kernels.)
+  std::vector<KernelWork> kernels{kernel_of(8, 64), kernel_of(8, 64)};
+  const double one_stream =
+      simulate_concurrent(v100(), kernels, 1).makespan_us;
+  const double two_streams =
+      simulate_concurrent(v100(), kernels, 2).makespan_us;
+  EXPECT_LT(two_streams, one_stream * 0.75);
+}
+
+TEST(SmEngine, ArrivalTimeDelaysExecution) {
+  const KernelWork k = kernel_of(1);
+  const LaunchedKernel launches[] = {{&k, 100.0, -1}};
+  const SimStats s = simulate(v100(), launches);
+  EXPECT_GE(s.makespan_us, 100.0);
+}
+
+TEST(SmEngine, SmBusyFractionLowForTinyGrids) {
+  // 4 blocks on 80 SMs: at most 5% of SMs busy.
+  const SimStats s = simulate_kernel(v100(), kernel_of(4, 64));
+  EXPECT_LE(s.sm_busy_fraction, 0.06);
+}
+
+TEST(SmEngine, SmBusyFractionHighForHugeGrids) {
+  const SimStats s = simulate_kernel(v100(), kernel_of(4000, 64));
+  EXPECT_GE(s.sm_busy_fraction, 0.8);
+}
+
+TEST(SmEngine, AvgResidentGrowsWithGridSize) {
+  const SimStats small = simulate_kernel(v100(), kernel_of(8, 64));
+  const SimStats large = simulate_kernel(v100(), kernel_of(2000, 64));
+  EXPECT_GT(large.avg_resident_blocks, small.avg_resident_blocks);
+}
+
+TEST(SmEngine, LaunchThrottleBoundsTinyBlockStorms) {
+  // Thousands of near-empty blocks cannot start faster than the GigaThread
+  // dispatch rate.
+  KernelWork k;
+  for (int i = 0; i < 4000; ++i) {
+    BlockWork b = simple_block(1, 256, 64);
+    k.blocks.push_back(b);
+  }
+  const SimStats s = simulate_kernel(v100(), k);
+  EXPECT_GE(s.makespan_us, 4000.0 / v100().cta_launch_per_us * 0.9);
+}
+
+TEST(SmEngine, LaunchThrottleIrrelevantForLongBlocks) {
+  // Few, long blocks: dispatch rate does not bind.
+  GpuArch fast = v100();
+  GpuArch slow = v100();
+  slow.cta_launch_per_us = 16.0;
+  const KernelWork k = kernel_of(80, 512);
+  const double tf = simulate_kernel(fast, k).makespan_us;
+  const double ts = simulate_kernel(slow, k).makespan_us;
+  EXPECT_NEAR(ts, tf, tf * 0.2);
+}
+
+TEST(SmEngine, FewerDeeperBlocksBeatManyShallowOnes) {
+  // The batching engine's premise in miniature: the same total work in
+  // one-quarter the blocks (4 tiles chained) is faster when per-block
+  // overheads dominate.
+  // Overhead-dominated tiles (tiny K, tiny compute, tiny traffic) are where
+  // chaining pays: the shallow grid is CTA-dispatch bound while the deep one
+  // amortizes launch, scheduling, and pipeline fill 4x.
+  TileWork tiny;
+  tiny.iters = 2;
+  tiny.fmas_per_thread_iter = 8;
+  tiny.bytes_per_iter = 64;
+  tiny.epilogue_bytes = 64;
+  tiny.epilogue_flops = 16;
+  tiny.flops = 1000;
+  auto block_of = [&](int tiles) {
+    BlockWork b;
+    b.threads = 256;
+    b.active_threads = 256;
+    b.regs_per_thread = 32;
+    b.smem_bytes = 2048;
+    b.tiles.assign(static_cast<std::size_t>(tiles), tiny);
+    return b;
+  };
+  KernelWork shallow, deep;
+  for (int i = 0; i < 2048; ++i) shallow.blocks.push_back(block_of(1));
+  for (int i = 0; i < 512; ++i) deep.blocks.push_back(block_of(4));
+  EXPECT_LT(simulate_kernel(v100(), deep).makespan_us,
+            simulate_kernel(v100(), shallow).makespan_us);
+}
+
+TEST(SmEngine, SlowerArchTakesLonger) {
+  // The M60 has ~1/5 the bandwidth and far fewer SMs than V100.
+  const KernelWork k = kernel_of(640);
+  const double tv = simulate_kernel(v100(), k).makespan_us;
+  const double tm =
+      simulate_kernel(gpu_arch(GpuModel::kM60), k).makespan_us;
+  EXPECT_GT(tm, tv * 1.5);
+}
+
+}  // namespace
+}  // namespace ctb

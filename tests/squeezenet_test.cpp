@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "dnn/squeezenet.hpp"
+
+namespace ctb {
+namespace {
+
+TEST(SqueezeNet, HasEightFireModules) {
+  EXPECT_EQ(squeezenet_fire_modules().size(), 8u);
+}
+
+TEST(SqueezeNet, ChannelsChainAcrossModules) {
+  const auto& fires = squeezenet_fire_modules();
+  // fire2 out = 64+64 = 128 = fire3 in; fire4 out = 256 = fire5 in, etc.
+  EXPECT_EQ(fires[0].out_c(), 128);
+  EXPECT_EQ(fires[1].in_c, 128);
+  EXPECT_EQ(fires[2].out_c(), 256);
+  EXPECT_EQ(fires[3].in_c, 256);
+  EXPECT_EQ(fires[6].out_c(), 512);
+  EXPECT_EQ(fires[7].in_c, 512);
+}
+
+TEST(SqueezeNet, ExpandBranchesConsumeSqueezeOutput) {
+  for (const auto& m : squeezenet_fire_modules()) {
+    EXPECT_EQ(m.expand1x1.in_c, m.squeeze.out_c) << m.name;
+    EXPECT_EQ(m.expand3x3.in_c, m.squeeze.out_c) << m.name;
+    EXPECT_EQ(m.squeeze.in_c, m.in_c) << m.name;
+  }
+}
+
+TEST(SqueezeNet, SpatialSizesFollowPools) {
+  const auto& fires = squeezenet_fire_modules();
+  EXPECT_EQ(fires[0].hw, 55);  // fire2..4
+  EXPECT_EQ(fires[3].hw, 27);  // fire5..8
+  EXPECT_EQ(fires[7].hw, 13);  // fire9
+}
+
+TEST(SqueezeNet, ExpandGemmsDifferOnlyInK) {
+  // The two expand branches share M-sized filter counts in v1.0 and the
+  // same N; the 3x3 branch has 9x the K. This is exactly the variable-K
+  // batch the binary heuristic targets.
+  for (const auto& m : squeezenet_fire_modules()) {
+    const auto gemms = m.expand_gemms(1);
+    ASSERT_EQ(gemms.size(), 2u);
+    EXPECT_EQ(gemms[0].n, gemms[1].n) << m.name;
+    EXPECT_EQ(gemms[1].k, 9 * gemms[0].k) << m.name;
+  }
+}
+
+TEST(SqueezeNet, FireForwardBatchedMatchesReference) {
+  // Scaled-down fire module for a fast functional check.
+  FireModule m;
+  m.name = "mini-fire";
+  m.in_c = 12;
+  m.hw = 9;
+  auto mk = [&](const char* name, int in_c, int out_c, int k) {
+    ConvShape s;
+    s.name = name;
+    s.in_c = in_c;
+    s.out_c = out_c;
+    s.kernel = k;
+    s.stride = 1;
+    s.pad = k / 2;
+    s.in_h = m.hw;
+    s.in_w = m.hw;
+    return s;
+  };
+  m.squeeze = mk("s", 12, 4, 1);
+  m.expand1x1 = mk("e1", 4, 6, 1);
+  m.expand3x3 = mk("e3", 4, 5, 3);
+
+  Rng rng(808);
+  Tensor4 input(2, 12, 9, 9);
+  fill_random(input, rng);
+  const FireWeights w = random_fire_weights(m, rng);
+  const Tensor4 ref = fire_forward_reference(m, input, w);
+  const Tensor4 batched = fire_forward_batched(m, input, w, PlannerConfig{});
+  ASSERT_TRUE(ref.same_shape(batched));
+  EXPECT_EQ(ref.c(), 11);
+  EXPECT_LT(max_abs_diff(ref, batched), 1e-3f);
+}
+
+TEST(SqueezeNet, RealFire2ShapeThroughFramework) {
+  const FireModule& fire2 = squeezenet_fire_modules().front();
+  Rng rng(2020);
+  Tensor4 input(1, fire2.in_c, fire2.hw, fire2.hw);
+  fill_random(input, rng);
+  const FireWeights w = random_fire_weights(fire2, rng);
+  const Tensor4 out = fire_forward_batched(fire2, input, w, PlannerConfig{});
+  EXPECT_EQ(out.c(), 128);
+  EXPECT_EQ(out.h(), 55);
+}
+
+TEST(SqueezeNetTiming, OursCompetitiveWithBaselines) {
+  const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  const auto times = time_squeezenet_fires(arch, 1, PlannerConfig{});
+  ASSERT_EQ(times.size(), 8u);
+  int wins_vs_default = 0;
+  for (const auto& t : times) {
+    EXPECT_GT(t.default_us, 0.0);
+    wins_vs_default += t.ours_us < t.default_us ? 1 : 0;
+  }
+  EXPECT_EQ(wins_vs_default, 8);
+}
+
+}  // namespace
+}  // namespace ctb

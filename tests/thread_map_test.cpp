@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernels/thread_map.hpp"
+
+namespace ctb {
+namespace {
+
+class ThreadMapAllStrategies : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadMapAllStrategies, ExactTilePartition) {
+  // The sub-tiles of all threads must tile BY x BX exactly: every cell
+  // covered once, none twice.
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  std::set<std::pair<int, int>> covered;
+  for (int t = 0; t < s.threads; ++t) {
+    const SubTileOrigin o = thread_sub_tile(s, t);
+    EXPECT_GE(o.row, 0);
+    EXPECT_GE(o.col, 0);
+    EXPECT_LE(o.row + s.sub_y, s.by);
+    EXPECT_LE(o.col + s.sub_x, s.bx);
+    for (int i = 0; i < s.sub_y; ++i)
+      for (int j = 0; j < s.sub_x; ++j)
+        EXPECT_TRUE(covered.insert({o.row + i, o.col + j}).second)
+            << "cell covered twice by thread " << t;
+  }
+  EXPECT_EQ(covered.size(), static_cast<std::size_t>(s.by * s.bx));
+}
+
+TEST_P(ThreadMapAllStrategies, ActiveThreadsFullTile) {
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  EXPECT_EQ(active_threads_for_tile(s, s.by, s.bx), s.threads);
+}
+
+TEST_P(ThreadMapAllStrategies, ActiveThreadsSingleCell) {
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  EXPECT_EQ(active_threads_for_tile(s, 1, 1), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ids, ThreadMapAllStrategies,
+                         ::testing::Range(0, 12));
+
+TEST(ThreadMap, Table1StrategiesAlsoPartition) {
+  for (const auto& s : single_gemm_strategies()) {
+    std::set<std::pair<int, int>> covered;
+    for (int t = 0; t < s.threads; ++t) {
+      const SubTileOrigin o = thread_sub_tile(s, t);
+      for (int i = 0; i < s.sub_y; ++i)
+        for (int j = 0; j < s.sub_x; ++j)
+          EXPECT_TRUE(covered.insert({o.row + i, o.col + j}).second);
+    }
+    EXPECT_EQ(covered.size(), static_cast<std::size_t>(s.by * s.bx))
+        << s.name();
+  }
+}
+
+TEST(ThreadMap, ActiveThreadsHalfTile) {
+  // large/256 (sub 4x4): a 32x64 clamp covers ceil(32/4)*ceil(64/4)
+  // = 8*16 = 128 threads of 256.
+  const auto& s = batched_strategy(TileShape::kLarge, ThreadVariant::k256);
+  EXPECT_EQ(active_threads_for_tile(s, 32, 64), 128);
+}
+
+TEST(ThreadMap, ActiveThreadsRoundsUpPartialSubTiles) {
+  // small/256 (sub 1x1): a 3x5 clamp needs exactly 15 threads.
+  const auto& s = batched_strategy(TileShape::kSmall, ThreadVariant::k256);
+  EXPECT_EQ(active_threads_for_tile(s, 3, 5), 15);
+  // small/128 (sub 2x1): 3 rows span ceil(3/2)=2 sub-rows -> 2*5 = 10.
+  const auto& s128 = batched_strategy(TileShape::kSmall, ThreadVariant::k128);
+  EXPECT_EQ(active_threads_for_tile(s128, 3, 5), 10);
+}
+
+TEST(ThreadMap, RowMajorLayout) {
+  // small/256: thread t covers cell (t/16, t%16).
+  const auto& s = batched_strategy(TileShape::kSmall, ThreadVariant::k256);
+  EXPECT_EQ(thread_sub_tile(s, 0).row, 0);
+  EXPECT_EQ(thread_sub_tile(s, 0).col, 0);
+  EXPECT_EQ(thread_sub_tile(s, 16).row, 1);
+  EXPECT_EQ(thread_sub_tile(s, 16).col, 0);
+  EXPECT_EQ(thread_sub_tile(s, 17).col, 1);
+}
+
+}  // namespace
+}  // namespace ctb

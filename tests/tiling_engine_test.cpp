@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/tiling_engine.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+namespace {
+
+std::vector<GemmDims> same(int count, int m, int n, int k) {
+  return std::vector<GemmDims>(static_cast<std::size_t>(count),
+                               GemmDims{m, n, k});
+}
+
+TEST(FeasibleStrategies, FilteredByTileFit) {
+  // 16x32 under the paper's stated rule (BY <= M and BX <= N) admits only
+  // small: medium's BY = 32 exceeds M = 16. (The paper's worked example
+  // says this GEMM has two candidates, contradicting its own rule; we
+  // implement the stated rule — the example's final selection is
+  // unaffected, as PaperWorkedExample verifies.)
+  const auto f =
+      feasible_strategies(GemmDims{16, 32, 128}, ThreadVariant::k256);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0]->shape, TileShape::kSmall);
+}
+
+TEST(FeasibleStrategies, MediumGemmGetsThree) {
+  const auto f =
+      feasible_strategies(GemmDims{64, 64, 64}, ThreadVariant::k256);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0]->shape, TileShape::kSmall);
+  EXPECT_EQ(f[1]->shape, TileShape::kMedium);
+  EXPECT_EQ(f[2]->shape, TileShape::kLarge);
+}
+
+TEST(FeasibleStrategies, LargeGemmGetsAllSix) {
+  const auto f =
+      feasible_strategies(GemmDims{256, 256, 64}, ThreadVariant::k256);
+  EXPECT_EQ(f.size(), 6u);
+}
+
+TEST(FeasibleStrategies, TinyGemmAlwaysHasSmall) {
+  const auto f = feasible_strategies(GemmDims{4, 4, 8}, ThreadVariant::k128);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0]->shape, TileShape::kSmall);
+  EXPECT_EQ(f[0]->threads, 128);
+}
+
+TEST(FeasibleStrategies, TallWideAsymmetry) {
+  // 128x64: tall (128x64) fits, wide (64x128) does not.
+  const auto f =
+      feasible_strategies(GemmDims{128, 64, 8}, ThreadVariant::k256);
+  bool has_tall = false, has_wide = false;
+  for (const auto* s : f) {
+    has_tall |= s->shape == TileShape::kTall;
+    has_wide |= s->shape == TileShape::kWide;
+  }
+  EXPECT_TRUE(has_tall);
+  EXPECT_FALSE(has_wide);
+}
+
+TEST(SelectTiling, PaperWorkedExample) {
+  // Section 4.2.3's example: (16x32x128, 64x64x64, 256x256x64) with
+  // threshold 65536 must end at (small, medium, medium) in the 256-thread
+  // variant with TLP 17920.
+  const std::vector<GemmDims> dims = {
+      {16, 32, 128}, {64, 64, 64}, {256, 256, 64}};
+  const TilingResult r = select_tiling(dims, TilingConfig{65536});
+  EXPECT_EQ(r.variant, ThreadVariant::k256);
+  EXPECT_EQ(r.per_gemm[0]->shape, TileShape::kSmall);
+  EXPECT_EQ(r.per_gemm[1]->shape, TileShape::kMedium);
+  EXPECT_EQ(r.per_gemm[2]->shape, TileShape::kMedium);
+  EXPECT_EQ(r.tlp, 17920);
+  EXPECT_EQ(r.iterations, 2);
+}
+
+TEST(SelectTiling, AcceptsSmallestWhenTlpAlreadyBelowThreshold) {
+  const auto dims = same(2, 32, 32, 64);
+  const TilingResult r = select_tiling(dims, TilingConfig{65536});
+  // 2 GEMMs * 4 tiles * 256 = 2048 <= 65536: smallest accepted directly.
+  EXPECT_EQ(r.per_gemm[0]->shape, TileShape::kSmall);
+  EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(SelectTiling, LargeBatchPushesToLargerTiles) {
+  // 256 GEMMs of 128x128: small gives 64*256*256 = 4.2M TLP, so the
+  // algorithm escalates all the way to huge (1 tile per GEMM).
+  const auto dims = same(256, 128, 128, 64);
+  const TilingResult r = select_tiling(dims, TilingConfig{65536});
+  EXPECT_EQ(r.per_gemm[0]->shape, TileShape::kHuge);
+}
+
+TEST(SelectTiling, SmallBatchKeepsSmallTiles) {
+  // Paper Section 7.1's example: M=N=128, batch 4 -> small tiles preserve
+  // 256 blocks of TLP.
+  const auto dims = same(4, 128, 128, 64);
+  const TilingResult r = select_tiling(dims, TilingConfig{65536});
+  EXPECT_EQ(r.per_gemm[0]->shape, TileShape::kSmall);
+  EXPECT_EQ(r.variant, ThreadVariant::k256);
+}
+
+TEST(SelectTiling, SwitchesTo128ThreadVariantWhenExhausted) {
+  // One tiny GEMM: the only 256-thread candidate is small, and its TLP
+  // (2*256 = 512... always <= threshold). To force exhaustion we need TLP
+  // above threshold with every queue at its last entry: tiny GEMMs with a
+  // tiny threshold.
+  const auto dims = same(8, 16, 16, 64);
+  const TilingResult r = select_tiling(dims, TilingConfig{100});
+  // 8 GEMMs * 1 small tile * 128 threads after the fallback.
+  EXPECT_EQ(r.variant, ThreadVariant::k128);
+  EXPECT_EQ(r.per_gemm[0]->shape, TileShape::kSmall);
+  EXPECT_EQ(r.tlp, 8 * 128);
+}
+
+TEST(SelectTiling, MixedQueueExhaustionUsesTopNotPop) {
+  // First GEMM has one candidate (small), second has six; with a tiny
+  // threshold both walk as far as they can: GEMM 1 stays small.
+  const std::vector<GemmDims> dims = {{16, 16, 8}, {1024, 1024, 8}};
+  const TilingResult r = select_tiling(dims, TilingConfig{1});
+  EXPECT_EQ(r.per_gemm[0]->shape, TileShape::kSmall);
+  EXPECT_EQ(r.per_gemm[1]->shape, TileShape::kHuge);
+  EXPECT_EQ(r.variant, ThreadVariant::k128);
+}
+
+TEST(SelectTiling, AllStrategiesShareThreadCount) {
+  const std::vector<GemmDims> dims = {
+      {16, 32, 128}, {64, 64, 64}, {256, 256, 64}, {500, 300, 32}};
+  const TilingResult r = select_tiling(dims, TilingConfig{65536});
+  for (const auto* s : r.per_gemm)
+    EXPECT_EQ(s->threads, static_cast<int>(r.variant));
+}
+
+TEST(SelectTiling, TlpMatchesReportedSelection) {
+  const auto dims = same(16, 256, 256, 128);
+  const TilingResult r = select_tiling(dims, TilingConfig{65536});
+  EXPECT_EQ(r.tlp, batch_tlp(dims, r.per_gemm));
+  EXPECT_LE(r.tlp, 65536);
+}
+
+TEST(SelectTiling, EmptyBatchThrows) {
+  EXPECT_THROW(select_tiling({}, TilingConfig{}), CheckError);
+}
+
+TEST(SelectTiling, InvalidDimsThrow) {
+  const std::vector<GemmDims> dims = {{16, 0, 8}};
+  EXPECT_THROW(select_tiling(dims, TilingConfig{}), CheckError);
+}
+
+TEST(SelectTiling, HigherThresholdNeverPicksLargerTiles) {
+  // Raising the threshold keeps more TLP, i.e. same or smaller tiles.
+  const auto dims = same(64, 256, 256, 128);
+  const TilingResult lo = select_tiling(dims, TilingConfig{16384});
+  const TilingResult hi = select_tiling(dims, TilingConfig{262144});
+  EXPECT_LE(static_cast<int>(hi.per_gemm[0]->shape),
+            static_cast<int>(lo.per_gemm[0]->shape));
+}
+
+// -------------------------------------------------------- MAGMA uniform --
+
+TEST(MagmaUniform, PicksLargestFittingUpToLarge) {
+  const auto dims = same(4, 128, 128, 64);
+  EXPECT_EQ(magma_uniform_strategy(dims).shape, TileShape::kLarge);
+}
+
+TEST(MagmaUniform, SmallMatricesGetSmallTiles) {
+  const auto dims = same(4, 16, 24, 64);
+  EXPECT_EQ(magma_uniform_strategy(dims).shape, TileShape::kSmall);
+}
+
+TEST(MagmaUniform, MaxGemmDictates) {
+  // A batch of tiny GEMMs plus one 64x64: the large tile (64x64) wins even
+  // though most GEMMs are 16x16 (the coordination gap the paper attacks).
+  std::vector<GemmDims> dims = same(7, 16, 16, 64);
+  dims.push_back(GemmDims{64, 64, 64});
+  EXPECT_EQ(magma_uniform_strategy(dims).shape, TileShape::kLarge);
+}
+
+TEST(MagmaUniform, Uses256ThreadTemplateBlocks) {
+  // MAGMA's gemm_template kernels use 2-D (16x16) thread blocks.
+  const auto dims = same(4, 128, 128, 64);
+  EXPECT_EQ(magma_uniform_strategy(dims).threads, 256);
+}
+
+TEST(MagmaUniform, NeverExceedsLargeTiles) {
+  const auto dims = same(4, 4096, 4096, 64);
+  EXPECT_EQ(magma_uniform_strategy(dims).shape, TileShape::kLarge);
+}
+
+}  // namespace
+}  // namespace ctb

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/tiling_strategy.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+namespace {
+
+// Table 1 must match the paper exactly.
+TEST(Table1, MatchesPaper) {
+  const auto& t = single_gemm_strategies();
+  ASSERT_EQ(t.size(), 6u);
+  // {BY, BX, BK, Threads, sub_y, sub_x}
+  const int expected[6][6] = {
+      {16, 16, 8, 32, 4, 2},   {32, 32, 8, 64, 4, 4},
+      {64, 64, 8, 64, 8, 8},   {128, 64, 8, 128, 8, 8},
+      {64, 128, 8, 128, 8, 8}, {128, 128, 8, 256, 8, 8},
+  };
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(t[i].by, expected[i][0]) << i;
+    EXPECT_EQ(t[i].bx, expected[i][1]) << i;
+    EXPECT_EQ(t[i].bk, expected[i][2]) << i;
+    EXPECT_EQ(t[i].threads, expected[i][3]) << i;
+    EXPECT_EQ(t[i].sub_y, expected[i][4]) << i;
+    EXPECT_EQ(t[i].sub_x, expected[i][5]) << i;
+  }
+}
+
+// Table 2 must match the paper exactly.
+TEST(Table2, MatchesPaper) {
+  struct Row {
+    TileShape shape;
+    int by, bx;
+    int s128y, s128x, s256y, s256x;
+  };
+  const Row rows[] = {
+      {TileShape::kSmall, 16, 16, 2, 1, 1, 1},
+      {TileShape::kMedium, 32, 32, 4, 2, 2, 2},
+      {TileShape::kLarge, 64, 64, 8, 4, 4, 4},
+      {TileShape::kTall, 128, 64, 8, 8, 8, 4},
+      {TileShape::kWide, 64, 128, 8, 8, 8, 4},
+      {TileShape::kHuge, 128, 128, 16, 8, 8, 8},
+  };
+  for (const Row& r : rows) {
+    const auto& s128 = batched_strategy(r.shape, ThreadVariant::k128);
+    const auto& s256 = batched_strategy(r.shape, ThreadVariant::k256);
+    EXPECT_EQ(s128.by, r.by);
+    EXPECT_EQ(s128.bx, r.bx);
+    EXPECT_EQ(s128.threads, 128);
+    EXPECT_EQ(s128.sub_y, r.s128y);
+    EXPECT_EQ(s128.sub_x, r.s128x);
+    EXPECT_EQ(s256.threads, 256);
+    EXPECT_EQ(s256.sub_y, r.s256y);
+    EXPECT_EQ(s256.sub_x, r.s256x);
+    EXPECT_EQ(s128.bk, 8);
+    EXPECT_EQ(s256.bk, 8);
+  }
+}
+
+class AllBatchedStrategies : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllBatchedStrategies, UnifiedThreadStructureInvariant) {
+  // Tile area == threads * sub-tile area: every thread covers exactly one
+  // sub-tile, no gaps, no overlap.
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  EXPECT_EQ(s.by * s.bx, s.threads * s.sub_y * s.sub_x);
+  EXPECT_TRUE(s.threads == 128 || s.threads == 256);
+}
+
+TEST_P(AllBatchedStrategies, IdRoundTrips) {
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  EXPECT_EQ(s.id, GetParam());
+  EXPECT_EQ(&batched_strategy(s.shape, s.threads == 128
+                                           ? ThreadVariant::k128
+                                           : ThreadVariant::k256),
+            &s);
+}
+
+TEST_P(AllBatchedStrategies, ResourceFootprintLaunchable) {
+  // Every Table-2 strategy must fit a V100 block: <= 96 KB smem, <= 255
+  // regs/thread.
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  EXPECT_LE(s.smem_bytes(), 96 * 1024);
+  EXPECT_GE(s.smem_bytes(), 2 * (16 * 8 + 8 * 16) * 4);
+  EXPECT_LE(s.regs_per_thread(), 255);
+  EXPECT_GT(s.regs_per_thread(), 0);
+}
+
+TEST_P(AllBatchedStrategies, SubTileDividesTile) {
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  EXPECT_EQ(s.by % s.sub_y, 0);
+  EXPECT_EQ(s.bx % s.sub_x, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ids, AllBatchedStrategies, ::testing::Range(0, 12));
+
+TEST(TilingStrategy, TilesForCeilDivision) {
+  const auto& s = batched_strategy(TileShape::kLarge, ThreadVariant::k256);
+  EXPECT_EQ(s.tiles_for(64, 64), 1);
+  EXPECT_EQ(s.tiles_for(65, 64), 2);
+  EXPECT_EQ(s.tiles_for(128, 128), 4);
+  EXPECT_EQ(s.tiles_for(1, 1), 1);
+}
+
+TEST(TilingStrategy, SmemIsDoubleBuffered) {
+  const auto& s = batched_strategy(TileShape::kHuge, ThreadVariant::k256);
+  // 2 buffers * (128*8 + 8*128) floats * 4 B = 16 KB.
+  EXPECT_EQ(s.smem_bytes(), 16384);
+}
+
+TEST(TilingStrategy, FmasPerThreadIter) {
+  const auto& s = batched_strategy(TileShape::kHuge, ThreadVariant::k256);
+  EXPECT_EQ(s.fmas_per_thread_iter(), 8 * 8 * 8);
+  const auto& sm = batched_strategy(TileShape::kSmall, ThreadVariant::k256);
+  EXPECT_EQ(sm.fmas_per_thread_iter(), 8);
+}
+
+TEST(TilingStrategy, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto& s : batched_strategies()) names.insert(s.name());
+  EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(TilingStrategy, ShapeNames) {
+  EXPECT_STREQ(to_string(TileShape::kSmall), "small");
+  EXPECT_STREQ(to_string(TileShape::kHuge), "huge");
+}
+
+TEST(TilingStrategy, OutOfRangeIdThrows) {
+  EXPECT_THROW(batched_strategy_by_id(-1), CheckError);
+  EXPECT_THROW(batched_strategy_by_id(12), CheckError);
+}
+
+TEST(TilingStrategy, ShapesOrderedSmallToHuge) {
+  const auto& shapes = all_tile_shapes();
+  for (std::size_t i = 1; i < shapes.size(); ++i) {
+    const auto& prev = batched_strategy(shapes[i - 1], ThreadVariant::k256);
+    const auto& cur = batched_strategy(shapes[i], ThreadVariant::k256);
+    EXPECT_LE(prev.by * prev.bx, cur.by * cur.bx);
+  }
+}
+
+}  // namespace
+}  // namespace ctb

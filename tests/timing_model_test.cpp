@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/arch.hpp"
+#include "gpusim/timing_model.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+namespace {
+
+const GpuArch& v100() { return gpu_arch(GpuModel::kV100); }
+
+TileWork make_tile(int iters, int fmas, std::int64_t bytes) {
+  TileWork t;
+  t.iters = iters;
+  t.fmas_per_thread_iter = fmas;
+  t.bytes_per_iter = bytes;
+  t.epilogue_bytes = 1024;
+  t.epilogue_flops = 512;
+  t.flops = 2LL * iters * fmas * 256;
+  return t;
+}
+
+BlockWork make_block(std::vector<TileWork> tiles, int threads = 256) {
+  BlockWork b;
+  b.threads = threads;
+  b.active_threads = threads;
+  b.regs_per_thread = 64;
+  b.smem_bytes = 8192;
+  b.tiles = std::move(tiles);
+  return b;
+}
+
+BlockContext ctx(int on_sm = 1, int total = 1, int warps = 8) {
+  return BlockContext{on_sm, total, warps};
+}
+
+TEST(TimingModel, BubbleBlockCostsOnlySchedOverhead) {
+  const BlockWork bubble = make_block({});
+  const BlockCost c = block_cost(v100(), bubble, ctx());
+  EXPECT_DOUBLE_EQ(c.total_cycles, v100().block_sched_overhead_cycles);
+  EXPECT_DOUBLE_EQ(c.mainloop_cycles, 0.0);
+}
+
+TEST(TimingModel, CostGrowsWithIterations) {
+  const BlockCost c1 =
+      block_cost(v100(), make_block({make_tile(8, 128, 4096)}), ctx());
+  const BlockCost c2 =
+      block_cost(v100(), make_block({make_tile(64, 128, 4096)}), ctx());
+  EXPECT_GT(c2.total_cycles, c1.total_cycles);
+  // Main loop should scale roughly 8x.
+  EXPECT_NEAR(c2.mainloop_cycles / c1.mainloop_cycles, 8.0, 0.01);
+}
+
+TEST(TimingModel, SharingAnSmSlowsABlockDown) {
+  const BlockWork b = make_block({make_tile(32, 128, 4096)});
+  const double alone = block_cost(v100(), b, ctx(1, 1, 8)).total_cycles;
+  const double shared = block_cost(v100(), b, ctx(4, 4, 32)).total_cycles;
+  EXPECT_GT(shared, alone);
+}
+
+TEST(TimingModel, GlobalBandwidthContentionSlowsMemoryBoundBlocks) {
+  // Memory-heavy tile: few FMAs, many bytes.
+  const BlockWork b = make_block({make_tile(32, 8, 16384)});
+  const double few = block_cost(v100(), b, ctx(1, 10, 32)).total_cycles;
+  const double many = block_cost(v100(), b, ctx(1, 1000, 32)).total_cycles;
+  EXPECT_GT(many, few);
+}
+
+TEST(TimingModel, MoreWarpsImproveLatencyHiding) {
+  const BlockWork b = make_block({make_tile(32, 32, 4096)});
+  const BlockCost low = block_cost(v100(), b, ctx(1, 1, 2));
+  const BlockCost high = block_cost(v100(), b, ctx(1, 1, 64));
+  EXPECT_LT(low.hide_factor, high.hide_factor);
+  EXPECT_GT(low.total_cycles, high.total_cycles);
+}
+
+TEST(TimingModel, HideFactorSaturatesAtOne) {
+  const BlockWork b = make_block({make_tile(32, 512, 4096)});
+  const BlockCost c = block_cost(v100(), b, ctx(1, 1, 64));
+  EXPECT_DOUBLE_EQ(c.hide_factor, 1.0);
+}
+
+TEST(TimingModel, ChainingTilesAmortizesPipelineFill) {
+  // Two tiles in one block pay one fill; two blocks pay two. The chained
+  // version must cost less than 2x the single (minus one sched overhead).
+  const TileWork t = make_tile(4, 128, 4096);
+  const double single =
+      block_cost(v100(), make_block({t}), ctx()).total_cycles;
+  const double chained =
+      block_cost(v100(), make_block({t, t}), ctx()).total_cycles;
+  EXPECT_LT(chained, 2.0 * single - v100().block_sched_overhead_cycles);
+  // But the chain still does both tiles' work.
+  EXPECT_GT(chained, single);
+}
+
+TEST(TimingModel, SwitchOverheadCountsPerExtraTile) {
+  const TileWork t = make_tile(4, 128, 4096);
+  const BlockCost c3 = block_cost(v100(), make_block({t, t, t}), ctx());
+  EXPECT_DOUBLE_EQ(c3.switch_cycles,
+                   2.0 * v100().tile_switch_overhead_cycles);
+}
+
+TEST(TimingModel, ComputeBoundBlockInsensitiveToBandwidthContention) {
+  // Heavy FMAs, few bytes: stage = compute; more total residents should not
+  // change the stage (only the small exposed term via hide, held constant).
+  const BlockWork b = make_block({make_tile(32, 512, 256)});
+  const double a = block_cost(v100(), b, ctx(1, 1, 64)).total_cycles;
+  const double c = block_cost(v100(), b, ctx(1, 100, 64)).total_cycles;
+  EXPECT_NEAR(a, c, a * 0.05);
+}
+
+TEST(TimingModel, SubPartitionCapLimitsSmallBlocks) {
+  // A 64-thread block (2 warps) can use at most 2 sub-partitions of lanes;
+  // the same work in a 256-thread block issues at the full SM rate.
+  TileWork t64 = make_tile(32, 512, 256);
+  TileWork t256 = make_tile(32, 128, 256);  // same block-wide FMA count
+  BlockWork b64 = make_block({t64}, 64);
+  b64.active_threads = 64;
+  BlockWork b256 = make_block({t256}, 256);
+  const double c64 =
+      block_cost(v100(), b64, ctx(1, 1, 64)).compute_cycles_per_iter;
+  const double c256 =
+      block_cost(v100(), b256, ctx(1, 1, 64)).compute_cycles_per_iter;
+  EXPECT_NEAR(c64 / c256, 2.0, 0.01);  // 32 lanes vs 64 lanes
+}
+
+TEST(TimingModel, IdleThreadsDoNotAddCompute) {
+  // Same tile, one block with half the threads active: fewer FMAs issue.
+  BlockWork full = make_block({make_tile(32, 128, 4096)});
+  BlockWork half = full;
+  half.active_threads = 128;
+  const BlockCost cf = block_cost(v100(), full, ctx(1, 1, 8));
+  const BlockCost ch = block_cost(v100(), half, ctx(1, 1, 8));
+  EXPECT_LT(ch.compute_cycles_per_iter, cf.compute_cycles_per_iter);
+}
+
+TEST(TimingModel, ZeroIterTileRejected) {
+  BlockWork b = make_block({make_tile(0, 128, 4096)});
+  EXPECT_THROW(block_cost(v100(), b, ctx()), CheckError);
+}
+
+TEST(TimingModel, IlpWeightClampedToRange) {
+  TileWork shallow = make_tile(1, 1, 64);
+  TileWork deep = make_tile(1, 4096, 64);
+  EXPECT_DOUBLE_EQ(tile_ilp_weight(shallow), 0.5);
+  EXPECT_DOUBLE_EQ(tile_ilp_weight(deep), 2.0);
+  TileWork mid = make_tile(1, 128, 64);
+  EXPECT_DOUBLE_EQ(tile_ilp_weight(mid), 1.0);
+}
+
+TEST(TimingModel, CodeEfficiencyScalesComputeOnly) {
+  // A 0.5-efficiency kernel doubles its compute cycles per iteration but
+  // leaves memory-bound behaviour unchanged.
+  BlockWork tuned = make_block({make_tile(16, 512, 64)});  // compute bound
+  BlockWork generic = tuned;
+  generic.code_efficiency = 0.5;
+  const BlockCost ct = block_cost(v100(), tuned, ctx(1, 1, 64));
+  const BlockCost cg = block_cost(v100(), generic, ctx(1, 1, 64));
+  EXPECT_NEAR(cg.compute_cycles_per_iter / ct.compute_cycles_per_iter, 2.0,
+              1e-9);
+  EXPECT_GT(cg.total_cycles, ct.total_cycles);
+}
+
+TEST(TimingModel, PhaseSerializedBlockSlowerWhenAlone) {
+  // A non-double-buffered block alone on an SM cannot hide its own loads.
+  BlockWork db = make_block({make_tile(32, 128, 4096)});
+  BlockWork ndb = db;
+  ndb.double_buffered = false;
+  const double t_db = block_cost(v100(), db, ctx(1, 1, 8)).total_cycles;
+  const double t_ndb = block_cost(v100(), ndb, ctx(1, 1, 8)).total_cycles;
+  EXPECT_GT(t_ndb, t_db * 1.2);
+}
+
+TEST(TimingModel, PhaseSerializedPenaltyShrinksWithCoResidency) {
+  // Other blocks' warps hide a phase-serialized block's exposure.
+  BlockWork ndb = make_block({make_tile(32, 128, 4096)});
+  ndb.double_buffered = false;
+  const double alone =
+      block_cost(v100(), ndb, ctx(1, 1, 8)).hide_factor;
+  const double packed =
+      block_cost(v100(), ndb, ctx(4, 4, 64)).hide_factor;
+  EXPECT_GT(packed, alone);
+}
+
+TEST(TimingModel, L2ServesDuplicateBytes) {
+  // Same total bytes; one tile marks most of them as L2-resident re-reads.
+  TileWork all_dram = make_tile(32, 8, 16384);
+  all_dram.dram_bytes_per_iter = 16384;
+  TileWork mostly_l2 = make_tile(32, 8, 16384);
+  mostly_l2.dram_bytes_per_iter = 1024;
+  // Heavy global contention makes DRAM the bottleneck for the first tile.
+  const BlockContext heavy{1, 500, 64};
+  const double t_dram =
+      block_cost(v100(), make_block({all_dram}), heavy).total_cycles;
+  const double t_l2 =
+      block_cost(v100(), make_block({mostly_l2}), heavy).total_cycles;
+  EXPECT_GT(t_dram, t_l2);
+}
+
+TEST(TimingModel, DramBytesDefaultToTotalBytes) {
+  // dram_bytes_per_iter == -1 means "no sharing information": behave as if
+  // every byte came from DRAM.
+  TileWork unset = make_tile(16, 8, 8192);
+  TileWork explicit_full = make_tile(16, 8, 8192);
+  explicit_full.dram_bytes_per_iter = 8192;
+  const BlockContext c{1, 100, 64};
+  EXPECT_DOUBLE_EQ(
+      block_cost(v100(), make_block({unset}), c).total_cycles,
+      block_cost(v100(), make_block({explicit_full}), c).total_cycles);
+}
+
+TEST(TimingModel, CostBreakdownSumsToTotal) {
+  const BlockWork b = make_block({make_tile(16, 128, 4096)});
+  const BlockCost c = block_cost(v100(), b, ctx(2, 10, 16));
+  EXPECT_NEAR(c.total_cycles,
+              c.sched_cycles + c.fill_cycles + c.mainloop_cycles +
+                  c.epilogue_cycles + c.switch_cycles,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace ctb

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ctb {
+namespace {
+
+// ---------------------------------------------------------------- assert --
+
+TEST(Assert, CheckPassesOnTrue) { EXPECT_NO_THROW(CTB_CHECK(1 + 1 == 2)); }
+
+TEST(Assert, CheckThrowsOnFalse) {
+  EXPECT_THROW(CTB_CHECK(1 + 1 == 3), CheckError);
+}
+
+TEST(Assert, CheckMsgIncludesMessage) {
+  try {
+    CTB_CHECK_MSG(false, "the answer is " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is 42"),
+              std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntHitsAllValuesOfSmallRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(13, 13), 13);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, LogUniformRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.log_uniform_int(16, 2048);
+    EXPECT_GE(v, 16);
+    EXPECT_LE(v, 2048);
+  }
+}
+
+TEST(Rng, LogUniformFavorsSmallMagnitudes) {
+  Rng rng(17);
+  int below = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i)
+    below += rng.log_uniform_int(1, 1024) <= 32 ? 1 : 0;
+  // log-uniform: P(v <= 32) = log(33)/log(1025) ~ 0.5; uniform would be 3%.
+  EXPECT_GT(below, kN / 3);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(Stats, MeanAndGeomean) {
+  const std::vector<double> xs{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0 / 3.0);
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW(geomean(xs), CheckError);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, PercentileEndpointsAndMedian) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, SummarizeCountsAndBounds) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, FmtFormatsNumbers) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(7), "7");
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, ClearResets) {
+  TextTable t;
+  t.add_row({"1"});
+  t.clear();
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(AsciiBar, ScalesAndCaps) {
+  EXPECT_EQ(ascii_bar(1.0), "##########");
+  EXPECT_EQ(ascii_bar(0.5), "#####");
+  EXPECT_EQ(ascii_bar(0.0), "");
+  EXPECT_EQ(ascii_bar(-1.0), "");
+  const std::string capped = ascii_bar(100.0, 10, 20);
+  EXPECT_EQ(capped.size(), 21u);  // 20 '#' plus the '+' overflow marker
+  EXPECT_EQ(capped.back(), '+');
+}
+
+// ------------------------------------------------------------------- cli --
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  CliFlags flags;
+  flags.define("batch", "4", "batch size");
+  flags.define("arch", "v100", "gpu");
+  const char* argv[] = {"prog", "--batch", "16", "--arch=p100"};
+  flags.parse(4, argv);
+  EXPECT_EQ(flags.get_int("batch"), 16);
+  EXPECT_EQ(flags.get("arch"), "p100");
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  CliFlags flags;
+  flags.define("k", "128", "");
+  const char* argv[] = {"prog"};
+  flags.parse(1, argv);
+  EXPECT_EQ(flags.get_int("k"), 128);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliFlags flags;
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(flags.parse(3, argv), CheckError);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  CliFlags flags;
+  flags.define("verbose", "false", "");
+  const char* argv[] = {"prog", "--verbose"};
+  flags.parse(2, argv);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Cli, BadIntValueThrows) {
+  CliFlags flags;
+  flags.define("n", "1", "");
+  const char* argv[] = {"prog", "--n", "abc"};
+  flags.parse(3, argv);
+  EXPECT_THROW(flags.get_int("n"), std::exception);
+}
+
+TEST(Cli, PositionalArgumentsReturned) {
+  CliFlags flags;
+  flags.define("x", "0", "");
+  const char* argv[] = {"prog", "pos1", "--x", "3", "pos2"};
+  const auto pos = flags.parse(5, argv);
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], "pos1");
+  EXPECT_EQ(pos[1], "pos2");
+}
+
+TEST(Cli, UsageListsFlags) {
+  CliFlags flags;
+  flags.define("alpha", "1.0", "scale factor");
+  const std::string u = flags.usage("prog");
+  EXPECT_NE(u.find("--alpha"), std::string::npos);
+  EXPECT_NE(u.find("scale factor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctb

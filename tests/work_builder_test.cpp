@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/batching_engine.hpp"
+#include "core/tiling_engine.hpp"
+#include "core/api.hpp"
+#include "kernels/work_builder.hpp"
+
+namespace ctb {
+namespace {
+
+const TilingStrategy& small256() {
+  return batched_strategy(TileShape::kSmall, ThreadVariant::k256);
+}
+const TilingStrategy& large256() {
+  return batched_strategy(TileShape::kLarge, ThreadVariant::k256);
+}
+
+TEST(MakeTileWork, FullTileAccounting) {
+  const GemmDims d{64, 64, 80};
+  const TileWork w = make_tile_work(large256(), d, 0, 0);
+  EXPECT_EQ(w.iters, 10);  // ceil(80/8)
+  EXPECT_EQ(w.fmas_per_thread_iter, 4 * 4 * 8);
+  EXPECT_EQ(w.bytes_per_iter, (64 * 8 + 8 * 64) * 4);
+  EXPECT_EQ(w.epilogue_bytes, 64 * 64 * 4);
+  EXPECT_EQ(w.flops, 2LL * 64 * 64 * 80);
+}
+
+TEST(MakeTileWork, EdgeTileClampsTraffic) {
+  const GemmDims d{80, 70, 64};  // large tiles: edge tile is 16 x 6
+  const TileWork w = make_tile_work(large256(), d, 1, 1);
+  EXPECT_EQ(w.bytes_per_iter, (16 * 8 + 8 * 6) * 4);
+  EXPECT_EQ(w.epilogue_bytes, 16 * 6 * 4);
+  EXPECT_EQ(w.flops, 2LL * 16 * 6 * 64);
+}
+
+TEST(MakeTileWork, KNotMultipleOfBkRoundsUp) {
+  const GemmDims d{16, 16, 9};
+  EXPECT_EQ(make_tile_work(small256(), d, 0, 0).iters, 2);
+}
+
+TEST(MakeTileWork, OutsideTileThrows) {
+  const GemmDims d{16, 16, 8};
+  EXPECT_THROW(make_tile_work(small256(), d, 1, 0), CheckError);
+}
+
+TEST(WorkSingleGemm, OneBlockPerTile) {
+  const GemmDims d{128, 96, 64};
+  const KernelWork k = work_single_gemm(d, large256());
+  EXPECT_EQ(k.blocks.size(), 4u);  // 2 x 2
+  for (const auto& b : k.blocks) {
+    EXPECT_EQ(b.threads, 256);
+    EXPECT_EQ(b.tiles.size(), 1u);
+    EXPECT_EQ(b.smem_bytes, large256().smem_bytes());
+  }
+  // Epilogue adds 2 flops per C element on top of the useful 2*m*n*k.
+  EXPECT_EQ(k.total_flops(), d.flops() + 2LL * 128 * 96);
+}
+
+TEST(WorkSingleGemm, TotalFlopsMatchProblem) {
+  const GemmDims d{64, 64, 32};
+  const KernelWork k = work_single_gemm(d, small256());
+  // Useful flops (excluding epilogue) must equal 2*m*n*k exactly.
+  std::int64_t useful = 0;
+  for (const auto& b : k.blocks)
+    for (const auto& t : b.tiles) useful += t.flops;
+  EXPECT_EQ(useful, d.flops());
+}
+
+TEST(WorkVbatch, GridPaddedWithBubbles) {
+  // GEMMs of 1x2 and 4x4 tiles under small: grid = 4x4x2 = 32 blocks,
+  // 16 + (16-2) = 14 bubbles... GEMM0 16x32 -> 1x2 tiles -> 14 bubbles.
+  const std::vector<GemmDims> dims = {{16, 32, 64}, {64, 64, 64}};
+  const KernelWork k = work_vbatch(dims, single_gemm_strategy(
+                                             TileShape::kSmall));
+  EXPECT_EQ(k.blocks.size(), 32u);
+  int bubbles = 0;
+  for (const auto& b : k.blocks) bubbles += b.tiles.empty() ? 1 : 0;
+  EXPECT_EQ(bubbles, 14);
+}
+
+TEST(WorkVbatch, UniformBlockFootprint) {
+  const std::vector<GemmDims> dims = {{16, 16, 32}, {64, 64, 32}};
+  const auto& s = single_gemm_strategy(TileShape::kLarge);
+  const KernelWork k = work_vbatch(dims, s);
+  for (const auto& b : k.blocks) {
+    EXPECT_EQ(b.threads, s.threads);
+    EXPECT_EQ(b.smem_bytes, s.smem_bytes());
+  }
+}
+
+TEST(WorkVbatch, IdleThreadsOnSmallGemmUnderLargeTile) {
+  // 16x16 GEMM under a large (64x64) tile: active threads is the small
+  // fraction covering 16x16 with 8x8 sub-tiles = 2x2 = 4 of 64.
+  const std::vector<GemmDims> dims = {{16, 16, 32}};
+  const auto& s = single_gemm_strategy(TileShape::kLarge);
+  const KernelWork k = work_vbatch(dims, s);
+  ASSERT_EQ(k.blocks.size(), 1u);
+  EXPECT_EQ(k.blocks[0].active_threads, 4);
+  EXPECT_EQ(k.blocks[0].threads, 64);
+}
+
+TEST(WorkVbatch, NoBubblesForEqualSizes) {
+  const std::vector<GemmDims> dims(8, GemmDims{64, 64, 32});
+  const KernelWork k =
+      work_vbatch(dims, single_gemm_strategy(TileShape::kMedium));
+  for (const auto& b : k.blocks) EXPECT_FALSE(b.tiles.empty());
+  EXPECT_EQ(k.blocks.size(), 8u * 4);  // 2x2 tiles each
+}
+
+TEST(WorkFromPlan, MatchesPlanStructure) {
+  const std::vector<GemmDims> dims = {{32, 32, 64}, {64, 64, 128}};
+  const TilingResult tiling = select_tiling(dims, TilingConfig{65536});
+  const auto tiles = enumerate_tiles(dims, tiling.per_gemm);
+  const BatchPlan plan = batch_binary(
+      tiles, static_cast<int>(tiling.variant), BatchingConfig{256, 65536});
+  const KernelWork k = work_from_plan(plan, dims);
+  ASSERT_EQ(static_cast<int>(k.blocks.size()), plan.num_blocks());
+  for (int b = 0; b < plan.num_blocks(); ++b) {
+    const auto [begin, end] = plan.block_tiles(b);
+    EXPECT_EQ(static_cast<int>(
+                  k.blocks[static_cast<std::size_t>(b)].tiles.size()),
+              end - begin);
+    EXPECT_EQ(k.blocks[static_cast<std::size_t>(b)].threads,
+              plan.block_threads);
+    EXPECT_EQ(k.blocks[static_cast<std::size_t>(b)].smem_bytes,
+              plan.smem_bytes);
+  }
+}
+
+TEST(WorkFromPlan, UsefulFlopsConserved) {
+  // Whatever the batching, the useful flops of the kernel equal the sum of
+  // the batch's 2*m*n*k.
+  const std::vector<GemmDims> dims = {
+      {48, 48, 96}, {16, 128, 32}, {128, 64, 256}};
+  const TilingResult tiling = select_tiling(dims, TilingConfig{65536});
+  const auto tiles = enumerate_tiles(dims, tiling.per_gemm);
+  std::int64_t expected = 0;
+  for (const auto& d : dims) expected += d.flops();
+  for (BatchingHeuristic h :
+       {BatchingHeuristic::kNone, BatchingHeuristic::kThreshold,
+        BatchingHeuristic::kBinary}) {
+    const BatchPlan plan = batch_tiles(h, tiles,
+                                       static_cast<int>(tiling.variant));
+    const KernelWork k = work_from_plan(plan, dims);
+    std::int64_t useful = 0;
+    for (const auto& b : k.blocks)
+      for (const auto& t : b.tiles) useful += t.flops;
+    EXPECT_EQ(useful, expected) << to_string(h);
+  }
+}
+
+TEST(WorkVbatch, KernelQualityFlagsPropagate) {
+  const std::vector<GemmDims> dims = {{16, 16, 32}, {64, 64, 32}};
+  const auto& s = batched_strategy(TileShape::kLarge, ThreadVariant::k256);
+  const KernelWork magma_like =
+      work_vbatch(dims, s, /*double_buffered=*/false, 0.8);
+  for (const auto& b : magma_like.blocks) {
+    EXPECT_FALSE(b.double_buffered);
+    EXPECT_DOUBLE_EQ(b.code_efficiency, 0.8);
+  }
+  const KernelWork cublas_like =
+      work_vbatch(dims, s, /*double_buffered=*/true);
+  for (const auto& b : cublas_like.blocks) {
+    EXPECT_TRUE(b.double_buffered);
+    EXPECT_DOUBLE_EQ(b.code_efficiency, 1.0);
+  }
+}
+
+TEST(WorkFromPlan, Fp16HalvesTotalBytes) {
+  const std::vector<GemmDims> dims = {{64, 64, 64}, {32, 96, 128}};
+  const BatchedGemmPlanner planner{PlannerConfig{}};
+  const PlanSummary s = planner.plan(dims);
+  const KernelWork w32 = work_from_plan(s.plan, dims, Precision::kFp32);
+  const KernelWork w16 = work_from_plan(s.plan, dims, Precision::kFp16);
+  EXPECT_EQ(w16.total_bytes() * 2, w32.total_bytes());
+  EXPECT_EQ(w16.total_flops(), w32.total_flops());
+  for (const auto& b : w16.blocks) EXPECT_TRUE(b.fp16);
+  for (const auto& b : w32.blocks) EXPECT_FALSE(b.fp16);
+}
+
+TEST(WorkFromPlan, NoBubbleBlocks) {
+  // Our plans never produce empty blocks, unlike vbatch.
+  const std::vector<GemmDims> dims = {{16, 32, 64}, {64, 64, 64}};
+  const TilingResult tiling = select_tiling(dims, TilingConfig{65536});
+  const auto tiles = enumerate_tiles(dims, tiling.per_gemm);
+  const BatchPlan plan =
+      batch_none(tiles, static_cast<int>(tiling.variant));
+  const KernelWork k = work_from_plan(plan, dims);
+  for (const auto& b : k.blocks) EXPECT_FALSE(b.tiles.empty());
+}
+
+}  // namespace
+}  // namespace ctb

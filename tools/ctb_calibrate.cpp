@@ -1,0 +1,57 @@
+// ctb_calibrate — runs the paper's offline threshold calibration for an
+// architecture and prints the probe curves plus the recommended values
+// (Section 4.2.3: "The threshold is determined offline and it only needs to
+// be done once for a particular platform").
+//
+//   ctb_calibrate --gpu v100
+#include <iostream>
+
+#include "core/calibrate.hpp"
+#include "core/api.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ctb;
+  CliFlags flags;
+  flags.define("gpu", "V100", "architecture preset (or 'all')");
+  try {
+    flags.parse(argc, argv);
+  } catch (const CheckError& e) {
+    std::cerr << e.what() << "\n\n" << flags.usage("ctb_calibrate");
+    return 2;
+  }
+
+  std::vector<GpuModel> models;
+  if (flags.get("gpu") == "all") {
+    models = all_gpu_models();
+  } else {
+    for (GpuModel m : all_gpu_models()) {
+      std::string lower = to_string(m);
+      for (char& c : lower) c = static_cast<char>(std::tolower(c));
+      if (flags.get("gpu") == to_string(m) || flags.get("gpu") == lower)
+        models.push_back(m);
+    }
+    if (models.empty()) {
+      std::cerr << "unknown GPU '" << flags.get("gpu") << "'\n";
+      return 1;
+    }
+  }
+
+  for (GpuModel model : models) {
+    const GpuArch& arch = gpu_arch(model);
+    std::cout << "=== " << arch.name << " ===\n";
+    const TlpCalibration tlp = calibrate_tlp_threshold(arch);
+    TextTable t;
+    t.set_header({"TLP (threads)", "GFLOP/s"});
+    for (const auto& p : tlp.curve)
+      t.add_row({TextTable::fmt(p.tlp), TextTable::fmt(p.gflops, 0)});
+    t.print(std::cout);
+    const ThetaCalibration theta = calibrate_theta(arch, tlp.threshold);
+    std::cout << "recommended: tlp_threshold=" << tlp.threshold
+              << " theta=" << theta.theta
+              << "  (library default: " << default_tlp_threshold(arch)
+              << " / " << default_theta(arch) << ")\n\n";
+  }
+  return 0;
+}
