@@ -9,6 +9,7 @@
 
 #include "baselines/baselines.hpp"
 #include "core/api.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +45,37 @@ inline const std::vector<int>& sweep_batch() {
 inline const std::vector<int>& sweep_k() {
   static const std::vector<int> v = {16, 32, 64, 128, 256, 512, 1024, 2048};
   return v;
+}
+
+/// One (M=N, batch, K) cell of the paper's sweep grid.
+struct SweepCell {
+  int mn = 0;
+  int batch = 0;
+  int k = 0;
+};
+
+/// The full Fig. 8/9 grid in print order (mn outer, batch, then K).
+inline std::vector<SweepCell> sweep_cells() {
+  std::vector<SweepCell> cells;
+  for (int mn : sweep_mn())
+    for (int batch : sweep_batch())
+      for (int k : sweep_k()) cells.push_back({mn, batch, k});
+  return cells;
+}
+
+/// Evaluates every sweep cell concurrently — each (M=N, batch, K) cell is an
+/// independent plan+simulate — and returns results in cell order so the
+/// table-printing loops stay deterministic regardless of thread count.
+template <typename Result, typename F>
+std::vector<Result> sweep_parallel(const std::vector<SweepCell>& cells,
+                                   F&& eval) {
+  std::vector<Result> out(cells.size());
+  parallel_for(static_cast<long long>(cells.size()),
+               [&](long long i) {
+                 out[static_cast<std::size_t>(i)] =
+                     eval(cells[static_cast<std::size_t>(i)]);
+               });
+  return out;
 }
 
 }  // namespace ctb::bench

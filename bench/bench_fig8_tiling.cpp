@@ -9,6 +9,17 @@
 
 #include "bench_common.hpp"
 
+namespace {
+
+struct Fig8Row {
+  double magma = 0.0;
+  double ours = 0.0;
+  std::string magma_tile;
+  std::string our_tile;
+};
+
+}  // namespace
+
 int main() {
   using namespace ctb;
   using namespace ctb::bench;
@@ -16,7 +27,26 @@ int main() {
 
   std::cout << "=== Figure 8: tiling engine speedup over MAGMA vbatch ("
             << arch.name << ") ===\n";
+  // Every (M=N, batch, K) cell is an independent plan+simulate; evaluate the
+  // whole grid in parallel, then print in the fixed sweep order.
+  const std::vector<SweepCell> cells = sweep_cells();
+  const std::vector<Fig8Row> rows =
+      sweep_parallel<Fig8Row>(cells, [&](const SweepCell& cell) {
+        const auto dims = equal_case(cell.batch, cell.mn, cell.k);
+        Fig8Row row;
+        row.magma = run_magma_timed(arch, dims).time_us;
+        PlannerConfig config;
+        config.policy = BatchingPolicy::kTilingOnly;
+        const BatchedGemmPlanner planner(config);
+        const PlanSummary s = planner.plan(dims);
+        row.ours = time_plan(arch, s.plan, dims).time_us;
+        row.magma_tile = magma_uniform_strategy(dims).name();
+        row.our_tile = s.tiling.per_gemm[0]->name();
+        return row;
+      });
+
   std::vector<double> all_speedups;
+  std::size_t cell = 0;
   for (int mn : sweep_mn()) {
     for (int batch : sweep_batch()) {
       TextTable t;
@@ -24,19 +54,12 @@ int main() {
       t.set_header({"K", "magma(us)", "tiling(us)", "speedup", "magma tile",
                     "our tile", "histogram (1.0 = 10 chars)"});
       for (int k : sweep_k()) {
-        const auto dims = equal_case(batch, mn, k);
-        const double magma = run_magma_timed(arch, dims).time_us;
-        PlannerConfig config;
-        config.policy = BatchingPolicy::kTilingOnly;
-        const BatchedGemmPlanner planner(config);
-        const PlanSummary s = planner.plan(dims);
-        const double ours = time_plan(arch, s.plan, dims).time_us;
-        const double speedup = magma / ours;
+        const Fig8Row& row = rows[cell++];
+        const double speedup = row.magma / row.ours;
         all_speedups.push_back(speedup);
-        t.add_row({TextTable::fmt(k), TextTable::fmt(magma, 1),
-                   TextTable::fmt(ours, 1), TextTable::fmt(speedup, 2),
-                   magma_uniform_strategy(dims).name(),
-                   s.tiling.per_gemm[0]->name(), ascii_bar(speedup)});
+        t.add_row({TextTable::fmt(k), TextTable::fmt(row.magma, 1),
+                   TextTable::fmt(row.ours, 1), TextTable::fmt(speedup, 2),
+                   row.magma_tile, row.our_tile, ascii_bar(speedup)});
       }
       t.print(std::cout);
     }

@@ -6,6 +6,17 @@
 
 #include "bench_common.hpp"
 
+namespace {
+
+struct Fig9Row {
+  double magma = 0.0;
+  double tiling = 0.0;
+  double full = 0.0;
+  std::string heuristic;
+};
+
+}  // namespace
+
 int main() {
   using namespace ctb;
   using namespace ctb::bench;
@@ -13,8 +24,27 @@ int main() {
 
   std::cout << "=== Figure 9: coordinated tiling+batching speedup over "
                "MAGMA vbatch (" << arch.name << ") ===\n";
+  // Each (M=N, batch, K) cell plans and simulates independently; fan the
+  // grid out and print afterwards in sweep order.
+  const std::vector<SweepCell> cells = sweep_cells();
+  const std::vector<Fig9Row> rows =
+      sweep_parallel<Fig9Row>(cells, [&](const SweepCell& cell) {
+        const auto dims = equal_case(cell.batch, cell.mn, cell.k);
+        Fig9Row row;
+        row.magma = run_magma_timed(arch, dims).time_us;
+        row.tiling = time_ours(arch, dims, BatchingPolicy::kTilingOnly);
+        PlannerConfig config;
+        config.policy = BatchingPolicy::kAutoOffline;
+        const BatchedGemmPlanner planner(config);
+        const PlanSummary s = planner.plan(dims);
+        row.full = time_plan(arch, s.plan, dims).time_us;
+        row.heuristic = to_string(s.heuristic);
+        return row;
+      });
+
   std::vector<double> vs_magma;
   std::vector<double> batching_gain;
+  std::size_t cell = 0;
   for (int mn : sweep_mn()) {
     for (int batch : sweep_batch()) {
       std::cout << "\n--- M=N=" << mn << ", batch=" << batch << " ---\n";
@@ -23,22 +53,14 @@ int main() {
                     "full/magma", "full/tiling",
                     "histogram (1.0 = 10 chars)"});
       for (int k : sweep_k()) {
-        const auto dims = equal_case(batch, mn, k);
-        const double magma = run_magma_timed(arch, dims).time_us;
-        const double tiling =
-            time_ours(arch, dims, BatchingPolicy::kTilingOnly);
-        PlannerConfig config;
-        config.policy = BatchingPolicy::kAutoOffline;
-        const BatchedGemmPlanner planner(config);
-        const PlanSummary s = planner.plan(dims);
-        const double full = time_plan(arch, s.plan, dims).time_us;
-        vs_magma.push_back(magma / full);
-        batching_gain.push_back(tiling / full);
-        t.add_row({TextTable::fmt(k), TextTable::fmt(magma, 1),
-                   TextTable::fmt(tiling, 1), TextTable::fmt(full, 1),
-                   to_string(s.heuristic), TextTable::fmt(magma / full, 2),
-                   TextTable::fmt(tiling / full, 2),
-                   ascii_bar(magma / full)});
+        const Fig9Row& row = rows[cell++];
+        vs_magma.push_back(row.magma / row.full);
+        batching_gain.push_back(row.tiling / row.full);
+        t.add_row({TextTable::fmt(k), TextTable::fmt(row.magma, 1),
+                   TextTable::fmt(row.tiling, 1), TextTable::fmt(row.full, 1),
+                   row.heuristic, TextTable::fmt(row.magma / row.full, 2),
+                   TextTable::fmt(row.tiling / row.full, 2),
+                   ascii_bar(row.magma / row.full)});
       }
       t.print(std::cout);
     }

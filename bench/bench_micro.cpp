@@ -9,6 +9,7 @@
 #include "core/rf_policy.hpp"
 #include "dnn/im2col.hpp"
 #include "kernels/work_builder.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -125,6 +126,107 @@ void BM_ForestPredict(benchmark::State& state) {
   state.SetLabel("online selector cost (paper: 7-8 comparisons)");
 }
 BENCHMARK(BM_ForestPredict);
+
+// ------------------------------------------------ executor parallelism ----
+// Fig. 9-style variable-K batch (M=N=128, K sweeping 16..2048) used by the
+// executor-throughput and thread-scaling benchmarks. Built once; the
+// operands point into the fixture's own matrices.
+struct ExecutorFixture {
+  std::vector<GemmDims> dims;
+  std::vector<Matrixf> a, b, c;
+  std::vector<GemmOperands> ops;
+  PlanSummary summary;
+  long long flops = 0;
+};
+
+const ExecutorFixture& executor_fixture() {
+  static const ExecutorFixture* fixture = [] {
+    auto* f = new ExecutorFixture;
+    const std::vector<int> ks = {16, 32, 64, 128, 256, 512, 1024, 2048};
+    for (int i = 0; i < 16; ++i)
+      f->dims.push_back(GemmDims{128, 128, ks[static_cast<std::size_t>(i) %
+                                              ks.size()]});
+    Rng rng(7);
+    for (const auto& d : f->dims) {
+      f->a.emplace_back(static_cast<std::size_t>(d.m),
+                        static_cast<std::size_t>(d.k));
+      f->b.emplace_back(static_cast<std::size_t>(d.k),
+                        static_cast<std::size_t>(d.n));
+      f->c.emplace_back(static_cast<std::size_t>(d.m),
+                        static_cast<std::size_t>(d.n));
+      fill_random(f->a.back(), rng);
+      fill_random(f->b.back(), rng);
+      f->flops += d.flops();
+    }
+    for (std::size_t i = 0; i < f->dims.size(); ++i)
+      f->ops.push_back(operands(f->a[i], f->b[i], f->c[i]));
+    const BatchedGemmPlanner planner;
+    f->summary = planner.plan(f->dims);
+    return f;
+  }();
+  return *fixture;
+}
+
+// Thread scaling of the persistent-threads executor over the variable-K
+// batch: the per-thread speedup curve is the perf-trajectory metric for the
+// host parallel engine.
+void BM_RunBatchedPlanThreads(benchmark::State& state) {
+  const ExecutorFixture& f = executor_fixture();
+  ScopedParallelThreads guard(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    run_batched_plan(f.summary.plan, f.ops, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(const_cast<Matrixf&>(f.c.front()).data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.flops);
+  state.SetLabel(std::to_string(f.summary.plan.num_blocks()) + " blocks, " +
+                 std::to_string(state.range(0)) + " threads");
+}
+BENCHMARK(BM_RunBatchedPlanThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Same batch through the vbatch executor (bubble blocks included).
+void BM_RunVbatchThreads(benchmark::State& state) {
+  const ExecutorFixture& f = executor_fixture();
+  const auto& s = single_gemm_strategy(TileShape::kLarge);
+  ScopedParallelThreads guard(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    run_vbatch(s, f.ops, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(const_cast<Matrixf&>(f.c.front()).data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.flops);
+}
+BENCHMARK(BM_RunVbatchThreads)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Whole-GEMM executor throughput at the default thread count (FLOP/s label
+// via items processed).
+void BM_RunSingleGemmExecutor(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  const GemmDims d{n, n, 256};
+  Matrixf a(static_cast<std::size_t>(d.m), static_cast<std::size_t>(d.k));
+  Matrixf b(static_cast<std::size_t>(d.k), static_cast<std::size_t>(d.n));
+  Matrixf c(static_cast<std::size_t>(d.m), static_cast<std::size_t>(d.n));
+  fill_random(a, rng);
+  fill_random(b, rng);
+  const GemmOperands g = operands(a, b, c);
+  const auto& s = batched_strategy(TileShape::kLarge, ThreadVariant::k256);
+  for (auto _ : state) {
+    run_single_gemm(s, g, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.flops());
+  state.SetLabel(std::to_string(parallel_max_threads()) + " threads");
+}
+BENCHMARK(BM_RunSingleGemmExecutor)->Arg(256)->Arg(512)->UseRealTime();
 
 void BM_MagmaVbatchSim(benchmark::State& state) {
   const std::vector<GemmDims> dims(static_cast<std::size_t>(state.range(0)),

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dnn/im2col.hpp"
+#include "util/parallel.hpp"
 
 namespace ctb {
 
@@ -23,8 +24,12 @@ Tensor4 conv_forward_direct(const ConvShape& s, const Tensor4& input,
   const int oh = s.out_h();
   const int ow = s.out_w();
   Tensor4 out(input.n(), s.out_c, oh, ow);
-  for (int n = 0; n < input.n(); ++n) {
-    for (int oc = 0; oc < s.out_c; ++oc) {
+  // Each (n, oc) output plane is independent of all others.
+  parallel_for(static_cast<long long>(input.n()) * s.out_c,
+               [&](long long plane) {
+    const int n = static_cast<int>(plane / s.out_c);
+    const int oc = static_cast<int>(plane % s.out_c);
+    {
       for (int y = 0; y < oh; ++y) {
         for (int x = 0; x < ow; ++x) {
           float acc = 0.0f;
@@ -46,7 +51,7 @@ Tensor4 conv_forward_direct(const ConvShape& s, const Tensor4& input,
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -69,8 +74,11 @@ Tensor4 max_pool(const Tensor4& input, int window, int stride, int pad) {
   const int ow = (input.w() + 2 * pad - window) / stride + 1;
   CTB_CHECK(oh > 0 && ow > 0);
   Tensor4 out(input.n(), input.c(), oh, ow);
-  for (int n = 0; n < input.n(); ++n) {
-    for (int c = 0; c < input.c(); ++c) {
+  parallel_for(static_cast<long long>(input.n()) * input.c(),
+               [&](long long plane) {
+    const int n = static_cast<int>(plane / input.c());
+    const int c = static_cast<int>(plane % input.c());
+    {
       for (int y = 0; y < oh; ++y) {
         for (int x = 0; x < ow; ++x) {
           float best = -std::numeric_limits<float>::infinity();
@@ -87,7 +95,7 @@ Tensor4 max_pool(const Tensor4& input, int window, int stride, int pad) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -106,8 +114,11 @@ Tensor4 lrn_across_channels(const Tensor4& input, int window, float alpha,
   CTB_CHECK(window >= 1);
   Tensor4 out(input.n(), input.c(), input.h(), input.w());
   const int half = window / 2;
-  for (int n = 0; n < input.n(); ++n) {
-    for (int c = 0; c < input.c(); ++c) {
+  parallel_for(static_cast<long long>(input.n()) * input.c(),
+               [&](long long plane) {
+    const int n = static_cast<int>(plane / input.c());
+    const int c = static_cast<int>(plane % input.c());
+    {
       const int lo = std::max(0, c - half);
       const int hi = std::min(input.c() - 1, c + half);
       for (int y = 0; y < input.h(); ++y) {
@@ -124,7 +135,7 @@ Tensor4 lrn_across_channels(const Tensor4& input, int window, float alpha,
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -148,8 +159,11 @@ Tensor4 avg_pool(const Tensor4& input, int window, int stride, int pad) {
   const int ow = (input.w() + 2 * pad - window) / stride + 1;
   CTB_CHECK(oh > 0 && ow > 0);
   Tensor4 out(input.n(), input.c(), oh, ow);
-  for (int n = 0; n < input.n(); ++n) {
-    for (int c = 0; c < input.c(); ++c) {
+  parallel_for(static_cast<long long>(input.n()) * input.c(),
+               [&](long long plane) {
+    const int n = static_cast<int>(plane / input.c());
+    const int c = static_cast<int>(plane % input.c());
+    {
       for (int y = 0; y < oh; ++y) {
         for (int x = 0; x < ow; ++x) {
           float sum = 0.0f;
@@ -169,7 +183,7 @@ Tensor4 avg_pool(const Tensor4& input, int window, int stride, int pad) {
         }
       }
     }
-  }
+  });
   return out;
 }
 

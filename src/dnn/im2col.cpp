@@ -1,5 +1,7 @@
 #include "dnn/im2col.hpp"
 
+#include "util/parallel.hpp"
+
 namespace ctb {
 
 Matrixf im2col(const ConvShape& s, const Tensor4& input) {
@@ -12,26 +14,27 @@ Matrixf im2col(const ConvShape& s, const Tensor4& input) {
   const int cols = oh * ow * input.n();
   Matrixf m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
 
-  for (int c = 0; c < s.in_c; ++c) {
-    for (int kh = 0; kh < s.kernel; ++kh) {
-      for (int kw = 0; kw < s.kernel; ++kw) {
-        const int row = (c * s.kernel + kh) * s.kernel + kw;
-        for (int n = 0; n < input.n(); ++n) {
-          for (int y = 0; y < oh; ++y) {
-            const int iy = y * s.stride - s.pad + kh;
-            for (int x = 0; x < ow; ++x) {
-              const int ix = x * s.stride - s.pad + kw;
-              const int col = (n * oh + y) * ow + x;
-              const bool in_range =
-                  iy >= 0 && iy < s.in_h && ix >= 0 && ix < s.in_w;
-              m(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) =
-                  in_range ? input.at(n, c, iy, ix) : 0.0f;
-            }
-          }
+  // Each (c, kh, kw) filter tap fills exactly one output row, so the rows
+  // parallelize without overlap.
+  parallel_for(rows, [&](long long r) {
+    const int row = static_cast<int>(r);
+    const int kw = row % s.kernel;
+    const int kh = (row / s.kernel) % s.kernel;
+    const int c = row / (s.kernel * s.kernel);
+    for (int n = 0; n < input.n(); ++n) {
+      for (int y = 0; y < oh; ++y) {
+        const int iy = y * s.stride - s.pad + kh;
+        for (int x = 0; x < ow; ++x) {
+          const int ix = x * s.stride - s.pad + kw;
+          const int col = (n * oh + y) * ow + x;
+          const bool in_range =
+              iy >= 0 && iy < s.in_h && ix >= 0 && ix < s.in_w;
+          m(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) =
+              in_range ? input.at(n, c, iy, ix) : 0.0f;
         }
       }
     }
-  }
+  });
   return m;
 }
 
@@ -41,13 +44,16 @@ Tensor4 col2im_output(const ConvShape& s, int batch, const Matrixf& out) {
   CTB_CHECK(static_cast<int>(out.rows()) == s.out_c);
   CTB_CHECK(static_cast<int>(out.cols()) == oh * ow * batch);
   Tensor4 t(batch, s.out_c, oh, ow);
-  for (int n = 0; n < batch; ++n)
-    for (int c = 0; c < s.out_c; ++c)
-      for (int y = 0; y < oh; ++y)
-        for (int x = 0; x < ow; ++x)
-          t.at(n, c, y, x) = out(static_cast<std::size_t>(c),
-                                 static_cast<std::size_t>((n * oh + y) * ow +
-                                                          x));
+  // Each (n, c) pair owns a disjoint H x W plane of the output tensor.
+  parallel_for(static_cast<long long>(batch) * s.out_c, [&](long long nc) {
+    const int n = static_cast<int>(nc / s.out_c);
+    const int c = static_cast<int>(nc % s.out_c);
+    for (int y = 0; y < oh; ++y)
+      for (int x = 0; x < ow; ++x)
+        t.at(n, c, y, x) = out(static_cast<std::size_t>(c),
+                               static_cast<std::size_t>((n * oh + y) * ow +
+                                                        x));
+  });
   return t;
 }
 

@@ -24,9 +24,12 @@ GemmOperands implicit_conv_operands(const ConvShape& shape,
   g.c = out.data();
   // The implicit B(k, j): decode k into (channel, kh, kw) and j into
   // (image, oh, ow) with the same ordering as im2col, then read the input
-  // (or zero for padding taps).
+  // (or zero for padding taps). The executors call this gather concurrently
+  // from many host threads, so it must stay a pure read: the shape is
+  // captured by value and the input tensor by pointer-to-const, and the
+  // lambda body only reads through them.
   const ConvShape s = shape;  // capture by value: plain shape data
-  const Tensor4* in = &input;
+  const Tensor4* const in = &input;
   const int oh = s.out_h();
   const int ow = s.out_w();
   g.b_gather = [s, in, oh, ow](int k, int j) -> float {

@@ -1,11 +1,11 @@
 #include "kernels/functional.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "kernels/thread_map.hpp"
 #include "linalg/half.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 
 namespace ctb {
 
@@ -15,6 +15,8 @@ namespace {
 constexpr int kMaxBy = 128;
 constexpr int kMaxBx = 128;
 constexpr int kMaxBk = 8;
+// Widest per-thread sub-tile across Tables 1 and 2.
+constexpr int kMaxSubX = 8;
 
 /// Emulated shared memory for one block: the staged A tile (BY x BK) and
 /// B tile (BK x BX), with zero padding past the matrix edges exactly as the
@@ -77,29 +79,58 @@ void execute_tile(const TilingStrategy& s, const GemmOperands& g, int ty,
   CTB_CHECK_MSG(row0 < g.dims.m && col0 < g.dims.n,
                 "tile (" << ty << "," << tx << ") outside GEMM");
 
-  // Per-thread C accumulators ("reg_C" in Fig. 2), zero-initialized.
+  // Per-thread C accumulators ("reg_C" in Fig. 2), zero-initialized. The
+  // block's threads together cover the whole BY x BX tile, so the combined
+  // footprint never exceeds the largest tile; a thread-local scratch sized
+  // for that maximum (mirroring SharedTiles) makes the executor
+  // allocation-free per tile.
   const int acc_per_thread = s.sub_y * s.sub_x;
-  std::vector<float> reg_c(
-      static_cast<std::size_t>(s.threads) * acc_per_thread, 0.0f);
+  const int acc_total = s.threads * acc_per_thread;
+  CTB_DCHECK(acc_total <= kMaxBy * kMaxBx);
+  static thread_local float reg_c[kMaxBy * kMaxBx];
+  std::fill_n(reg_c, acc_total, 0.0f);
 
   static thread_local SharedTiles shared;
 
   // Main loop along the K dimension in BK steps.
   for (int k0 = 0; k0 < g.dims.k; k0 += s.bk) {
     shared.stage(s, g, row0, col0, k0);
-    // All threads of the block consume the staged tiles. Accumulation order
-    // (p innermost) matches the FMA chain of the real kernel.
+    // All threads of the block consume the staged tiles. The j-innermost
+    // loop walks a contiguous row of the staged B tile so the compiler can
+    // vectorize it; each C element still accumulates its FMAs in ascending
+    // p order, so results are bit-identical to the p-innermost chain of the
+    // real kernel.
     for (int t = 0; t < s.threads; ++t) {
       const SubTileOrigin o = thread_sub_tile(s, t);
       float* acc = &reg_c[static_cast<std::size_t>(t) * acc_per_thread];
-      for (int i = 0; i < s.sub_y; ++i) {
-        for (int j = 0; j < s.sub_x; ++j) {
-          float v = acc[i * s.sub_x + j];
+      CTB_DCHECK(s.sub_x <= kMaxSubX);
+      if (s.sub_x == 1) {
+        // One C element per row: the j-inner form would pay a degenerate
+        // inner loop per FMA, so reduce to a plain dot product (same
+        // ascending-p order, so still bit-identical).
+        const float* sbcol = &shared.b[o.col];
+        for (int i = 0; i < s.sub_y; ++i) {
           const float* sa = &shared.a[(o.row + i) * s.bk];
-          const float* sb = &shared.b[o.col + j];
-          for (int p = 0; p < s.bk; ++p) v += sa[p] * sb[p * s.bx];
-          acc[i * s.sub_x + j] = v;
+          float sum = acc[i];
+          for (int p = 0; p < s.bk; ++p) sum += sa[p] * sbcol[p * s.bx];
+          acc[i] = sum;
         }
+        continue;
+      }
+      for (int i = 0; i < s.sub_y; ++i) {
+        const float* sa = &shared.a[(o.row + i) * s.bk];
+        float* arow = &acc[i * s.sub_x];
+        // Accumulate the row in a local block (the per-thread "registers"):
+        // it cannot alias the staged tiles, so the whole BK-step stays in
+        // vector registers instead of round-tripping through reg_c.
+        float row[kMaxSubX];
+        for (int j = 0; j < s.sub_x; ++j) row[j] = arow[j];
+        for (int p = 0; p < s.bk; ++p) {
+          const float av = sa[p];
+          const float* sb = &shared.b[p * s.bx + o.col];
+          for (int j = 0; j < s.sub_x; ++j) row[j] += av * sb[j];
+        }
+        for (int j = 0; j < s.sub_x; ++j) arow[j] = row[j];
       }
     }
   }
@@ -130,11 +161,17 @@ void execute_tile(const TilingStrategy& s, const GemmOperands& g, int ty,
 
 void run_single_gemm(const TilingStrategy& s, const GemmOperands& g,
                      float alpha, float beta) {
+  // Blocks write disjoint C tiles, so they run concurrently; each tile's
+  // per-element FMA chain is untouched, keeping results bit-identical to
+  // the serial walk.
   const int ty_count = (g.dims.m + s.by - 1) / s.by;
   const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
-  for (int ty = 0; ty < ty_count; ++ty)
-    for (int tx = 0; tx < tx_count; ++tx)
-      execute_tile(s, g, ty, tx, alpha, beta);
+  parallel_for(static_cast<long long>(ty_count) * tx_count,
+               [&](long long block) {
+                 const int ty = static_cast<int>(block / tx_count);
+                 const int tx = static_cast<int>(block % tx_count);
+                 execute_tile(s, g, ty, tx, alpha, beta);
+               });
 }
 
 void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
@@ -146,25 +183,31 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
     max_ty = std::max(max_ty, (g.dims.m + s.by - 1) / s.by);
     max_tx = std::max(max_tx, (g.dims.n + s.bx - 1) / s.bx);
   }
-  for (std::size_t z = 0; z < batch.size(); ++z) {
+  // Every (z, ty, tx) grid block is independent — each GEMM has its own C
+  // and the tiles within a GEMM are disjoint — so the whole grid runs as
+  // one parallel-for.
+  const long long grid = static_cast<long long>(batch.size()) * max_ty * max_tx;
+  parallel_for(grid, [&](long long block) {
+    const std::size_t z = static_cast<std::size_t>(block / (max_ty * max_tx));
+    const int ty = static_cast<int>(block / max_tx % max_ty);
+    const int tx = static_cast<int>(block % max_tx);
     const auto& g = batch[z];
     const int ty_count = (g.dims.m + s.by - 1) / s.by;
     const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
-    for (int ty = 0; ty < max_ty; ++ty) {
-      for (int tx = 0; tx < max_tx; ++tx) {
-        if (ty >= ty_count || tx >= tx_count) continue;  // bubble block
-        execute_tile(s, g, ty, tx, alpha, beta);
-      }
-    }
-  }
+    if (ty >= ty_count || tx >= tx_count) return;  // bubble block
+    execute_tile(s, g, ty, tx, alpha, beta);
+  });
 }
 
 void run_batched_plan(const BatchPlan& plan,
                       std::span<const GemmOperands> batch, float alpha,
                       float beta) {
-  // Fig. 7: each block walks its tile range from the aux arrays.
-  for (int b = 0; b < plan.num_blocks(); ++b) {
-    const auto [begin, end] = plan.block_tiles(b);
+  // Fig. 7: each block walks its tile range from the aux arrays. Blocks run
+  // concurrently — validate_plan guarantees complete single coverage, so no
+  // two blocks touch the same C tile — while each block's tile chain stays
+  // serial, exactly like persistent thread blocks on the device.
+  parallel_for(plan.num_blocks(), [&](long long b) {
+    const auto [begin, end] = plan.block_tiles(static_cast<int>(b));
     for (int t = begin; t < end; ++t) {
       const int g = plan.gemm_of_tile[static_cast<std::size_t>(t)];
       CTB_CHECK_MSG(g >= 0 && g < static_cast<int>(batch.size()),
@@ -175,7 +218,7 @@ void run_batched_plan(const BatchPlan& plan,
                    plan.y_coord[static_cast<std::size_t>(t)],
                    plan.x_coord[static_cast<std::size_t>(t)], alpha, beta);
     }
-  }
+  });
 }
 
 GemmOperands operands(const Matrixf& a, const Matrixf& b, Matrixf& c) {

@@ -11,6 +11,15 @@
 //
 // All results are bit-exact across executors for a given strategy because
 // every executor accumulates in the same (k0, p) order.
+//
+// Execution is block-parallel on the host: the executors fan independent
+// thread blocks out over ctb::parallel_for (OpenMP, serial fallback). This
+// is safe and bit-exact because blocks write disjoint C tiles — one tile
+// per block for the single/vbatch grids, and complete single coverage
+// guaranteed by validate_plan for batched plans — while each block's tile
+// chain and per-element FMA order stay serial. set_parallel_threads(1)
+// forces the serial path; parallel_exec_test asserts bit-identical C either
+// way.
 #pragma once
 
 #include <functional>
@@ -44,6 +53,13 @@ struct GemmOperands {
   /// staging loads call the gather instead of reading memory — this is the
   /// implicit-GEMM convolution path (the real kernel computes the input
   /// address from (k, j) instead of reading a materialized im2col matrix).
+  ///
+  /// THREAD SAFETY: the executors invoke the gather concurrently from many
+  /// host threads (one per in-flight block), always through a const
+  /// GemmOperands. The callable must therefore be a pure function of
+  /// (k, j): it may read captured state but must not mutate it or any other
+  /// shared state. implicit_conv_operands satisfies this by capturing the
+  /// shape by value and the input tensor by const pointer.
   std::function<float(int k, int j)> b_gather;
 };
 

@@ -1,6 +1,7 @@
 #include "linalg/gemm_ref.hpp"
 
 #include "linalg/half.hpp"
+#include "util/parallel.hpp"
 
 #include <algorithm>
 
@@ -86,9 +87,10 @@ void gemm_parallel(const MatrixView<const float>& a,
   scale_c(c, beta);
   const std::size_t m = c.rows(), n = c.cols(), k = a.cols();
   const auto row_blocks =
-      static_cast<std::ptrdiff_t>((m + kBlockM - 1) / kBlockM);
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t bi = 0; bi < row_blocks; ++bi) {
+      static_cast<long long>((m + kBlockM - 1) / kBlockM);
+  // Row blocks own disjoint C rows, so they fan out over the shared
+  // parallel_for wrapper (which also honors the runtime thread override).
+  parallel_for(row_blocks, [&](long long bi) {
     const std::size_t i0 = static_cast<std::size_t>(bi) * kBlockM;
     const std::size_t mi = std::min(kBlockM, m - i0);
     for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
@@ -98,7 +100,7 @@ void gemm_parallel(const MatrixView<const float>& a,
         block_kernel(a, b, c, alpha, i0, j0, k0, mi, nj, kk);
       }
     }
-  }
+  });
 }
 
 const char* to_string(Op op) { return op == Op::kN ? "N" : "T"; }

@@ -1,0 +1,32 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+std::atomic<int> g_thread_override{0};
+}  // namespace
+
+void set_parallel_threads(int n) {
+  CTB_CHECK_MSG(n >= 0, "thread override must be >= 0 (0 = default)");
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+int parallel_threads_override() {
+  return g_thread_override.load(std::memory_order_relaxed);
+}
+
+int parallel_max_threads() {
+  const int override = parallel_threads_override();
+  if (override > 0) return override;
+#ifdef CTB_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace ctb
