@@ -113,6 +113,28 @@ void execute_plan(const BatchPlan& plan, std::span<const GemmOperands> batch,
   run_batched_plan(plan, batch, alpha, beta);
 }
 
+ExecutionReport try_execute_plan(const BatchPlan& plan,
+                                 std::span<const GemmOperands> batch,
+                                 float alpha, float beta) {
+  // Operand problems throw through: with no trustworthy buffers there is
+  // nothing correct to fall back to.
+  audit_operands(batch);
+  ExecutionReport report;
+  try {
+    std::vector<GemmDims> dims(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) dims[i] = batch[i].dims;
+    validate_plan(plan, dims);
+  } catch (const CheckError& e) {
+    report.fell_back = true;
+    report.reason = e.what();
+    CTB_WARN("plan rejected, degrading to reference GEMM: " << e.what());
+    for (const GemmOperands& g : batch) reference_gemm(g, alpha, beta);
+    return report;
+  }
+  run_batched_plan(plan, batch, alpha, beta);
+  return report;
+}
+
 BatchedGemmResult batched_gemm(std::span<const Matrixf* const> a,
                                std::span<const Matrixf* const> b,
                                std::span<Matrixf* const> c, float alpha,
@@ -137,17 +159,26 @@ BatchedGemmResult batched_gemm(std::span<const GemmEntry> entries,
   std::vector<GemmOperands> ops(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const GemmEntry& e = entries[i];
-    CTB_CHECK(e.a != nullptr && e.b != nullptr && e.c != nullptr);
+    CTB_CHECK_MSG(e.a != nullptr && e.b != nullptr && e.c != nullptr,
+                  "GEMM " << i << " has a null operand matrix");
     ops[i] = operands(*e.a, *e.b, *e.c, e.op_a, e.op_b);
     ops[i].precision = config.precision;
     dims[i] = ops[i].dims;
+    CTB_CHECK_MSG(dims[i].valid(), "GEMM " << i << " has degenerate dims "
+                                           << dims[i].m << 'x' << dims[i].n
+                                           << 'x' << dims[i].k);
   }
 
   const BatchedGemmPlanner planner(config);
   BatchedGemmResult result;
   result.summary = planner.plan(dims);
-  validate_plan(result.summary.plan, dims);
-  execute_plan(result.summary.plan, ops, alpha, beta);
+  if (config.fallback_to_reference) {
+    result.execution =
+        try_execute_plan(result.summary.plan, ops, alpha, beta);
+    if (result.execution.fell_back) return result;
+  } else {
+    execute_plan(result.summary.plan, ops, alpha, beta);
+  }
   result.timing = time_plan(planner.arch(), result.summary.plan, dims,
                             config.precision);
   return result;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/batching_engine.hpp"
@@ -53,6 +54,12 @@ struct PlannerConfig {
   /// Execution precision (kFp16 = tensor-core semantics; planning itself is
   /// precision-independent, the strategy tables are the paper's FP32 suite).
   Precision precision = Precision::kFp32;
+  /// When set, batched_gemm executes through try_execute_plan: a plan that
+  /// fails validation degrades to the bit-exact reference GEMM path instead
+  /// of throwing. Off by default — a planner bug should be loud in
+  /// development; serving loops opt in. Does not affect planning, so it is
+  /// excluded from batch_signature.
+  bool fallback_to_reference = false;
 };
 
 /// Everything the planner decided, plus the executable plan.
@@ -90,17 +97,46 @@ TimedResult time_plan(const GpuArch& arch, const BatchPlan& plan,
                       Precision precision = Precision::kFp32);
 
 /// Functional execution: computes C = alpha*A*B + beta*C for every GEMM in
-/// the batch, following the plan block by block.
+/// the batch, following the plan block by block. Audits the operands and
+/// validates the plan against the dims they carry first; throws CheckError
+/// before any matrix element is read or written if either is inconsistent.
 void execute_plan(const BatchPlan& plan, std::span<const GemmOperands> batch,
                   float alpha, float beta);
+
+/// What try_execute_plan did: fell_back is false on the plan path, true on
+/// the reference path, and reason carries the validation failure verbatim.
+struct ExecutionReport {
+  bool fell_back = false;
+  std::string reason;
+};
+
+/// Graceful degradation entry for serving loops. Audits the operands, then
+/// validates the plan against them; on success executes the plan exactly
+/// like execute_plan (bit-identical C). If *plan validation* fails, logs
+/// the structured reason at warn level and computes every GEMM through
+/// reference_gemm instead — slow but bit-exact, and C is untouched until
+/// the fallback runs. Broken operands (null pointers, degenerate dims)
+/// still throw: there is nothing correct to fall back to.
+ExecutionReport try_execute_plan(const BatchPlan& plan,
+                                 std::span<const GemmOperands> batch,
+                                 float alpha, float beta);
 
 /// One-call host convenience: plans, validates, functionally executes, and
 /// times the batch. a/b/c are parallel arrays of host matrices.
 struct BatchedGemmResult {
   PlanSummary summary;
   TimedResult timing;
+  /// Filled when config.fallback_to_reference is set; default-initialized
+  /// (no fallback) otherwise. Timing is skipped on the fallback path — the
+  /// simulated time of a rejected plan is meaningless.
+  ExecutionReport execution;
 };
 
+/// Degenerate-input contract (both overloads): an empty batch, a null
+/// matrix pointer, any GEMM with m, n, or k == 0, mismatched inner
+/// dimensions, or a C whose shape differs from op(A)*op(B) throws
+/// CheckError deterministically, before any element of any C is written.
+/// These are caller errors, never candidates for the reference fallback.
 BatchedGemmResult batched_gemm(std::span<const Matrixf* const> a,
                                std::span<const Matrixf* const> b,
                                std::span<Matrixf* const> c, float alpha,

@@ -52,21 +52,88 @@ BatchPlan build_plan(std::span<const std::vector<Tile>> blocks,
   return plan;
 }
 
-void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims) {
+namespace {
+// Upper bounds for the static launch footprint: far beyond any real
+// strategy (the largest Table-2 smem footprint is 16 KiB and registers
+// clamp at 255) yet tight enough to reject overflow-adjacent garbage from
+// corrupted or adversarial plans before anything scales by them.
+constexpr int kMaxPlanSmemBytes = 1 << 20;
+constexpr int kMaxPlanRegsPerThread = 255;
+}  // namespace
+
+void validate_plan_structure(const BatchPlan& plan) {
+  CTB_CHECK_MSG(plan.block_threads == 128 || plan.block_threads == 256,
+                "plan block size must be 128 or 256, got "
+                    << plan.block_threads);
   CTB_CHECK_MSG(!plan.tile_offsets.empty(), "plan has no offset array");
-  CTB_CHECK(plan.tile_offsets.front() == 0);
-  CTB_CHECK(plan.tile_offsets.back() == plan.num_tiles());
-  CTB_CHECK(static_cast<int>(plan.strategy_of_tile.size()) ==
-            plan.num_tiles());
-  CTB_CHECK(static_cast<int>(plan.y_coord.size()) == plan.num_tiles());
-  CTB_CHECK(static_cast<int>(plan.x_coord.size()) == plan.num_tiles());
+  CTB_CHECK_MSG(plan.tile_offsets.front() == 0,
+                "tile offsets must start at 0, got "
+                    << plan.tile_offsets.front());
+  CTB_CHECK_MSG(plan.tile_offsets.back() == plan.num_tiles(),
+                "tile offsets end at " << plan.tile_offsets.back()
+                                       << " but the plan stores "
+                                       << plan.num_tiles() << " tiles");
+  CTB_CHECK_MSG(static_cast<int>(plan.strategy_of_tile.size()) ==
+                    plan.num_tiles(),
+                "strategy array holds " << plan.strategy_of_tile.size()
+                                        << " entries for "
+                                        << plan.num_tiles() << " tiles");
+  CTB_CHECK_MSG(static_cast<int>(plan.y_coord.size()) == plan.num_tiles(),
+                "Y-coordinate array holds " << plan.y_coord.size()
+                                            << " entries for "
+                                            << plan.num_tiles() << " tiles");
+  CTB_CHECK_MSG(static_cast<int>(plan.x_coord.size()) == plan.num_tiles(),
+                "X-coordinate array holds " << plan.x_coord.size()
+                                            << " entries for "
+                                            << plan.num_tiles() << " tiles");
   for (std::size_t i = 1; i < plan.tile_offsets.size(); ++i)
     CTB_CHECK_MSG(plan.tile_offsets[i] >= plan.tile_offsets[i - 1],
-                  "tile offsets must be monotone");
+                  "tile offsets must be monotone (offset "
+                      << i << " is " << plan.tile_offsets[i] << " after "
+                      << plan.tile_offsets[i - 1] << ")");
+
+  int needed_smem = 0;
+  int needed_regs = 0;
+  const int num_strategies = static_cast<int>(batched_strategies().size());
+  for (int t = 0; t < plan.num_tiles(); ++t) {
+    CTB_CHECK_MSG(plan.gemm_of_tile[static_cast<std::size_t>(t)] >= 0,
+                  "tile " << t << " has negative GEMM id "
+                          << plan.gemm_of_tile[static_cast<std::size_t>(t)]);
+    CTB_CHECK_MSG(plan.y_coord[static_cast<std::size_t>(t)] >= 0 &&
+                      plan.x_coord[static_cast<std::size_t>(t)] >= 0,
+                  "tile " << t << " has negative coordinates ("
+                          << plan.y_coord[static_cast<std::size_t>(t)] << ","
+                          << plan.x_coord[static_cast<std::size_t>(t)]
+                          << ")");
+    const int sid = plan.strategy_of_tile[static_cast<std::size_t>(t)];
+    CTB_CHECK_MSG(sid >= 0 && sid < num_strategies,
+                  "tile " << t << " uses unknown strategy id " << sid);
+    const TilingStrategy& s = batched_strategy_by_id(sid);
+    CTB_CHECK_MSG(s.threads == plan.block_threads,
+                  "strategy id " << sid << " breaks the unified "
+                                 << plan.block_threads
+                                 << "-thread structure");
+    needed_smem = std::max(needed_smem, s.smem_bytes());
+    needed_regs = std::max(needed_regs, s.regs_per_thread());
+  }
+  CTB_CHECK_MSG(plan.smem_bytes >= needed_smem &&
+                    plan.smem_bytes <= kMaxPlanSmemBytes,
+                "plan smem footprint " << plan.smem_bytes
+                                       << " B outside [" << needed_smem
+                                       << ", " << kMaxPlanSmemBytes << "]");
+  CTB_CHECK_MSG(plan.regs_per_thread >= needed_regs &&
+                    plan.regs_per_thread <= kMaxPlanRegsPerThread,
+                "plan register footprint "
+                    << plan.regs_per_thread << " outside [" << needed_regs
+                    << ", " << kMaxPlanRegsPerThread << "]");
+}
+
+void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims) {
+  validate_plan_structure(plan);
 
   // Per-GEMM: one consistent strategy, and complete single coverage.
   std::vector<int> gemm_strategy(dims.size(), -1);
-  std::vector<std::set<std::pair<int, int>>> seen(dims.size());
+  std::vector<std::vector<std::pair<int, int>>> seen(dims.size());
   for (int t = 0; t < plan.num_tiles(); ++t) {
     const int g = plan.gemm_of_tile[static_cast<std::size_t>(t)];
     CTB_CHECK_MSG(g >= 0 && g < static_cast<int>(dims.size()),
@@ -77,9 +144,6 @@ void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims) {
       gemm_strategy[static_cast<std::size_t>(g)] = sid;
     CTB_CHECK_MSG(gemm_strategy[static_cast<std::size_t>(g)] == sid,
                   "GEMM " << g << " tiled with two strategies");
-    CTB_CHECK_MSG(s.threads == plan.block_threads,
-                  "strategy id " << sid << " breaks the unified "
-                                 << plan.block_threads << "-thread structure");
     const int ty = plan.y_coord[static_cast<std::size_t>(t)];
     const int tx = plan.x_coord[static_cast<std::size_t>(t)];
     const auto& d = dims[static_cast<std::size_t>(g)];
@@ -88,17 +152,22 @@ void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims) {
     CTB_CHECK_MSG(ty >= 0 && ty < ty_count && tx >= 0 && tx < tx_count,
                   "tile (" << ty << "," << tx << ") out of range for GEMM "
                            << g);
-    CTB_CHECK_MSG(seen[static_cast<std::size_t>(g)].insert({ty, tx}).second,
-                  "tile (" << ty << "," << tx << ") of GEMM " << g
-                           << " assigned twice");
+    seen[static_cast<std::size_t>(g)].push_back({ty, tx});
   }
   for (std::size_t g = 0; g < dims.size(); ++g) {
     CTB_CHECK_MSG(gemm_strategy[g] >= 0, "GEMM " << g << " has no tiles");
+    auto& tiles = seen[g];
+    std::sort(tiles.begin(), tiles.end());
+    const auto dup = std::adjacent_find(tiles.begin(), tiles.end());
+    CTB_CHECK_MSG(dup == tiles.end(),
+                  "tile (" << (dup == tiles.end() ? 0 : dup->first) << ","
+                           << (dup == tiles.end() ? 0 : dup->second)
+                           << ") of GEMM " << g << " assigned twice");
     const TilingStrategy& s = batched_strategy_by_id(gemm_strategy[g]);
     const std::size_t expected =
         static_cast<std::size_t>(s.tiles_for(dims[g].m, dims[g].n));
-    CTB_CHECK_MSG(seen[g].size() == expected,
-                  "GEMM " << g << " covered by " << seen[g].size()
+    CTB_CHECK_MSG(tiles.size() == expected,
+                  "GEMM " << g << " covered by " << tiles.size()
                           << " tiles, expected " << expected);
   }
 }

@@ -65,11 +65,21 @@ std::vector<Tile> enumerate_tiles(
 BatchPlan build_plan(std::span<const std::vector<Tile>> blocks,
                      int block_threads);
 
-/// Checks every structural invariant of a plan against the batch it claims
-/// to cover: offsets monotone, every tile of every GEMM covered exactly
-/// once, coordinates in range, strategy ids consistent per GEMM, and the
-/// unified thread structure respected. Throws CheckError with a description
-/// on the first violation.
+/// Dims-independent structural invariants: block size is 128 or 256, the
+/// offset array starts at 0, is monotone, and ends at the tile count, all
+/// five aux arrays agree on the tile count, every GEMM id / coordinate is
+/// non-negative, every strategy id names a Table-2 strategy of the plan's
+/// unified thread structure, and the static launch footprint covers the
+/// strategies present without being overflow-adjacent garbage. Throws
+/// CheckError on the first violation. load_plan runs this before returning,
+/// so a deserialized plan is always structurally sound.
+void validate_plan_structure(const BatchPlan& plan);
+
+/// Checks every invariant of a plan against the batch it claims to cover:
+/// validate_plan_structure plus GEMM ids within the batch, coordinates
+/// inside each GEMM's tile grid, one consistent strategy per GEMM, and
+/// every tile of every GEMM covered exactly once. Throws CheckError with a
+/// description on the first violation.
 void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims);
 
 /// Debug rendering of the aux arrays (small plans only).

@@ -1,8 +1,10 @@
 #include "core/plan_io.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <string>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -10,6 +12,23 @@ namespace ctb {
 
 namespace {
 constexpr const char* kMagic = "ctb-batchplan-v1";
+constexpr const char* kMagicPrefix = "ctb-batchplan-";
+// Cap on declared element counts, applied before any allocation: a plan
+// with 2^26 tiles would be hundreds of MiB of text, far beyond any real
+// batch, so larger declarations are adversarial by construction.
+constexpr long long kMaxPlanElems = 1LL << 26;
+
+long long read_int64(std::istream& is, const std::string& where,
+                     long long lo, long long hi) {
+  long long v = 0;
+  if (!(is >> v)) throw PlanIoError("expected an integer", where);
+  if (v < lo || v > hi)
+    throw PlanIoError("value " + std::to_string(v) + " outside [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) +
+                          "]",
+                      where);
+  return v;
+}
 
 void write_array(std::ostream& os, const char* name,
                  const std::vector<int>& v) {
@@ -20,14 +39,18 @@ void write_array(std::ostream& os, const char* name,
 
 std::vector<int> read_array(std::istream& is, const char* name) {
   std::string tag;
-  std::size_t count = 0;
-  is >> tag >> count;
-  CTB_CHECK_MSG(is.good() && tag == name,
-                "malformed plan stream: expected array '" << name << "'");
-  std::vector<int> v(count);
-  for (int& x : v) is >> x;
-  CTB_CHECK_MSG(!is.fail(), "malformed plan stream in array '" << name
-                                                               << "'");
+  if (!(is >> tag) || tag != name)
+    throw PlanIoError("expected array '" + std::string(name) + "'",
+                      tag.empty() ? std::string("array header")
+                                  : "array header '" + tag + "'");
+  const long long count =
+      read_int64(is, std::string(name) + " count", 0, kMaxPlanElems);
+  std::vector<int> v(static_cast<std::size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    v[static_cast<std::size_t>(i)] = static_cast<int>(read_int64(
+        is, std::string(name) + "[" + std::to_string(i) + "]",
+        std::numeric_limits<int>::min(), std::numeric_limits<int>::max()));
+  }
   return v;
 }
 }  // namespace
@@ -45,20 +68,33 @@ void save_plan(std::ostream& os, const BatchPlan& plan) {
 
 BatchPlan load_plan(std::istream& is) {
   std::string magic;
-  is >> magic;
-  CTB_CHECK_MSG(magic == kMagic, "not a ctb plan stream");
+  if (!(is >> magic)) throw PlanIoError("empty stream", "header");
+  if (magic != kMagic) {
+    if (magic.rfind(kMagicPrefix, 0) == 0)
+      throw PlanIoError("unsupported plan version '" + magic + "'",
+                        "header");
+    throw PlanIoError("not a ctb plan stream", "header");
+  }
   BatchPlan plan;
-  is >> plan.block_threads >> plan.smem_bytes >> plan.regs_per_thread;
-  CTB_CHECK_MSG(is.good(), "malformed plan header");
-  CTB_CHECK_MSG(plan.block_threads == 128 || plan.block_threads == 256,
-                "plan block size must be 128 or 256");
+  plan.block_threads =
+      static_cast<int>(read_int64(is, "block_threads", 1, 4096));
+  plan.smem_bytes =
+      static_cast<int>(read_int64(is, "smem_bytes", 0, 1LL << 26));
+  plan.regs_per_thread =
+      static_cast<int>(read_int64(is, "regs_per_thread", 0, 4096));
   plan.tile_offsets = read_array(is, "tile");
   plan.gemm_of_tile = read_array(is, "gemm");
   plan.strategy_of_tile = read_array(is, "strategy");
   plan.y_coord = read_array(is, "y");
   plan.x_coord = read_array(is, "x");
-  CTB_CHECK_MSG(!plan.tile_offsets.empty() && plan.tile_offsets.front() == 0,
-                "malformed tile offsets");
+  std::string rest;
+  if (is >> rest)
+    throw PlanIoError("trailing garbage '" + rest + "'", "end of stream");
+  try {
+    validate_plan_structure(plan);
+  } catch (const CheckError& e) {
+    throw PlanIoError(e.what(), "structural validation");
+  }
   return plan;
 }
 
@@ -84,15 +120,29 @@ std::uint64_t batch_signature(std::span<const GemmDims> dims,
 
 PlanCache::PlanCache(PlannerConfig config) : planner_(config) {}
 
+PlanCache::PlanCache(PlannerConfig config, PlannerFn planner_fn)
+    : planner_(config), planner_fn_(std::move(planner_fn)) {}
+
 const PlanSummary& PlanCache::plan(std::span<const GemmDims> dims) {
+  CTB_CHECK_MSG(!dims.empty(), "cannot plan an empty batch");
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    CTB_CHECK_MSG(dims[i].valid(), "GEMM " << i << " has degenerate dims "
+                                           << dims[i].m << 'x' << dims[i].n
+                                           << 'x' << dims[i].k);
   const std::uint64_t key = batch_signature(dims, planner_.config());
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
     return it->second;
   }
+  // Plan and validate completely before touching the cache or the counters:
+  // a planner that throws (or emits a plan that fails validation) must not
+  // leave a poisoned entry behind, so the same batch can be retried.
+  PlanSummary summary =
+      planner_fn_ ? planner_fn_(dims) : planner_.plan(dims);
+  validate_plan(summary.plan, dims);
   ++misses_;
-  return cache_.emplace(key, planner_.plan(dims)).first->second;
+  return cache_.emplace(key, std::move(summary)).first->second;
 }
 
 }  // namespace ctb

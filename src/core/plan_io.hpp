@@ -8,19 +8,42 @@
 // by the batch signature.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <unordered_map>
 
 #include "core/api.hpp"
+#include "util/assert.hpp"
 
 namespace ctb {
+
+/// Error thrown by load_plan on malformed or adversarial input. Extends
+/// CheckError with a `where()` locator (header field, array name, element
+/// index) so callers can report exactly which part of the stream is bad.
+class PlanIoError : public CheckError {
+ public:
+  PlanIoError(const std::string& what, const std::string& where)
+      : CheckError("plan load failed at " + where + ": " + what),
+        where_(where) {}
+
+  const std::string& where() const { return where_; }
+
+ private:
+  std::string where_;
+};
 
 /// Writes a plan as line-oriented text (versioned header + the aux arrays).
 void save_plan(std::ostream& os, const BatchPlan& plan);
 
-/// Reads a plan written by save_plan. Throws CheckError on malformed input.
-/// The caller should validate_plan() against its batch before executing.
+/// Reads a plan written by save_plan. Hardened against adversarial input:
+/// enforces the versioned header (unknown versions are rejected, not
+/// guessed at), caps declared element counts before allocating, rejects
+/// integers that overflow or fall outside each field's legal range, rejects
+/// trailing garbage after the last array, and finishes with
+/// validate_plan_structure. Throws PlanIoError (a CheckError) carrying
+/// what/where context. The caller should still validate_plan() against its
+/// batch before executing — dims-dependent checks need the dims.
 BatchPlan load_plan(std::istream& is);
 
 /// Stable 64-bit signature of a batch + planning configuration; plans are
@@ -34,7 +57,15 @@ class PlanCache {
  public:
   explicit PlanCache(PlannerConfig config = {});
 
-  /// Returns the cached plan for this batch or plans and caches it.
+  /// Tests inject a planner to exercise failure paths (e.g. a planner that
+  /// throws once, or returns a corrupt plan) without a real planning bug.
+  using PlannerFn = std::function<PlanSummary(std::span<const GemmDims>)>;
+  PlanCache(PlannerConfig config, PlannerFn planner_fn);
+
+  /// Returns the cached plan for this batch or plans and caches it. Strong
+  /// exception guarantee: if planning throws (or produces a plan that fails
+  /// validation) nothing is cached and no statistics change, so retrying the
+  /// same batch after a transient failure behaves as a fresh miss.
   const PlanSummary& plan(std::span<const GemmDims> dims);
 
   /// Cache statistics.
@@ -46,6 +77,7 @@ class PlanCache {
 
  private:
   BatchedGemmPlanner planner_;
+  PlannerFn planner_fn_;
   std::unordered_map<std::uint64_t, PlanSummary> cache_;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;

@@ -199,9 +199,69 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
   });
 }
 
+void audit_operands(std::span<const GemmOperands> batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const GemmOperands& g = batch[i];
+    CTB_CHECK_MSG(g.dims.valid(), "GEMM " << i << " has degenerate dims "
+                                          << g.dims.m << 'x' << g.dims.n
+                                          << 'x' << g.dims.k);
+    CTB_CHECK_MSG(g.a != nullptr, "GEMM " << i << " has no A storage");
+    CTB_CHECK_MSG(g.b != nullptr || g.b_gather,
+                  "GEMM " << i << " needs B storage or a gather");
+    CTB_CHECK_MSG(g.c != nullptr, "GEMM " << i << " has no C storage");
+  }
+}
+
+void audit_plan_operands(const BatchPlan& plan,
+                         std::span<const GemmOperands> batch) {
+  audit_operands(batch);
+  std::vector<GemmDims> dims(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) dims[i] = batch[i].dims;
+  validate_plan(plan, dims);
+}
+
+void reference_gemm(const GemmOperands& g, float alpha, float beta) {
+  CTB_CHECK(g.a != nullptr && g.c != nullptr);
+  CTB_CHECK_MSG(g.b != nullptr || g.b_gather,
+                "B operand needs storage or a gather");
+  CTB_CHECK(g.dims.valid());
+  const auto& d = g.dims;
+  auto at_a = [&](int i, int k) {
+    return g.op_a == Op::kN ? g.a[static_cast<std::size_t>(i) * d.k + k]
+                            : g.a[static_cast<std::size_t>(k) * d.m + i];
+  };
+  auto at_b = [&](int k, int j) {
+    if (g.b_gather) return g.b_gather(k, j);
+    return g.op_b == Op::kN ? g.b[static_cast<std::size_t>(k) * d.n + j]
+                            : g.b[static_cast<std::size_t>(j) * d.k + k];
+  };
+  const bool fp16 = g.precision == Precision::kFp16;
+  for (int i = 0; i < d.m; ++i) {
+    for (int j = 0; j < d.n; ++j) {
+      float acc = 0.0f;
+      if (fp16) {
+        for (int k = 0; k < d.k; ++k)
+          acc += round_to_half(at_a(i, k)) * round_to_half(at_b(k, j));
+      } else {
+        for (int k = 0; k < d.k; ++k) acc += at_a(i, k) * at_b(k, j);
+      }
+      float* cell = &g.c[static_cast<std::size_t>(i) * d.n + j];
+      if (fp16) {
+        const float prior =
+            beta == 0.0f ? 0.0f : beta * round_to_half(*cell);
+        *cell = round_to_half(alpha * acc + prior);
+      } else {
+        const float prior = beta == 0.0f ? 0.0f : beta * *cell;
+        *cell = alpha * acc + prior;
+      }
+    }
+  }
+}
+
 void run_batched_plan(const BatchPlan& plan,
                       std::span<const GemmOperands> batch, float alpha,
                       float beta) {
+  audit_plan_operands(plan, batch);
   // Fig. 7: each block walks its tile range from the aux arrays. Blocks run
   // concurrently — validate_plan guarantees complete single coverage, so no
   // two blocks touch the same C tile — while each block's tile chain stays

@@ -79,8 +79,29 @@ void run_single_gemm(const TilingStrategy& strategy, const GemmOperands& g,
 void run_vbatch(const TilingStrategy& strategy,
                 std::span<const GemmOperands> batch, float alpha, float beta);
 
+/// Audits the operand array alone: every GEMM has valid dims, an A pointer,
+/// a B pointer or gather, and a C pointer. Throws CheckError naming the
+/// offending batch index, before any element is touched.
+void audit_operands(std::span<const GemmOperands> batch);
+
+/// Full pre-execution audit: audit_operands, then validate_plan against the
+/// dims the operands actually carry (not the dims the plan was built from —
+/// that closes the gap where a stale plan meets a reshaped batch). Rejects
+/// every corruption class in the fault-injection catalog before the
+/// executor reads or writes any matrix memory.
+void audit_plan_operands(const BatchPlan& plan,
+                         std::span<const GemmOperands> batch);
+
+/// Reference execution of one GEMM — the graceful-degradation path. A
+/// transpose-, gather-, and precision-aware naive triple loop with the same
+/// ascending-k accumulation and alpha/beta epilogue as gemm_naive /
+/// gemm_naive_fp16, so its C output is bit-identical to the host oracles.
+void reference_gemm(const GemmOperands& g, float alpha, float beta);
+
 /// Fig. 7: persistent-threads batched kernel driven by the plan's aux
-/// arrays. `batch` is indexed by the plan's GEMM ids.
+/// arrays. `batch` is indexed by the plan's GEMM ids. Runs
+/// audit_plan_operands first, so a corrupt plan or operand array throws
+/// before any memory access.
 void run_batched_plan(const BatchPlan& plan,
                       std::span<const GemmOperands> batch, float alpha,
                       float beta);

@@ -163,6 +163,10 @@ std::vector<double> DecisionTree::predict_proba(
   int node = 0;
   while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
     const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    CTB_CHECK_MSG(static_cast<std::size_t>(nd.feature) < features.size(),
+                  "tree splits on feature " << nd.feature << " but only "
+                                            << features.size()
+                                            << " features were provided");
     const double v = features[static_cast<std::size_t>(nd.feature)];
     node = v <= nd.threshold ? nd.left : nd.right;
   }
@@ -195,17 +199,56 @@ void DecisionTree::save(std::ostream& os) const {
 }
 
 void DecisionTree::load(std::istream& is, int num_classes) {
-  std::size_t count = 0;
+  // Caps far above any real model, small enough that an adversarial count
+  // cannot drive a huge allocation before validation.
+  constexpr long long kMaxNodes = 1LL << 22;
+  constexpr int kMaxFeatureIndex = 1 << 20;
+  CTB_CHECK_MSG(num_classes >= 2, "tree needs at least 2 classes, got "
+                                      << num_classes);
+  long long count = 0;
   is >> count;
-  CTB_CHECK_MSG(is.good(), "corrupt tree stream");
-  nodes_.assign(count, Node{});
+  CTB_CHECK_MSG(!is.fail() && count > 0 && count <= kMaxNodes,
+                "corrupt tree stream: bad node count " << count);
+  nodes_.assign(static_cast<std::size_t>(count), Node{});
   num_classes_ = num_classes;
-  for (Node& nd : nodes_) {
-    std::size_t np = 0;
+  for (long long i = 0; i < count; ++i) {
+    Node& nd = nodes_[static_cast<std::size_t>(i)];
+    long long np = 0;
     is >> nd.feature >> nd.threshold >> nd.left >> nd.right >> np;
-    nd.probs.resize(np);
+    CTB_CHECK_MSG(!is.fail(), "corrupt tree stream at node " << i);
+    CTB_CHECK_MSG(np >= 0 && np <= num_classes,
+                  "node " << i << " declares " << np
+                          << " class probabilities for " << num_classes
+                          << " classes");
+    nd.probs.resize(static_cast<std::size_t>(np));
     for (double& p : nd.probs) is >> p;
-    CTB_CHECK_MSG(!is.fail(), "corrupt tree stream");
+    CTB_CHECK_MSG(!is.fail(), "corrupt tree stream at node " << i);
+    if (nd.feature < 0) {
+      // A leaf: exactly feature == -1, no children, a full distribution.
+      CTB_CHECK_MSG(nd.feature == -1,
+                    "node " << i << " has invalid feature index "
+                            << nd.feature);
+      CTB_CHECK_MSG(nd.left == -1 && nd.right == -1,
+                    "leaf node " << i << " has child links " << nd.left
+                                 << "/" << nd.right);
+      CTB_CHECK_MSG(np == num_classes,
+                    "leaf node " << i << " carries " << np
+                                 << " probabilities for " << num_classes
+                                 << " classes");
+    } else {
+      // An internal node: children must point forward (the builder appends
+      // every parent before its children), which also rules out cycles.
+      CTB_CHECK_MSG(nd.feature <= kMaxFeatureIndex,
+                    "node " << i << " splits on implausible feature "
+                            << nd.feature);
+      CTB_CHECK_MSG(nd.left > i && nd.left < count && nd.right > i &&
+                        nd.right < count,
+                    "node " << i << " has dangling or backward child links "
+                            << nd.left << "/" << nd.right);
+      CTB_CHECK_MSG(np == 0, "internal node " << i
+                                              << " carries a probability "
+                                                 "distribution");
+    }
   }
 }
 

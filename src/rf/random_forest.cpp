@@ -104,11 +104,19 @@ void RandomForest::save(std::ostream& os) const {
 }
 
 void RandomForest::load(std::istream& is) {
-  std::size_t count = 0;
-  is >> count >> num_classes_;
-  CTB_CHECK_MSG(is.good() && count > 0 && num_classes_ >= 2,
-                "corrupt forest stream");
-  trees_.assign(count, DecisionTree{});
+  // Caps keep an adversarial header from driving a huge allocation.
+  constexpr long long kMaxTrees = 1LL << 20;
+  constexpr long long kMaxClasses = 1LL << 16;
+  long long count = 0;
+  long long classes = 0;
+  is >> count >> classes;
+  CTB_CHECK_MSG(!is.fail(), "corrupt forest stream: bad header");
+  CTB_CHECK_MSG(count > 0 && count <= kMaxTrees,
+                "corrupt forest stream: bad tree count " << count);
+  CTB_CHECK_MSG(classes >= 2 && classes <= kMaxClasses,
+                "corrupt forest stream: bad class count " << classes);
+  num_classes_ = static_cast<int>(classes);
+  trees_.assign(static_cast<std::size_t>(count), DecisionTree{});
   for (auto& tree : trees_) tree.load(is, num_classes_);
 }
 

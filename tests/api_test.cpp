@@ -174,6 +174,83 @@ TEST(BatchedGemmCall, NullPointerThrows) {
   EXPECT_THROW(batched_gemm(av, bv, cv, 1.0f, 0.0f), CheckError);
 }
 
+// ------------------------------------------- degenerate-input contract --
+// batched_gemm must reject these with CheckError before writing to any C
+// matrix (contract documented in core/api.hpp).
+
+TEST(BatchedGemmCall, EmptyBatchThrows) {
+  const std::vector<const Matrixf*> none;
+  std::vector<Matrixf*> out;
+  EXPECT_THROW(batched_gemm(none, none, out, 1.0f, 0.0f), CheckError);
+  const std::vector<GemmEntry> entries;
+  EXPECT_THROW(batched_gemm(entries, 1.0f, 0.0f), CheckError);
+}
+
+TEST(BatchedGemmCall, ZeroDimThrows) {
+  {
+    Matrixf a(0, 4), b(4, 4), c(0, 4);  // m == 0
+    const std::vector<const Matrixf*> av{&a}, bv{&b};
+    std::vector<Matrixf*> cv{&c};
+    EXPECT_THROW(batched_gemm(av, bv, cv, 1.0f, 0.0f), CheckError);
+  }
+  {
+    Matrixf a(4, 0), b(0, 4), c(4, 4);  // k == 0
+    const std::vector<const Matrixf*> av{&a}, bv{&b};
+    std::vector<Matrixf*> cv{&c};
+    EXPECT_THROW(batched_gemm(av, bv, cv, 1.0f, 0.0f), CheckError);
+  }
+}
+
+TEST(BatchedGemmCall, InnerDimMismatchThrows) {
+  Matrixf a(4, 8), b(6, 4), c(4, 4);  // a.cols != b.rows
+  const std::vector<const Matrixf*> av{&a}, bv{&b};
+  std::vector<Matrixf*> cv{&c};
+  EXPECT_THROW(batched_gemm(av, bv, cv, 1.0f, 0.0f), CheckError);
+}
+
+TEST(BatchedGemmCall, OutputShapeMismatchThrows) {
+  Matrixf a(4, 8), b(8, 4), c(4, 5);  // c must be 4x4
+  const std::vector<const Matrixf*> av{&a}, bv{&b};
+  std::vector<Matrixf*> cv{&c};
+  const float before = c(0, 0);
+  EXPECT_THROW(batched_gemm(av, bv, cv, 1.0f, 0.0f), CheckError);
+  EXPECT_EQ(c(0, 0), before);
+}
+
+TEST(BatchedGemmCall, FallbackKnobHappyPathBitIdentical) {
+  // With fallback_to_reference enabled and a healthy batch, results are
+  // bit-identical to the default path and no degradation is reported.
+  Rng rng(77);
+  const std::vector<GemmDims> dims = {{32, 48, 64}, {40, 24, 16}};
+  std::vector<Matrixf> as, bs, c_plain, c_fallback;
+  for (const auto& d : dims) {
+    as.push_back(rand_mat(d.m, d.k, rng));
+    bs.push_back(rand_mat(d.k, d.n, rng));
+    c_plain.push_back(rand_mat(d.m, d.n, rng));
+    c_fallback.push_back(c_plain.back());
+  }
+  std::vector<const Matrixf*> a, b;
+  std::vector<Matrixf*> c1, c2;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    a.push_back(&as[i]);
+    b.push_back(&bs[i]);
+    c1.push_back(&c_plain[i]);
+    c2.push_back(&c_fallback[i]);
+  }
+  const BatchedGemmResult plain =
+      batched_gemm(a, b, c1, 1.5f, 0.25f, PlannerConfig{});
+  PlannerConfig guarded;
+  guarded.fallback_to_reference = true;
+  const BatchedGemmResult with_knob =
+      batched_gemm(a, b, c2, 1.5f, 0.25f, guarded);
+  EXPECT_FALSE(plain.execution.fell_back);
+  EXPECT_FALSE(with_knob.execution.fell_back);
+  EXPECT_TRUE(with_knob.execution.reason.empty());
+  EXPECT_GT(with_knob.timing.time_us, 0.0);
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    EXPECT_EQ(max_abs_diff(c_plain[i], c_fallback[i]), 0.0f) << "gemm " << i;
+}
+
 TEST(PolicyNames, AllDistinct) {
   std::set<std::string> names;
   for (BatchingPolicy p :

@@ -1,0 +1,257 @@
+// Fault-injection harness for the plan pipeline (the tentpole of the
+// robustness layer). Valid plans from real planner runs are corrupted with
+// every class in the plan_fuzz catalog — truncation, duplication, swapped
+// entries, out-of-range ids/coords, non-monotone offsets, thread-structure
+// mismatches, overflow-adjacent extents — and every corrupted plan must be
+// rejected by validation *before* the executor touches any matrix memory.
+// C matrices are sentinel-filled to prove no write happened; CI repeats the
+// whole suite under ASan+UBSan so a validation miss shows up as a sanitizer
+// report rather than silence. The graceful-degradation contract is checked
+// too: try_execute_plan falls back to bit-exact reference GEMM on faulted
+// plans and stays bit-identical to execute_plan on healthy ones.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/plan_fuzz.hpp"
+#include "core/plan_io.hpp"
+#include "kernels/functional.hpp"
+
+namespace ctb {
+namespace {
+
+// A value no GEMM over random [-1, 1) inputs can produce: any change means
+// the executor wrote to C before validation rejected the plan.
+constexpr float kSentinel = -77.25f;
+
+std::size_t st(int v) { return static_cast<std::size_t>(v); }
+
+Matrixf rand_mat(int r, int c, Rng& rng) {
+  Matrixf m(st(r), st(c));
+  fill_random(m, rng);
+  return m;
+}
+
+struct PlanCase {
+  std::string name;
+  std::vector<GemmDims> dims;
+  BatchPlan plan;
+};
+
+const std::vector<PlanCase>& plan_cases() {
+  static const std::vector<PlanCase> cases = [] {
+    std::vector<PlanCase> out;
+    auto add = [&](std::string name, std::vector<GemmDims> dims,
+                   BatchingPolicy policy) {
+      PlannerConfig config;
+      config.policy = policy;
+      const BatchedGemmPlanner planner(config);
+      PlanCase pc;
+      pc.name = std::move(name);
+      pc.dims = std::move(dims);
+      pc.plan = planner.plan(pc.dims).plan;
+      validate_plan(pc.plan, pc.dims);  // fixtures start healthy
+      out.push_back(std::move(pc));
+    };
+    const std::vector<GemmDims> ragged = {
+        {16, 32, 48}, {64, 64, 64}, {40, 24, 96}, {100, 50, 60}};
+    add("ragged-threshold", ragged, BatchingPolicy::kThresholdOnly);
+    add("ragged-binary", ragged, BatchingPolicy::kBinaryOnly);
+    add("uniform-tiling-only",
+        std::vector<GemmDims>(6, GemmDims{64, 64, 32}),
+        BatchingPolicy::kTilingOnly);
+    add("single-auto", {{96, 80, 64}}, BatchingPolicy::kAutoOffline);
+    add("many-threshold", std::vector<GemmDims>(24, GemmDims{64, 64, 32}),
+        BatchingPolicy::kThresholdOnly);
+    return out;
+  }();
+  return cases;
+}
+
+/// Random A/B plus sentinel-filled C for every GEMM of a batch. The
+/// matrices live in vectors sized up front, so the operand pointers stay
+/// stable.
+struct Workspace {
+  std::vector<Matrixf> a, b, c;
+  std::vector<GemmOperands> ops;
+
+  Workspace(std::span<const GemmDims> dims, std::uint64_t seed,
+            float c_init = kSentinel) {
+    Rng rng(seed);
+    a.reserve(dims.size());
+    b.reserve(dims.size());
+    c.reserve(dims.size());
+    for (const auto& d : dims) {
+      a.push_back(rand_mat(d.m, d.k, rng));
+      b.push_back(rand_mat(d.k, d.n, rng));
+      c.emplace_back(st(d.m), st(d.n), c_init);
+    }
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      ops.push_back(operands(a[i], b[i], c[i]));
+  }
+
+  bool c_untouched() const {
+    for (const auto& m : c)
+      for (float v : m.flat())
+        if (v != kSentinel) return false;
+    return true;
+  }
+};
+
+TEST(FaultInjection, EveryCorruptionClassRejectedBeforeMemoryAccess) {
+  std::vector<int> applied(all_plan_faults().size(), 0);
+  for (const auto& pc : plan_cases()) {
+    for (PlanFault fault : all_plan_faults()) {
+      for (const auto& fp : inject_plan_fault(pc.plan, fault)) {
+        ++applied[st(static_cast<int>(fault))];
+        SCOPED_TRACE(pc.name + " / " + to_string(fault) + ": " + fp.note);
+        EXPECT_THROW(validate_plan(fp.plan, pc.dims), CheckError);
+        Workspace ws(pc.dims, 11);
+        EXPECT_THROW(run_batched_plan(fp.plan, ws.ops, 1.0f, 0.0f),
+                     CheckError);
+        EXPECT_TRUE(ws.c_untouched())
+            << "executor wrote to C despite the corrupt plan";
+      }
+    }
+  }
+  // Every corruption class must have fired at least once across fixtures.
+  for (std::size_t f = 0; f < applied.size(); ++f)
+    EXPECT_GT(applied[f], 0)
+        << "fault class never applied: " << to_string(all_plan_faults()[f]);
+}
+
+TEST(FaultInjection, SaveLoadPipelineRejectsCorruptPlans) {
+  // A corrupted plan that round-trips through the text format must be
+  // stopped by the hardened loader or by validation — never executed.
+  for (const auto& pc : plan_cases()) {
+    for (PlanFault fault : all_plan_faults()) {
+      for (const auto& fp : inject_plan_fault(pc.plan, fault)) {
+        SCOPED_TRACE(pc.name + " / " + to_string(fault) + ": " + fp.note);
+        std::stringstream ss;
+        save_plan(ss, fp.plan);
+        bool rejected = false;
+        try {
+          const BatchPlan loaded = load_plan(ss);
+          validate_plan(loaded, pc.dims);
+        } catch (const CheckError&) {
+          rejected = true;
+        }
+        EXPECT_TRUE(rejected);
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, TryExecuteFallsBackBitExactly) {
+  const PlanCase& pc = plan_cases().front();
+  for (PlanFault fault : all_plan_faults()) {
+    const auto variants = inject_plan_fault(pc.plan, fault);
+    if (variants.empty()) continue;
+    const FaultedPlan& fp = variants.front();
+    SCOPED_TRACE(std::string(to_string(fault)) + ": " + fp.note);
+
+    Workspace ws(pc.dims, 23);
+    const ExecutionReport report =
+        try_execute_plan(fp.plan, ws.ops, 1.25f, 0.5f);
+    EXPECT_TRUE(report.fell_back);
+    EXPECT_FALSE(report.reason.empty());
+
+    // The fallback must match the host reference oracle bit for bit.
+    Workspace ref(pc.dims, 23);
+    for (std::size_t i = 0; i < pc.dims.size(); ++i) {
+      gemm_naive(ref.a[i], ref.b[i], ref.c[i], 1.25f, 0.5f);
+      EXPECT_EQ(max_abs_diff(ws.c[i], ref.c[i]), 0.0f) << "gemm " << i;
+    }
+  }
+}
+
+TEST(FaultInjection, TryExecuteHappyPathBitIdenticalToExecutePlan) {
+  for (const auto& pc : plan_cases()) {
+    SCOPED_TRACE(pc.name);
+    Workspace via_try(pc.dims, 31);
+    Workspace via_plain(pc.dims, 31);
+    const ExecutionReport report =
+        try_execute_plan(pc.plan, via_try.ops, 2.0f, -1.0f);
+    EXPECT_FALSE(report.fell_back);
+    EXPECT_TRUE(report.reason.empty());
+    execute_plan(pc.plan, via_plain.ops, 2.0f, -1.0f);
+    for (std::size_t i = 0; i < pc.dims.size(); ++i)
+      EXPECT_TRUE(via_try.c[i] == via_plain.c[i]) << "gemm " << i;
+  }
+}
+
+TEST(FaultInjection, FallbackHonorsTranspose) {
+  const std::vector<GemmDims> dims = {{48, 40, 32}};
+  PlannerConfig config;
+  const BatchedGemmPlanner planner(config);
+  const BatchPlan plan = planner.plan(dims).plan;
+  const auto variants =
+      inject_plan_fault(plan, PlanFault::kOffsetsBackMismatch);
+  ASSERT_FALSE(variants.empty());
+
+  Rng rng(41);
+  const Matrixf a = rand_mat(32, 48, rng);  // stores A^T (K x M)
+  const Matrixf b = rand_mat(40, 32, rng);  // stores B^T (N x K)
+  Matrixf c(48, 40, kSentinel);
+  Matrixf c_ref = c;
+  std::vector<GemmOperands> ops = {operands(a, b, c, Op::kT, Op::kT)};
+
+  const ExecutionReport report =
+      try_execute_plan(variants.front().plan, ops, 1.5f, 0.25f);
+  EXPECT_TRUE(report.fell_back);
+  gemm_naive_ops(Op::kT, Op::kT, a, b, c_ref, 1.5f, 0.25f);
+  EXPECT_EQ(max_abs_diff(c, c_ref), 0.0f);
+}
+
+TEST(FaultInjection, FallbackHonorsFp16) {
+  const std::vector<GemmDims> dims = {{48, 40, 32}};
+  PlannerConfig config;
+  const BatchedGemmPlanner planner(config);
+  const BatchPlan plan = planner.plan(dims).plan;
+  const auto variants = inject_plan_fault(plan, PlanFault::kGemmIdPastEnd);
+  ASSERT_FALSE(variants.empty());
+
+  Rng rng(43);
+  const Matrixf a = rand_mat(48, 32, rng);
+  const Matrixf b = rand_mat(32, 40, rng);
+  Matrixf c(48, 40, kSentinel);
+  Matrixf c_ref = c;
+  std::vector<GemmOperands> ops = {operands(a, b, c)};
+  ops[0].precision = Precision::kFp16;
+
+  const ExecutionReport report =
+      try_execute_plan(variants.front().plan, ops, 1.0f, 0.5f);
+  EXPECT_TRUE(report.fell_back);
+  gemm_naive_fp16(a, b, c_ref, 1.0f, 0.5f);
+  EXPECT_EQ(max_abs_diff(c, c_ref), 0.0f);
+}
+
+TEST(FaultInjection, BrokenOperandsThrowThroughTryExecute) {
+  // No trustworthy buffers -> no fallback: operand faults must throw.
+  const PlanCase& pc = plan_cases().front();
+  Workspace ws(pc.dims, 47);
+  ws.ops[1].c = nullptr;
+  EXPECT_THROW(try_execute_plan(pc.plan, ws.ops, 1.0f, 0.0f), CheckError);
+  ws.ops[1].c = ws.c[1].data();
+  ws.ops[2].dims.k = 0;
+  EXPECT_THROW(try_execute_plan(pc.plan, ws.ops, 1.0f, 0.0f), CheckError);
+}
+
+TEST(FaultInjection, StaleDimsRejectedAgainstOperands) {
+  // A healthy plan built for one batch must not execute against a batch
+  // whose operands carry different dims (the stale-plan scenario).
+  const PlanCase& pc = plan_cases().front();
+  std::vector<GemmDims> reshaped = pc.dims;
+  // Larger than the largest tile in both directions, so every strategy
+  // needs more tiles than the stale plan supplies.
+  reshaped[0] = {200, 150, 60};
+  Workspace ws(reshaped, 53);
+  EXPECT_THROW(run_batched_plan(pc.plan, ws.ops, 1.0f, 0.0f), CheckError);
+  EXPECT_TRUE(ws.c_untouched());
+}
+
+}  // namespace
+}  // namespace ctb

@@ -168,5 +168,113 @@ TEST(PlanCache, ClearResets) {
   EXPECT_EQ(cache.misses(), 2);
 }
 
+// ------------------------------------------------- hardened load_plan --
+
+TEST(PlanIo, RejectsUnsupportedVersion) {
+  std::stringstream ss("ctb-batchplan-v2\n256 16384 84\ntile 1 0\n");
+  try {
+    load_plan(ss);
+    FAIL() << "expected PlanIoError";
+  } catch (const PlanIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported plan version"),
+              std::string::npos);
+  }
+}
+
+TEST(PlanIo, RejectsHugeDeclaredCountBeforeAllocating) {
+  // A declared count past the cap must be rejected at the header, never
+  // allocated (under ASan an attempted 99-trillion-element vector would be
+  // loud).
+  std::stringstream ss(
+      "ctb-batchplan-v1\n256 16384 84\ntile 99999999999999 0\n");
+  EXPECT_THROW(load_plan(ss), PlanIoError);
+}
+
+TEST(PlanIo, RejectsIntegerOverflowElement) {
+  std::stringstream ss(
+      "ctb-batchplan-v1\n256 16384 84\ntile 2 0 99999999999999\n");
+  EXPECT_THROW(load_plan(ss), PlanIoError);
+  // And a value no long long can hold (failbit path).
+  std::stringstream ss2(
+      "ctb-batchplan-v1\n256 16384 84\n"
+      "tile 2 0 99999999999999999999999999999999\n");
+  EXPECT_THROW(load_plan(ss2), PlanIoError);
+}
+
+TEST(PlanIo, RejectsTrailingGarbage) {
+  const PlanSummary s = plan_sample();
+  std::stringstream ss;
+  save_plan(ss, s.plan);
+  ss << " unexpected-trailer";
+  EXPECT_THROW(load_plan(ss), PlanIoError);
+}
+
+TEST(PlanIo, RejectsStructurallyBrokenPlanAtLoad) {
+  // Offsets [0, 2, 1] are non-monotone: the loader's final structural
+  // validation must refuse, the caller never sees the plan.
+  std::stringstream ss(
+      "ctb-batchplan-v1\n256 16384 84\n"
+      "tile 3 0 2 1\ngemm 1 0\nstrategy 1 1\ny 1 0\nx 1 0\n");
+  EXPECT_THROW(load_plan(ss), PlanIoError);
+}
+
+TEST(PlanIo, ErrorCarriesWhatWhereContext) {
+  std::stringstream ss("ctb-batchplan-v1\n256 16384 84\ntile 2 0 zz\n");
+  try {
+    load_plan(ss);
+    FAIL() << "expected PlanIoError";
+  } catch (const PlanIoError& e) {
+    EXPECT_EQ(e.where(), "tile[1]");
+    EXPECT_NE(std::string(e.what()).find("plan load failed at tile[1]"),
+              std::string::npos);
+  }
+}
+
+// ------------------------------------------- PlanCache strong guarantee --
+
+TEST(PlanCache, FailedPlanDoesNotPoisonEntry) {
+  PlannerConfig config;
+  const BatchedGemmPlanner real(config);
+  int calls = 0;
+  PlanCache cache(config, [&](std::span<const GemmDims> dims) {
+    if (++calls == 1) throw CheckError("transient planner failure");
+    return real.plan(dims);
+  });
+  const auto dims = sample_batch();
+  EXPECT_THROW(cache.plan(dims), CheckError);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 0);
+  // The identical signature retries cleanly after the failure...
+  const PlanSummary& s = cache.plan(dims);
+  EXPECT_NO_THROW(validate_plan(s.plan, dims));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1);
+  // ...and the retried entry serves hits.
+  cache.plan(dims);
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(PlanCache, RejectsPlannerOutputThatFailsValidation) {
+  PlannerConfig config;
+  const BatchedGemmPlanner real(config);
+  PlanCache cache(config, [&](std::span<const GemmDims> dims) {
+    PlanSummary s = real.plan(dims);
+    s.plan.gemm_of_tile[0] = -1;  // corrupt the planner's output
+    return s;
+  });
+  const auto dims = sample_batch();
+  EXPECT_THROW(cache.plan(dims), CheckError);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCache, RejectsDegenerateDims) {
+  PlanCache cache;
+  const std::vector<GemmDims> empty;
+  EXPECT_THROW(cache.plan(empty), CheckError);
+  const std::vector<GemmDims> zero_dim = {{0, 16, 16}};
+  EXPECT_THROW(cache.plan(zero_dim), CheckError);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 }  // namespace
 }  // namespace ctb

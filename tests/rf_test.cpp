@@ -238,6 +238,85 @@ TEST(RandomForest, LoadRejectsCorruptStream) {
   EXPECT_THROW(forest.load(ss), CheckError);
 }
 
+// ------------------------------------------------- hardened model loads --
+// Tree stream format: "<count>\n" then per node
+// "<feature> <threshold> <left> <right> <nprobs> <probs...>".
+
+TEST(DecisionTree, LoadRejectsBadNodeCount) {
+  DecisionTree t;
+  std::stringstream zero("0\n");
+  EXPECT_THROW(t.load(zero, 2), CheckError);
+  std::stringstream negative("-3\n");
+  EXPECT_THROW(t.load(negative, 2), CheckError);
+  // A huge count must be rejected before any allocation happens.
+  std::stringstream huge("99999999999\n");
+  EXPECT_THROW(t.load(huge, 2), CheckError);
+}
+
+TEST(DecisionTree, LoadRejectsDanglingChildLink) {
+  // Node 0 points at child 5 of a 1-node tree.
+  DecisionTree t;
+  std::stringstream ss("1\n0 0.5 5 5 0\n");
+  EXPECT_THROW(t.load(ss, 2), CheckError);
+}
+
+TEST(DecisionTree, LoadRejectsCyclicChildLink) {
+  // Node 1 points back at node 0: a cycle predict() would spin on. The
+  // builder appends parents before children, so backward links are always
+  // corrupt.
+  DecisionTree t;
+  std::stringstream ss(
+      "3\n0 0.5 1 2 0\n0 0.5 0 2 0\n-1 0 -1 -1 2 1 0\n");
+  EXPECT_THROW(t.load(ss, 2), CheckError);
+}
+
+TEST(DecisionTree, LoadRejectsBadFeatureIndex) {
+  DecisionTree t;
+  std::stringstream ss("1\n-7 0.5 -1 -1 2 1 0\n");
+  EXPECT_THROW(t.load(ss, 2), CheckError);
+}
+
+TEST(DecisionTree, LoadRejectsLeafProbsMismatch) {
+  // A 2-class leaf carrying one probability.
+  DecisionTree t;
+  std::stringstream ss("1\n-1 0 -1 -1 1 1\n");
+  EXPECT_THROW(t.load(ss, 2), CheckError);
+  // More probabilities than classes is equally corrupt.
+  DecisionTree t2;
+  std::stringstream ss2("1\n-1 0 -1 -1 3 0.5 0.25 0.25\n");
+  EXPECT_THROW(t2.load(ss2, 2), CheckError);
+}
+
+TEST(DecisionTree, LoadRejectsLeafWithChildren) {
+  DecisionTree t;
+  std::stringstream ss("2\n-1 0 1 1 2 1 0\n-1 0 -1 -1 2 0 1\n");
+  EXPECT_THROW(t.load(ss, 2), CheckError);
+}
+
+TEST(DecisionTree, PredictRejectsShortFeatureVector) {
+  // A valid tree splitting on feature 1 must refuse a 1-feature input
+  // instead of reading out of bounds.
+  DecisionTree t;
+  std::stringstream ss(
+      "3\n1 0.5 1 2 0\n-1 0 -1 -1 2 1 0\n-1 0 -1 -1 2 0 1\n");
+  t.load(ss, 2);
+  const std::vector<double> too_short{0.2};
+  EXPECT_THROW(t.predict(too_short), CheckError);
+  const std::vector<double> ok{0.2, 0.9};
+  EXPECT_EQ(t.predict(ok), 1);
+}
+
+TEST(RandomForest, LoadRejectsBadHeader) {
+  // Huge tree count: rejected before allocating.
+  RandomForest huge;
+  std::stringstream ss("99999999999 2\n");
+  EXPECT_THROW(huge.load(ss), CheckError);
+  // One class is not a classifier.
+  RandomForest one_class;
+  std::stringstream ss2("4 1\n");
+  EXPECT_THROW(one_class.load(ss2), CheckError);
+}
+
 TEST(RandomForest, EmptyTrainingSetThrows) {
   RandomForest forest;
   Dataset d;

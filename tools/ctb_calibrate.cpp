@@ -22,36 +22,42 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<GpuModel> models;
-  if (flags.get("gpu") == "all") {
-    models = all_gpu_models();
-  } else {
-    for (GpuModel m : all_gpu_models()) {
-      std::string lower = to_string(m);
-      for (char& c : lower) c = static_cast<char>(std::tolower(c));
-      if (flags.get("gpu") == to_string(m) || flags.get("gpu") == lower)
-        models.push_back(m);
+  try {
+    std::vector<GpuModel> models;
+    if (flags.get("gpu") == "all") {
+      models = all_gpu_models();
+    } else {
+      for (GpuModel m : all_gpu_models()) {
+        std::string lower = to_string(m);
+        for (char& c : lower) c = static_cast<char>(std::tolower(c));
+        if (flags.get("gpu") == to_string(m) || flags.get("gpu") == lower)
+          models.push_back(m);
+      }
+      CTB_CHECK_MSG(!models.empty(),
+                    "unknown GPU '" << flags.get("gpu") << "'");
     }
-    if (models.empty()) {
-      std::cerr << "unknown GPU '" << flags.get("gpu") << "'\n";
-      return 1;
-    }
-  }
 
-  for (GpuModel model : models) {
-    const GpuArch& arch = gpu_arch(model);
-    std::cout << "=== " << arch.name << " ===\n";
-    const TlpCalibration tlp = calibrate_tlp_threshold(arch);
-    TextTable t;
-    t.set_header({"TLP (threads)", "GFLOP/s"});
-    for (const auto& p : tlp.curve)
-      t.add_row({TextTable::fmt(p.tlp), TextTable::fmt(p.gflops, 0)});
-    t.print(std::cout);
-    const ThetaCalibration theta = calibrate_theta(arch, tlp.threshold);
-    std::cout << "recommended: tlp_threshold=" << tlp.threshold
-              << " theta=" << theta.theta
-              << "  (library default: " << default_tlp_threshold(arch)
-              << " / " << default_theta(arch) << ")\n\n";
+    for (GpuModel model : models) {
+      const GpuArch& arch = gpu_arch(model);
+      std::cout << "=== " << arch.name << " ===\n";
+      const TlpCalibration tlp = calibrate_tlp_threshold(arch);
+      TextTable t;
+      t.set_header({"TLP (threads)", "GFLOP/s"});
+      for (const auto& p : tlp.curve)
+        t.add_row({TextTable::fmt(p.tlp), TextTable::fmt(p.gflops, 0)});
+      t.print(std::cout);
+      const ThetaCalibration theta = calibrate_theta(arch, tlp.threshold);
+      std::cout << "recommended: tlp_threshold=" << tlp.threshold
+                << " theta=" << theta.theta
+                << "  (library default: " << default_tlp_threshold(arch)
+                << " / " << default_theta(arch) << ")\n\n";
+    }
+  } catch (const CheckError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
   }
   return 0;
 }

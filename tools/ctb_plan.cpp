@@ -74,6 +74,8 @@ int main(int argc, char** argv) {
   flags.define("gpu", "V100", "architecture preset");
   flags.define("policy", "auto", "auto|threshold|binary|tiling-only");
   flags.define("dump-plan", "", "write the plan (aux arrays) to this file");
+  flags.define("check-plan", "",
+               "load a saved plan and validate it against the given shapes");
   flags.define("trace", "", "write a chrome://tracing JSON of the schedule");
   flags.define("show-plan", "false", "print the aux arrays");
 
@@ -97,6 +99,18 @@ int main(int argc, char** argv) {
       CTB_CHECK_MSG(!positional.empty(),
                     "give GEMM shapes (MxNxK,...) or --random N");
       dims = parse_shapes(positional.front());
+    }
+
+    const std::string check_path = flags.get("check-plan");
+    if (!check_path.empty()) {
+      std::ifstream in(check_path);
+      CTB_CHECK_MSG(in.good(), "cannot read " << check_path);
+      const BatchPlan plan = load_plan(in);
+      validate_plan(plan, dims);
+      std::cout << check_path << " OK: " << plan.num_tiles() << " tiles in "
+                << plan.num_blocks() << " blocks of " << plan.block_threads
+                << " threads, valid for this batch\n";
+      return 0;
     }
 
     PlannerConfig config;
@@ -167,6 +181,9 @@ int main(int argc, char** argv) {
       std::cout << "\nplan written to " << dump << '\n';
     }
   } catch (const CheckError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
