@@ -4,11 +4,15 @@
 // the three execution variants, speedup tables).
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "baselines/baselines.hpp"
 #include "core/api.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -77,5 +81,99 @@ std::vector<Result> sweep_parallel(const std::vector<SweepCell>& cells,
                });
   return out;
 }
+
+/// The figure harnesses' fixed column sets, shared with the regression tests
+/// that pin them (bench_grid_test, the golden CSV-header check).
+inline std::vector<std::string> fig8_table_header() {
+  return {"K",         "magma(us)", "tiling(us)",
+          "speedup",   "magma tile", "our tile",
+          "histogram (1.0 = 10 chars)"};
+}
+inline std::vector<std::string> fig9_table_header() {
+  return {"K",          "magma(us)",  "tiling(us)",
+          "full(us)",   "heuristic",  "full/magma",
+          "full/tiling", "histogram (1.0 = 10 chars)"};
+}
+inline const char* fig8_csv_header() {
+  return "mn,batch,k,magma_us,tiling_us,speedup";
+}
+inline const char* fig9_csv_header() {
+  return "mn,batch,k,magma_us,tiling_us,full_us,heuristic,full_vs_magma,"
+         "full_vs_tiling";
+}
+
+/// Prints the Fig. 8/9 layout: one "--- M=N=…, batch=… ---" section per
+/// (mn, batch) pair, each a TextTable with one row per K. `rows` must be in
+/// sweep_cells() order (as produced by sweep_parallel); `row_fn(table, cell,
+/// row)` renders one cell, so the harnesses keep their per-figure columns
+/// and summary accumulation while sharing the loop structure.
+template <typename Row, typename RowFn>
+void print_sweep_tables(std::ostream& os,
+                        const std::vector<std::string>& header,
+                        const std::vector<Row>& rows, RowFn&& row_fn) {
+  const std::vector<SweepCell> cells = sweep_cells();
+  std::size_t cell = 0;
+  for (int mn : sweep_mn()) {
+    for (int batch : sweep_batch()) {
+      os << "\n--- M=N=" << mn << ", batch=" << batch << " ---\n";
+      TextTable t;
+      t.set_header(header);
+      for (std::size_t i = 0; i < sweep_k().size(); ++i, ++cell)
+        row_fn(t, cells[cell], rows[cell]);
+      t.print(os);
+    }
+  }
+}
+
+/// Optional machine-readable sweep output: when CTB_BENCH_CSV names a file,
+/// the harness writes `header` plus one CSV line per cell there; otherwise
+/// every call is a no-op, keeping the default stdout byte-identical.
+class CsvSink {
+ public:
+  explicit CsvSink(const char* header) {
+    const char* path = std::getenv("CTB_BENCH_CSV");
+    if (path != nullptr && *path != '\0') {
+      os_.open(path);
+      if (os_.good()) os_ << header << '\n';
+    }
+  }
+  void row(const std::string& line) {
+    if (os_.is_open()) os_ << line << '\n';
+  }
+
+ private:
+  std::ofstream os_;
+};
+
+/// Turns telemetry on for a figure sweep when CTB_BENCH_TELEMETRY names a
+/// directory; on destruction drops <dir>/<name>.metrics.json and
+/// <dir>/<name>.trace.json. A no-op (and zero files) when the variable is
+/// unset or telemetry is compiled out, so default bench runs are unaffected.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(std::string name) : name_(std::move(name)) {
+    const char* dir = std::getenv("CTB_BENCH_TELEMETRY");
+    if (dir != nullptr && *dir != '\0' && telemetry::snapshot().compiled_in) {
+      dir_ = dir;
+      telemetry::reset();
+      telemetry::set_enabled(true);
+    }
+  }
+  ~TelemetryScope() {
+    if (dir_.empty()) return;
+    const telemetry::MetricsSnapshot snap = telemetry::snapshot();
+    std::ofstream metrics(dir_ + "/" + name_ + ".metrics.json");
+    if (metrics.good()) telemetry::write_metrics_json(metrics, snap);
+    std::ofstream trace(dir_ + "/" + name_ + ".trace.json");
+    if (trace.good()) telemetry::write_chrome_trace(trace, snap);
+    telemetry::set_enabled(false);
+  }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  std::string name_;
+  std::string dir_;
+};
 
 }  // namespace ctb::bench

@@ -24,6 +24,7 @@ int main() {
   using namespace ctb;
   using namespace ctb::bench;
   const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  TelemetryScope telemetry_scope("fig8_tiling");
 
   std::cout << "=== Figure 8: tiling engine speedup over MAGMA vbatch ("
             << arch.name << ") ===\n";
@@ -46,24 +47,21 @@ int main() {
       });
 
   std::vector<double> all_speedups;
-  std::size_t cell = 0;
-  for (int mn : sweep_mn()) {
-    for (int batch : sweep_batch()) {
-      TextTable t;
-      std::cout << "\n--- M=N=" << mn << ", batch=" << batch << " ---\n";
-      t.set_header({"K", "magma(us)", "tiling(us)", "speedup", "magma tile",
-                    "our tile", "histogram (1.0 = 10 chars)"});
-      for (int k : sweep_k()) {
-        const Fig8Row& row = rows[cell++];
+  CsvSink csv(fig8_csv_header());
+  print_sweep_tables(
+      std::cout, fig8_table_header(), rows,
+      [&](TextTable& t, const SweepCell& cell, const Fig8Row& row) {
         const double speedup = row.magma / row.ours;
         all_speedups.push_back(speedup);
-        t.add_row({TextTable::fmt(k), TextTable::fmt(row.magma, 1),
+        t.add_row({TextTable::fmt(cell.k), TextTable::fmt(row.magma, 1),
                    TextTable::fmt(row.ours, 1), TextTable::fmt(speedup, 2),
                    row.magma_tile, row.our_tile, ascii_bar(speedup)});
-      }
-      t.print(std::cout);
-    }
-  }
+        csv.row(TextTable::fmt(cell.mn) + ',' + TextTable::fmt(cell.batch) +
+                ',' + TextTable::fmt(cell.k) + ',' +
+                TextTable::fmt(row.magma, 3) + ',' +
+                TextTable::fmt(row.ours, 3) + ',' +
+                TextTable::fmt(speedup, 4));
+      });
   const Summary s = summarize(all_speedups);
   std::cout << "\nFig. 8 overall: " << to_string(s) << '\n';
   std::cout << "Paper reference: ~1.20x mean; benefit decreases as batch or "

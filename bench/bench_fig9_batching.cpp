@@ -21,6 +21,7 @@ int main() {
   using namespace ctb;
   using namespace ctb::bench;
   const GpuArch& arch = gpu_arch(GpuModel::kV100);
+  TelemetryScope telemetry_scope("fig9_batching");
 
   std::cout << "=== Figure 9: coordinated tiling+batching speedup over "
                "MAGMA vbatch (" << arch.name << ") ===\n";
@@ -44,27 +45,25 @@ int main() {
 
   std::vector<double> vs_magma;
   std::vector<double> batching_gain;
-  std::size_t cell = 0;
-  for (int mn : sweep_mn()) {
-    for (int batch : sweep_batch()) {
-      std::cout << "\n--- M=N=" << mn << ", batch=" << batch << " ---\n";
-      TextTable t;
-      t.set_header({"K", "magma(us)", "tiling(us)", "full(us)", "heuristic",
-                    "full/magma", "full/tiling",
-                    "histogram (1.0 = 10 chars)"});
-      for (int k : sweep_k()) {
-        const Fig9Row& row = rows[cell++];
+  CsvSink csv(fig9_csv_header());
+  print_sweep_tables(
+      std::cout, fig9_table_header(), rows,
+      [&](TextTable& t, const SweepCell& cell, const Fig9Row& row) {
         vs_magma.push_back(row.magma / row.full);
         batching_gain.push_back(row.tiling / row.full);
-        t.add_row({TextTable::fmt(k), TextTable::fmt(row.magma, 1),
+        t.add_row({TextTable::fmt(cell.k), TextTable::fmt(row.magma, 1),
                    TextTable::fmt(row.tiling, 1), TextTable::fmt(row.full, 1),
                    row.heuristic, TextTable::fmt(row.magma / row.full, 2),
                    TextTable::fmt(row.tiling / row.full, 2),
                    ascii_bar(row.magma / row.full)});
-      }
-      t.print(std::cout);
-    }
-  }
+        csv.row(TextTable::fmt(cell.mn) + ',' + TextTable::fmt(cell.batch) +
+                ',' + TextTable::fmt(cell.k) + ',' +
+                TextTable::fmt(row.magma, 3) + ',' +
+                TextTable::fmt(row.tiling, 3) + ',' +
+                TextTable::fmt(row.full, 3) + ',' + row.heuristic + ',' +
+                TextTable::fmt(row.magma / row.full, 4) + ',' +
+                TextTable::fmt(row.tiling / row.full, 4));
+      });
   std::cout << "\nFig. 9 framework vs MAGMA:   " << to_string(summarize(vs_magma))
             << '\n';
   std::cout << "Batching engine contribution: "

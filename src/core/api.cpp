@@ -1,9 +1,11 @@
 #include "core/api.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "core/rf_policy.hpp"
 #include "kernels/work_builder.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -49,6 +51,13 @@ BatchedGemmPlanner::BatchedGemmPlanner(PlannerConfig config)
 
 PlanSummary BatchedGemmPlanner::plan(std::span<const GemmDims> dims) const {
   CTB_CHECK_MSG(!dims.empty(), "empty batch");
+  CTB_TEL_SPAN("plan.total");
+  if (telemetry::enabled()) {
+    // Dynamic name, so no site cache — planning is never the hot path.
+    const std::string name =
+        std::string("plan.policy.") + to_string(config_.policy);
+    telemetry::counter(name.c_str()).add(1);
+  }
   PlanSummary summary;
 
   TilingConfig tiling_config;
@@ -79,6 +88,7 @@ PlanSummary BatchedGemmPlanner::plan(std::span<const GemmDims> dims) const {
     case BatchingPolicy::kAutoOffline: {
       // Fixed-shape workloads (e.g. DNN training steps) can afford to try
       // both heuristics once and keep the winner (paper Section 5).
+      CTB_TEL_SPAN("plan.auto_offline");
       const BatchPlan thr =
           batch_threshold(tiles, threads, batching_config);
       const BatchPlan bin = batch_binary(tiles, threads, batching_config);
@@ -87,6 +97,10 @@ PlanSummary BatchedGemmPlanner::plan(std::span<const GemmDims> dims) const {
       const double t_bin = time_plan(arch_, bin, dims).time_us;
       summary.heuristic = t_thr <= t_bin ? BatchingHeuristic::kThreshold
                                          : BatchingHeuristic::kBinary;
+      if (t_thr <= t_bin)
+        CTB_TEL_COUNT("plan.auto.threshold_wins", 1);
+      else
+        CTB_TEL_COUNT("plan.auto.binary_wins", 1);
       summary.plan = t_thr <= t_bin ? thr : bin;
       CTB_DEBUG("auto-offline: threshold=" << t_thr << "us binary=" << t_bin
                                            << "us -> "
@@ -128,6 +142,8 @@ ExecutionReport try_execute_plan(const BatchPlan& plan,
     report.fell_back = true;
     report.reason = e.what();
     CTB_WARN("plan rejected, degrading to reference GEMM: " << e.what());
+    CTB_TEL_COUNT("exec.fallback", 1);
+    CTB_TEL_SPAN("exec.reference_fallback");
     for (const GemmOperands& g : batch) reference_gemm(g, alpha, beta);
     return report;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 
 namespace ctb {
@@ -21,6 +22,8 @@ const char* to_string(BatchingHeuristic h) {
 }
 
 BatchPlan batch_none(std::span<const Tile> tiles, int block_threads) {
+  CTB_TEL_SPAN("plan.batch.none");
+  CTB_TEL_COUNT("plan.heuristic.none", 1);
   std::vector<std::vector<Tile>> blocks;
   blocks.reserve(tiles.size());
   for (const Tile& t : tiles) blocks.push_back({t});
@@ -30,6 +33,8 @@ BatchPlan batch_none(std::span<const Tile> tiles, int block_threads) {
 BatchPlan batch_threshold(std::span<const Tile> tiles, int block_threads,
                           const BatchingConfig& config) {
   CTB_CHECK(config.theta > 0);
+  CTB_TEL_SPAN("plan.batch.threshold");
+  CTB_TEL_COUNT("plan.heuristic.threshold", 1);
   std::vector<std::vector<Tile>> blocks;
   std::size_t i = 0;
   while (i < tiles.size()) {
@@ -58,6 +63,8 @@ BatchPlan batch_threshold(std::span<const Tile> tiles, int block_threads,
 BatchPlan batch_binary(std::span<const Tile> tiles, int block_threads,
                        const BatchingConfig& config) {
   CTB_CHECK(config.theta > 0);
+  CTB_TEL_SPAN("plan.batch.binary");
+  CTB_TEL_COUNT("plan.heuristic.binary", 1);
   std::vector<Tile> sorted(tiles.begin(), tiles.end());
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Tile& a, const Tile& b) { return a.k < b.k; });
@@ -91,6 +98,8 @@ BatchPlan batch_binary(std::span<const Tile> tiles, int block_threads,
 BatchPlan batch_packed(std::span<const Tile> tiles, int block_threads,
                        const BatchingConfig& config) {
   CTB_CHECK(config.theta > 0);
+  CTB_TEL_SPAN("plan.batch.packed");
+  CTB_TEL_COUNT("plan.heuristic.packed", 1);
   // TLP guard: packing below this many blocks would starve the GPU; fall
   // back to one tile per block exactly like threshold batching's tail.
   const long long min_blocks =

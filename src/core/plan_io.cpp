@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 
 namespace ctb {
@@ -123,6 +124,11 @@ PlanCache::PlanCache(PlannerConfig config) : planner_(config) {}
 PlanCache::PlanCache(PlannerConfig config, PlannerFn planner_fn)
     : planner_(config), planner_fn_(std::move(planner_fn)) {}
 
+void PlanCache::clear() {
+  CTB_TEL_COUNT("cache.evict", cache_.size());
+  cache_.clear();
+}
+
 const PlanSummary& PlanCache::plan(std::span<const GemmDims> dims) {
   CTB_CHECK_MSG(!dims.empty(), "cannot plan an empty batch");
   for (std::size_t i = 0; i < dims.size(); ++i)
@@ -133,15 +139,18 @@ const PlanSummary& PlanCache::plan(std::span<const GemmDims> dims) {
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
+    CTB_TEL_COUNT("cache.hit", 1);
     return it->second;
   }
   // Plan and validate completely before touching the cache or the counters:
   // a planner that throws (or emits a plan that fails validation) must not
   // leave a poisoned entry behind, so the same batch can be retried.
+  CTB_TEL_SPAN("cache.plan_miss");
   PlanSummary summary =
       planner_fn_ ? planner_fn_(dims) : planner_.plan(dims);
   validate_plan(summary.plan, dims);
   ++misses_;
+  CTB_TEL_COUNT("cache.miss", 1);
   return cache_.emplace(key, std::move(summary)).first->second;
 }
 

@@ -73,7 +73,8 @@ class PlanCache {
   std::int64_t hits() const { return hits_; }
   std::int64_t misses() const { return misses_; }
 
-  void clear() { cache_.clear(); }
+  /// Drops every cached plan (counted as evictions in telemetry).
+  void clear();
 
  private:
   BatchedGemmPlanner planner_;

@@ -3,6 +3,7 @@
 #include "core/api.hpp"
 #include "core/tiling_engine.hpp"
 #include "kernels/work_builder.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 
 namespace ctb {
@@ -103,7 +104,12 @@ RandomForest train_batching_forest(const RfTrainingConfig& config,
 
 BatchingHeuristic rf_choose(const RandomForest& forest,
                             std::span<const GemmDims> dims) {
+  CTB_TEL_SPAN("plan.rf_choose");
   const int label = forest.predict(batching_features(dims));
+  if (label == 0)
+    CTB_TEL_COUNT("plan.rf.choice.threshold", 1);
+  else
+    CTB_TEL_COUNT("plan.rf.choice.binary", 1);
   return label == 0 ? BatchingHeuristic::kThreshold
                     : BatchingHeuristic::kBinary;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -29,8 +30,12 @@ bool run_variant(std::span<const GemmDims> dims, ThreadVariant variant,
                  long long threshold, TilingResult& result) {
   const std::size_t n = dims.size();
   std::vector<std::vector<const TilingStrategy*>> queues(n);
-  for (std::size_t i = 0; i < n; ++i)
+  long long candidates = 0;
+  for (std::size_t i = 0; i < n; ++i) {
     queues[i] = feasible_strategies(dims[i], variant);
+    candidates += static_cast<long long>(queues[i].size());
+  }
+  CTB_TEL_COUNT("tiling.candidates", candidates);
 
   std::vector<std::size_t> idx(n, 0);
   result.variant = variant;
@@ -63,9 +68,12 @@ TilingResult select_tiling(std::span<const GemmDims> dims,
     CTB_CHECK_MSG(d.valid(), "invalid GEMM dims " << d.m << "x" << d.n << "x"
                                                   << d.k);
 
+  CTB_TEL_SPAN("plan.tiling");
   TilingResult result;
   if (run_variant(dims, ThreadVariant::k256, config.tlp_threshold, result)) {
     CTB_DEBUG("tiling: accepted 256-thread selection, TLP=" << result.tlp);
+    CTB_TEL_COUNT("tiling.iterations", result.iterations);
+    CTB_TEL_HIST("tiling.tlp", result.tlp);
     return result;
   }
   // Exception 2: every 256-thread queue exhausted with TLP still above the
@@ -76,6 +84,9 @@ TilingResult select_tiling(std::span<const GemmDims> dims,
   run_variant(dims, ThreadVariant::k128, config.tlp_threshold, fallback);
   fallback.iterations += prior_iters;
   CTB_DEBUG("tiling: 128-thread fallback, TLP=" << fallback.tlp);
+  CTB_TEL_COUNT("tiling.fallback_128", 1);
+  CTB_TEL_COUNT("tiling.iterations", fallback.iterations);
+  CTB_TEL_HIST("tiling.tlp", fallback.tlp);
   return fallback;
 }
 

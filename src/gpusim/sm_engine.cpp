@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "gpusim/occupancy.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 
 namespace ctb {
@@ -71,6 +72,8 @@ struct Event {
 SimStats simulate(const GpuArch& arch,
                   std::span<const LaunchedKernel> kernels,
                   ExecutionTrace* trace) {
+  CTB_TEL_SPAN("sim.simulate");
+  CTB_TEL_COUNT("sim.kernels", kernels.size());
   SimStats stats;
   std::vector<KernelState> ks(kernels.size());
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
@@ -260,6 +263,11 @@ SimStats simulate(const GpuArch& arch,
   }
   if (nonbubble_blocks > 0)
     stats.mean_hide_factor = hide_sum / static_cast<double>(nonbubble_blocks);
+  CTB_TEL_COUNT("sim.blocks", stats.block_count);
+  CTB_TEL_COUNT("sim.bubble_blocks", stats.bubble_blocks);
+  CTB_TEL_HIST("sim.busy_pct", 100.0 * stats.sm_busy_fraction + 0.5);
+  CTB_TEL_HIST("sim.resident_blocks", stats.avg_resident_blocks + 0.5);
+  CTB_TEL_HIST("sim.hide_pct", 100.0 * stats.mean_hide_factor + 0.5);
   return stats;
 }
 

@@ -4,18 +4,24 @@
 
 namespace ctb {
 
-void write_chrome_trace(std::ostream& os, const ExecutionTrace& trace,
-                        const GpuArch& arch) {
-  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
-        "\"args\":{\"name\":\""
-     << arch.name << "\"}}";
+void append_chrome_trace_events(std::ostream& os, const ExecutionTrace& trace,
+                                const GpuArch& arch, int pid) {
+  os << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"args\":{\"name\":\"" << arch.name << "\"}}";
   for (const BlockSpan& s : trace.spans) {
     os << ",\n{\"name\":\"k" << s.kernel << ".b" << s.block
-       << (s.bubble ? " (bubble)" : "") << "\",\"ph\":\"X\",\"pid\":0,"
-       << "\"tid\":" << s.sm << ",\"ts\":" << s.start_us
+       << (s.bubble ? " (bubble)" : "") << "\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << s.sm << ",\"ts\":" << s.start_us
        << ",\"dur\":" << (s.end_us - s.start_us) << "}";
   }
+}
+
+void write_chrome_trace(std::ostream& os, const ExecutionTrace& trace,
+                        const GpuArch& arch) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+        "{\"name\":\"clock_sync\",\"ph\":\"M\",\"pid\":0,"
+        "\"args\":{\"source\":\"ctb.gpusim\"}}";
+  append_chrome_trace_events(os, trace, arch, 0);
   os << "\n]}\n";
 }
 

@@ -37,4 +37,11 @@ struct ExecutionTrace {
 void write_chrome_trace(std::ostream& os, const ExecutionTrace& trace,
                         const GpuArch& arch);
 
+/// Appends the trace's events (a process_name metadata record naming the
+/// architecture, then one complete event per block, tid = SM index) under
+/// `pid`, each prefixed with ",\n" — for embedding into an already-open
+/// "traceEvents" array next to other timelines (e.g. host telemetry spans).
+void append_chrome_trace_events(std::ostream& os, const ExecutionTrace& trace,
+                                const GpuArch& arch, int pid);
+
 }  // namespace ctb

@@ -4,6 +4,7 @@
 
 #include "kernels/thread_map.hpp"
 #include "linalg/half.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
 
@@ -261,12 +262,21 @@ void reference_gemm(const GemmOperands& g, float alpha, float beta) {
 void run_batched_plan(const BatchPlan& plan,
                       std::span<const GemmOperands> batch, float alpha,
                       float beta) {
-  audit_plan_operands(plan, batch);
+  CTB_TEL_SPAN("exec.run_batched_plan");
+  {
+    CTB_TEL_SPAN("exec.audit");
+    audit_plan_operands(plan, batch);
+  }
+  CTB_TEL_COUNT("exec.plan_runs", 1);
+  CTB_TEL_COUNT("exec.blocks", plan.num_blocks());
+  CTB_TEL_COUNT("exec.tiles", plan.num_tiles());
   // Fig. 7: each block walks its tile range from the aux arrays. Blocks run
   // concurrently — validate_plan guarantees complete single coverage, so no
   // two blocks touch the same C tile — while each block's tile chain stays
-  // serial, exactly like persistent thread blocks on the device.
+  // serial, exactly like persistent thread blocks on the device. Per-block
+  // spans land in parallel_for-safe thread-local buffers.
   parallel_for(plan.num_blocks(), [&](long long b) {
+    CTB_TEL_SPAN("exec.block");
     const auto [begin, end] = plan.block_tiles(static_cast<int>(b));
     for (int t = begin; t < end; ++t) {
       const int g = plan.gemm_of_tile[static_cast<std::size_t>(t)];

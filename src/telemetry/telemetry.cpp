@@ -1,0 +1,357 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+
+#ifdef CTB_TELEMETRY_ENABLED
+#include <chrono>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace ctb::telemetry {
+
+namespace {
+
+// The canonical taxonomy (DESIGN.md §8). Pre-registered so every snapshot
+// carries the full metric set, zero-valued where nothing fired — consumers
+// can rely on "cache.hit" existing instead of treating absence as zero.
+constexpr const char* kCoreCounters[] = {
+    "plan.policy.threshold-only",
+    "plan.policy.binary-only",
+    "plan.policy.auto-offline",
+    "plan.policy.random-forest",
+    "plan.policy.tiling-only",
+    "plan.heuristic.threshold",
+    "plan.heuristic.binary",
+    "plan.heuristic.none",
+    "plan.heuristic.packed",
+    "plan.rf.choice.threshold",
+    "plan.rf.choice.binary",
+    "plan.auto.threshold_wins",
+    "plan.auto.binary_wins",
+    "tiling.candidates",
+    "tiling.iterations",
+    "tiling.fallback_128",
+    "cache.hit",
+    "cache.miss",
+    "cache.evict",
+    "exec.plan_runs",
+    "exec.blocks",
+    "exec.tiles",
+    "exec.fallback",
+    "sim.kernels",
+    "sim.blocks",
+    "sim.bubble_blocks",
+    "telemetry.dropped_spans",
+};
+
+constexpr const char* kCoreHistograms[] = {
+    "tiling.tlp",
+    "batching.tiles_per_block",
+    "batching.sum_k_per_block",
+    "sim.busy_pct",
+    "sim.resident_blocks",
+    "sim.hide_pct",
+};
+
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << ' ';  // control characters never appear in metric names
+        else
+          os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+#ifdef CTB_TELEMETRY_ENABLED
+
+namespace {
+
+// Per-thread span storage. Buffers are owned by the registry (shared_ptr)
+// and only borrowed by threads, so snapshots after a worker thread exits —
+// common with the std::thread parallel_for backend under TSan — still see
+// its spans. A buffer freed by a dying thread returns to a free list and is
+// adopted by the next new thread; events carry their own tid, so adoption
+// never misattributes an already-recorded span.
+struct SpanBuffer {
+  std::mutex mu;  // uncontended in steady state: only the owner pushes
+  std::vector<SpanEvent> events;
+};
+
+// Hard cap per buffer so an instrumented inner loop cannot grow memory
+// without bound; overflow is counted, never silent (DESIGN.md §8).
+constexpr std::size_t kMaxSpansPerBuffer = 1 << 16;
+
+struct Registry {
+  std::atomic<bool> enabled{false};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  std::mutex mu;  // guards the three containers below
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::vector<std::shared_ptr<SpanBuffer>> buffers;
+  std::vector<std::shared_ptr<SpanBuffer>> free_buffers;
+  std::atomic<int> next_tid{0};
+  Counter* dropped_spans = nullptr;
+
+  Registry() {
+    for (const char* name : kCoreCounters)
+      counters.emplace(name, std::make_unique<Counter>());
+    for (const char* name : kCoreHistograms)
+      histograms.emplace(name, std::make_unique<Histogram>());
+    dropped_spans = counters.at("telemetry.dropped_spans").get();
+    const char* env = std::getenv("CTB_TELEMETRY");
+    if (env != nullptr) {
+      const std::string v(env);
+      if (v == "1" || v == "on" || v == "true")
+        enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+
+// Leaked intentionally: worker threads may record spans (and return their
+// buffers) during static destruction, after main() exits.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+// Thread-local handle: acquires a buffer + logical tid on first span of the
+// thread, returns the buffer for adoption on thread exit.
+struct BufferHandle {
+  std::shared_ptr<SpanBuffer> buf;
+  int tid = 0;
+
+  BufferHandle() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    if (!r.free_buffers.empty()) {
+      buf = std::move(r.free_buffers.back());
+      r.free_buffers.pop_back();
+    } else {
+      buf = std::make_shared<SpanBuffer>();
+      r.buffers.push_back(buf);
+    }
+    tid = r.next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~BufferHandle() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.free_buffers.push_back(std::move(buf));
+  }
+};
+
+}  // namespace
+
+bool enabled() {
+  return registry().enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  registry().enabled.store(on, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::int64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  int b = 0;
+  for (std::int64_t bound = 1; b < kBuckets - 1 && v > bound; ++b)
+    bound = bound <= (INT64_MAX >> 1) ? bound << 1 : INT64_MAX;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+Counter& counter(const char* name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end())
+    it = r.counters.emplace(name, std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Histogram& histogram(const char* name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end())
+    it = r.histograms.emplace(name, std::make_unique<Histogram>()).first;
+  return *it->second;
+}
+
+double now_us() {
+  const auto dt = std::chrono::steady_clock::now() - registry().epoch;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+void record_span(const char* literal_name, double start_us, double dur_us) {
+  thread_local BufferHandle handle;
+  SpanBuffer& buf = *handle.buf;
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxSpansPerBuffer) {
+    registry().dropped_spans->add(1);
+    return;
+  }
+  buf.events.push_back(SpanEvent{literal_name, handle.tid, start_us, dur_us});
+}
+
+MetricsSnapshot snapshot() {
+  Registry& r = registry();
+  MetricsSnapshot snap;
+  snap.compiled_in = true;
+  snap.enabled = enabled();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters)
+    snap.counters.push_back(CounterSample{name, c->value()});
+  snap.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    HistogramSample s;
+    s.name = name;
+    s.count = h->count_.load(std::memory_order_relaxed);
+    s.sum = h->sum_.load(std::memory_order_relaxed);
+    if (s.count > 0) {
+      s.min = h->min_.load(std::memory_order_relaxed);
+      s.max = h->max_.load(std::memory_order_relaxed);
+    }
+    int last = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+      if (h->buckets_[b].load(std::memory_order_relaxed) > 0) last = b;
+    for (int b = 0; b <= last; ++b)
+      s.buckets.push_back(h->buckets_[b].load(std::memory_order_relaxed));
+    snap.histograms.push_back(std::move(s));
+  }
+  for (const auto& buf : r.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    snap.spans.insert(snap.spans.end(), buf->events.begin(),
+                      buf->events.end());
+  }
+  std::stable_sort(snap.spans.begin(), snap.spans.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return snap;
+}
+
+void reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->add(-c->value());
+  for (auto& [name, h] : r.histograms) {
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0, std::memory_order_relaxed);
+    h->min_.store(INT64_MAX, std::memory_order_relaxed);
+    h->max_.store(INT64_MIN, std::memory_order_relaxed);
+    for (auto& b : h->buckets_) b.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& buf : r.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+#else  // !CTB_TELEMETRY_ENABLED
+
+MetricsSnapshot snapshot() { return {}; }
+void reset() {}
+
+#endif  // CTB_TELEMETRY_ENABLED
+
+// ---- Exporters (shared between the real and the stub build: an empty
+// snapshot serializes to a valid, empty document). ----
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "{\n\"version\":1,\n\"compiled_in\":"
+     << (snap.compiled_in ? "true" : "false")
+     << ",\n\"enabled\":" << (snap.enabled ? "true" : "false")
+     << ",\n\"counters\":{";
+  bool first = true;
+  for (const CounterSample& c : snap.counters) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    write_json_escaped(os, c.name);
+    os << ":" << c.value;
+  }
+  os << "\n},\n\"histograms\":{";
+  first = true;
+  for (const HistogramSample& h : snap.histograms) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    write_json_escaped(os, h.name);
+    os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b)
+      os << (b == 0 ? "" : ",") << h.buckets[b];
+    os << "]}";
+  }
+  os << "\n},\n\"spans\":{";
+  // Aggregate spans per name; the raw events belong in the chrome trace.
+  std::map<std::string, std::pair<std::int64_t, std::pair<double, double>>>
+      agg;  // name -> {count, {total_us, max_us}}
+  for (const SpanEvent& e : snap.spans) {
+    auto& slot = agg[e.name];
+    slot.first += 1;
+    slot.second.first += e.dur_us;
+    slot.second.second = std::max(slot.second.second, e.dur_us);
+  }
+  first = true;
+  for (const auto& [name, slot] : agg) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    write_json_escaped(os, name);
+    os << ":{\"count\":" << slot.first
+       << ",\"total_us\":" << slot.second.first
+       << ",\"max_us\":" << slot.second.second << "}";
+  }
+  os << "\n}\n}\n";
+}
+
+void append_chrome_trace_events(std::ostream& os, const MetricsSnapshot& snap,
+                                int pid) {
+  os << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"args\":{\"name\":\"ctb host\"}}";
+  for (const SpanEvent& e : snap.spans) {
+    os << ",\n{\"name\":";
+    write_json_escaped(os, e.name);
+    os << ",\"ph\":\"X\",\"cat\":\"ctb\",\"pid\":" << pid
+       << ",\"tid\":" << e.tid << ",\"ts\":" << e.start_us
+       << ",\"dur\":" << e.dur_us << "}";
+  }
+}
+
+void write_chrome_trace(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+     << "{\"name\":\"clock_sync\",\"ph\":\"M\",\"pid\":0,"
+        "\"args\":{\"source\":\"ctb.telemetry\"}}";
+  append_chrome_trace_events(os, snap, 0);
+  os << "\n]}\n";
+}
+
+}  // namespace ctb::telemetry

@@ -1,0 +1,251 @@
+// ctb::telemetry — scoped spans, named counters, and histograms for the
+// plan pipeline (DESIGN.md §8 documents the taxonomy and the overhead
+// contract).
+//
+// Three cost tiers:
+//   * CTB_TELEMETRY=OFF (CMake)  — the macros below expand to nothing and
+//     the inline stubs in this header carry no atomics and perform no
+//     allocations; instrumented code compiles exactly as if the macros were
+//     deleted. The snapshot/export entry points still link (they return an
+//     empty snapshot) so tools build unchanged.
+//   * compiled in, runtime-disabled (the default) — every instrumentation
+//     site costs one relaxed atomic load and a predictable branch.
+//   * enabled (set_enabled(true) or CTB_TELEMETRY=1 in the environment) —
+//     counters are relaxed atomic adds; spans cost two steady_clock reads
+//     and one push into a per-thread buffer, safe under parallel_for.
+//
+// Metric names are dotted string literals ("cache.hit", "plan.tiling").
+// Span names must be string literals (or otherwise outlive the registry):
+// events store the pointer, not a copy. The canonical names are
+// pre-registered at startup so a snapshot always carries the full taxonomy,
+// zero-valued where nothing fired.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#ifdef CTB_TELEMETRY_ENABLED
+#include <atomic>
+#endif
+
+namespace ctb::telemetry {
+
+/// One named monotonic counter in a snapshot.
+struct CounterSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// Histogram snapshot: count/sum/min/max plus power-of-two buckets; bucket i
+/// counts values v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1).
+struct HistogramSample {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  ///< meaningful only when count > 0
+  std::int64_t max = 0;
+  std::vector<std::int64_t> buckets;  ///< trailing all-zero buckets trimmed
+};
+
+/// One completed span. `name` points at the instrumentation site's literal.
+struct SpanEvent {
+  const char* name = nullptr;
+  int tid = 0;          ///< registry-assigned logical thread id
+  double start_us = 0;  ///< relative to process telemetry epoch
+  double dur_us = 0;
+};
+
+/// Point-in-time copy of everything the registry holds.
+struct MetricsSnapshot {
+  bool compiled_in = false;
+  bool enabled = false;
+  std::vector<CounterSample> counters;    // sorted by name
+  std::vector<HistogramSample> histograms;  // sorted by name
+  std::vector<SpanEvent> spans;           // sorted by start time
+};
+
+/// Copies the current registry state. Always safe to call (returns an empty
+/// snapshot when telemetry is compiled out).
+MetricsSnapshot snapshot();
+
+/// Zeroes every counter and histogram and drops all recorded spans, keeping
+/// registrations. Tests isolate themselves with this; no-op when compiled
+/// out.
+void reset();
+
+/// JSON object {"version","enabled","counters","histograms","spans"} where
+/// spans are aggregated per name (count / total_us / max_us). Schema in
+/// DESIGN.md §8.
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Appends one chrome-trace event per span (plus a process_name metadata
+/// record) under the given pid, each prefixed with ",\n" — for embedding in
+/// an already-open "traceEvents" array alongside the simulator's schedule.
+void append_chrome_trace_events(std::ostream& os, const MetricsSnapshot& snap,
+                                int pid);
+
+/// Standalone chrome://tracing file of the snapshot's spans.
+void write_chrome_trace(std::ostream& os, const MetricsSnapshot& snap);
+
+#ifdef CTB_TELEMETRY_ENABLED
+
+/// Runtime master switch; relaxed-atomic read, safe from any thread.
+bool enabled();
+void set_enabled(bool on);
+
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::int64_t v);
+  std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend MetricsSnapshot snapshot();
+  friend void reset();
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  // Sentinels keep the CAS update loops initialization-free (and race-free
+  // on the first concurrent records); snapshot() masks them while empty.
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{INT64_MIN};
+  std::atomic<std::int64_t> buckets_[kBuckets]{};
+};
+
+/// Returns the counter/histogram registered under `name`, creating it on
+/// first use. References stay valid for the process lifetime; lookups are
+/// mutex-guarded, so instrumentation sites cache the reference in a static
+/// local (see CTB_TEL_COUNT).
+Counter& counter(const char* name);
+Histogram& histogram(const char* name);
+
+/// Microseconds since the telemetry epoch (registry construction).
+double now_us();
+
+/// Records a completed span into the calling thread's buffer. Prefer
+/// CTB_TEL_SPAN; exposed for tests and for spans whose lifetime does not
+/// match a C++ scope.
+void record_span(const char* literal_name, double start_us, double dur_us);
+
+/// RAII span. Does nothing (one relaxed load) when telemetry is disabled at
+/// construction; a span started while enabled is recorded even if telemetry
+/// is disabled before it closes, keeping trace files self-consistent.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* literal_name) {
+    if (enabled()) {
+      name_ = literal_name;
+      start_us_ = now_us();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) record_span(name_, start_us_, now_us() - start_us_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  double start_us_ = 0;
+};
+
+#else  // !CTB_TELEMETRY_ENABLED — no-op stubs: no atomics, no allocations.
+
+constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+
+struct Counter {
+  void add(std::int64_t) {}
+  static constexpr std::int64_t value() { return 0; }
+};
+
+struct Histogram {
+  void record(std::int64_t) {}
+  static constexpr std::int64_t count() { return 0; }
+  static constexpr std::int64_t sum() { return 0; }
+};
+
+inline Counter& counter(const char*) {
+  static Counter stub;
+  return stub;
+}
+inline Histogram& histogram(const char*) {
+  static Histogram stub;
+  return stub;
+}
+constexpr double now_us() { return 0.0; }
+inline void record_span(const char*, double, double) {}
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#endif  // CTB_TELEMETRY_ENABLED
+
+}  // namespace ctb::telemetry
+
+// Instrumentation macros. All three are statements; under CTB_TELEMETRY=OFF
+// they vanish entirely.
+#ifdef CTB_TELEMETRY_ENABLED
+
+#define CTB_TEL_CONCAT_INNER(a, b) a##b
+#define CTB_TEL_CONCAT(a, b) CTB_TEL_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define CTB_TEL_SPAN(name) \
+  ::ctb::telemetry::ScopedSpan CTB_TEL_CONCAT(ctb_tel_span_, __LINE__)(name)
+
+/// Adds `delta` to the named counter. The registry lookup happens once per
+/// site (static local), unconditionally, so a counter appears in snapshots
+/// as soon as its code path runs even if telemetry was disabled at the time.
+#define CTB_TEL_COUNT(name, delta)                            \
+  do {                                                        \
+    static ::ctb::telemetry::Counter& ctb_tel_c_ =            \
+        ::ctb::telemetry::counter(name);                      \
+    if (::ctb::telemetry::enabled())                          \
+      ctb_tel_c_.add(static_cast<std::int64_t>(delta));       \
+  } while (0)
+
+/// Records `value` into the named histogram.
+#define CTB_TEL_HIST(name, value)                             \
+  do {                                                        \
+    static ::ctb::telemetry::Histogram& ctb_tel_h_ =          \
+        ::ctb::telemetry::histogram(name);                    \
+    if (::ctb::telemetry::enabled())                          \
+      ctb_tel_h_.record(static_cast<std::int64_t>(value));    \
+  } while (0)
+
+#else
+
+#define CTB_TEL_SPAN(name) \
+  do {                     \
+  } while (0)
+#define CTB_TEL_COUNT(name, delta) \
+  do {                             \
+  } while (0)
+#define CTB_TEL_HIST(name, value) \
+  do {                            \
+  } while (0)
+
+#endif  // CTB_TELEMETRY_ENABLED

@@ -1,0 +1,30 @@
+# Golden-output comparison driver: runs a command and requires its stdout to
+# match a checked-in golden file byte for byte.
+#
+#   cmake -DCMD=<binary> -DARGS="<arg string>" -DGOLDEN=<file> -P golden_compare.cmake
+#
+# On mismatch the actual output is left next to the golden file's name in the
+# current binary directory (<name>.actual) for inspection; regenerate the
+# golden by copying it over after a *deliberate* output change.
+if(NOT DEFINED CMD OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "golden_compare.cmake needs -DCMD=... and -DGOLDEN=...")
+endif()
+
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND ${CMD} ${ARG_LIST}
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE exit_code)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "${CMD} ${ARGS} exited with ${exit_code}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+  get_filename_component(name "${GOLDEN}" NAME_WE)
+  file(WRITE "${name}.actual" "${actual}")
+  message(FATAL_ERROR
+          "stdout of ${CMD} ${ARGS} diverged from ${GOLDEN}; actual output "
+          "written to ${name}.actual — diff them, and update the golden only "
+          "if the change is intentional")
+endif()

@@ -1,0 +1,233 @@
+// Property-based coverage of the whole plan pipeline: for seeded random
+// batches — ragged shapes, transposed operands, fp16, gathered B — and for
+// every batching policy, the planner's output must (a) cover every C tile of
+// every GEMM exactly once with per-GEMM-consistent strategies and coherent
+// aux arrays, and (b) execute to bit-identical C against reference_gemm.
+// The checks here are written independently of validate_plan so a bug in the
+// shared validator cannot mask a bug in the planner.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/rf_policy.hpp"
+#include "kernels/functional.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace ctb {
+namespace {
+
+// 200 random batches per policy; the sweep must stay well under the 60 s
+// single-core budget, so dimensions are log-uniform in [1, 128] — small
+// shapes dominate (they are also where coverage bugs live: ragged edges,
+// single-tile GEMMs, K < BK) with occasional multi-tile cases.
+constexpr int kCasesPerPolicy = 200;
+
+int log_uniform_dim(Rng& rng) {
+  const int cap = 1 << rng.uniform_int(0, 7);
+  return static_cast<int>(rng.uniform_int(1, cap));
+}
+
+/// Everything needed to regenerate one random case deterministically.
+struct PropertyCase {
+  std::vector<GemmDims> dims;
+  std::vector<Op> op_a, op_b;
+  std::vector<bool> gather_b;
+  Precision precision = Precision::kFp32;
+  float alpha = 1.0f;
+  float beta = 0.0f;
+  std::uint64_t data_seed = 0;
+};
+
+PropertyCase random_case(Rng& rng) {
+  PropertyCase pc;
+  const int batch = static_cast<int>(rng.uniform_int(1, 6));
+  for (int i = 0; i < batch; ++i) {
+    pc.dims.push_back(
+        {log_uniform_dim(rng), log_uniform_dim(rng), log_uniform_dim(rng)});
+    pc.op_a.push_back(rng.bernoulli(0.25) ? Op::kT : Op::kN);
+    pc.op_b.push_back(rng.bernoulli(0.25) ? Op::kT : Op::kN);
+    // The gather path replaces stored B; it models implicit GEMM, which is
+    // always kN, so only non-transposed B operands may gather.
+    pc.gather_b.push_back(pc.op_b.back() == Op::kN && rng.bernoulli(0.2));
+  }
+  pc.precision = rng.bernoulli(0.25) ? Precision::kFp16 : Precision::kFp32;
+  constexpr float kAlphas[] = {1.0f, 1.5f, -0.5f, 0.25f};
+  constexpr float kBetas[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  pc.alpha = kAlphas[rng.uniform_int(0, 3)];
+  pc.beta = kBetas[rng.uniform_int(0, 3)];
+  pc.data_seed = rng.next();
+  return pc;
+}
+
+/// Owning storage for one materialization of a case. Matrices are allocated
+/// first and operand pointers taken afterwards so vector growth cannot move
+/// them.
+struct CaseStorage {
+  std::vector<Matrixf> a, b, c;
+  std::vector<GemmOperands> ops;
+};
+
+CaseStorage materialize(const PropertyCase& pc) {
+  CaseStorage cs;
+  Rng rng(pc.data_seed);
+  auto rand_mat = [&rng](int r, int c) {
+    Matrixf m(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+    fill_random(m, rng);
+    return m;
+  };
+  for (std::size_t i = 0; i < pc.dims.size(); ++i) {
+    const GemmDims& d = pc.dims[i];
+    const bool ta = pc.op_a[i] == Op::kT;
+    const bool tb = pc.op_b[i] == Op::kT;
+    cs.a.push_back(rand_mat(ta ? d.k : d.m, ta ? d.m : d.k));
+    cs.b.push_back(rand_mat(tb ? d.n : d.k, tb ? d.k : d.n));
+    cs.c.push_back(rand_mat(d.m, d.n));
+  }
+  for (std::size_t i = 0; i < pc.dims.size(); ++i) {
+    GemmOperands g =
+        operands(cs.a[i], cs.b[i], cs.c[i], pc.op_a[i], pc.op_b[i]);
+    g.precision = pc.precision;
+    if (pc.gather_b[i]) {
+      const float* data = cs.b[i].flat().data();
+      const int n = pc.dims[i].n;
+      g.b_gather = [data, n](int k, int j) { return data[k * n + j]; };
+      g.b = nullptr;
+    }
+    cs.ops.push_back(std::move(g));
+  }
+  return cs;
+}
+
+/// Independent re-derivation of the plan invariants (deliberately not
+/// validate_plan): aux arrays agree on the tile count, CSR offsets are sane,
+/// each GEMM uses one strategy whose thread variant matches the unified
+/// block size, and the (ty, tx) multiset per GEMM is exactly its tile grid.
+void check_plan_properties(const BatchPlan& plan,
+                           std::span<const GemmDims> dims,
+                           const std::string& what) {
+  SCOPED_TRACE(what);
+  const std::size_t tiles = plan.gemm_of_tile.size();
+  ASSERT_EQ(plan.strategy_of_tile.size(), tiles);
+  ASSERT_EQ(plan.y_coord.size(), tiles);
+  ASSERT_EQ(plan.x_coord.size(), tiles);
+  ASSERT_TRUE(plan.block_threads == 128 || plan.block_threads == 256);
+  ASSERT_FALSE(plan.tile_offsets.empty());
+  ASSERT_EQ(plan.tile_offsets.front(), 0);
+  for (std::size_t b = 1; b < plan.tile_offsets.size(); ++b)
+    ASSERT_LE(plan.tile_offsets[b - 1], plan.tile_offsets[b]) << "block " << b;
+  ASSERT_EQ(static_cast<std::size_t>(plan.tile_offsets.back()), tiles);
+
+  std::vector<int> strategy_of_gemm(dims.size(), -1);
+  std::vector<std::map<std::pair<int, int>, int>> covered(dims.size());
+  int max_smem = 0;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const int g = plan.gemm_of_tile[t];
+    ASSERT_GE(g, 0) << "tile " << t;
+    ASSERT_LT(static_cast<std::size_t>(g), dims.size()) << "tile " << t;
+    const int sid = plan.strategy_of_tile[t];
+    if (strategy_of_gemm[g] < 0)
+      strategy_of_gemm[g] = sid;
+    else
+      ASSERT_EQ(strategy_of_gemm[g], sid) << "gemm " << g << " mixes ids";
+    const TilingStrategy& s = batched_strategy_by_id(sid);
+    ASSERT_EQ(s.threads, plan.block_threads) << "tile " << t;
+    max_smem = s.smem_bytes() > max_smem ? s.smem_bytes() : max_smem;
+    const int ty_count = (dims[g].m + s.by - 1) / s.by;
+    const int tx_count = (dims[g].n + s.bx - 1) / s.bx;
+    ASSERT_GE(plan.y_coord[t], 0);
+    ASSERT_LT(plan.y_coord[t], ty_count) << "tile " << t << " gemm " << g;
+    ASSERT_GE(plan.x_coord[t], 0);
+    ASSERT_LT(plan.x_coord[t], tx_count) << "tile " << t << " gemm " << g;
+    covered[g][{plan.y_coord[t], plan.x_coord[t]}]++;
+  }
+  for (std::size_t g = 0; g < dims.size(); ++g) {
+    ASSERT_GE(strategy_of_gemm[g], 0) << "gemm " << g << " has no tiles";
+    const TilingStrategy& s = batched_strategy_by_id(strategy_of_gemm[g]);
+    ASSERT_EQ(static_cast<long long>(covered[g].size()),
+              s.tiles_for(dims[g].m, dims[g].n))
+        << "gemm " << g;
+    for (const auto& [coord, count] : covered[g])
+      ASSERT_EQ(count, 1) << "gemm " << g << " tile (" << coord.first << ","
+                          << coord.second << ") covered " << count << " times";
+  }
+  ASSERT_GE(plan.smem_bytes, max_smem);
+}
+
+void expect_bitwise_equal(const Matrixf& expected, const Matrixf& actual,
+                          const std::string& what) {
+  const auto e = expected.flat();
+  const auto a = actual.flat();
+  ASSERT_EQ(e.size(), a.size());
+  for (std::size_t i = 0; i < e.size(); ++i)
+    ASSERT_EQ(e[i], a[i]) << what << " diverges at flat index " << i;
+}
+
+const RandomForest& property_forest() {
+  static const RandomForest forest = [] {
+    RfTrainingConfig config;
+    config.num_cases = 40;
+    config.forest.num_trees = 8;
+    config.ranges.max_batch = 8;
+    config.ranges.max_mn = 256;
+    config.ranges.max_k = 512;
+    return train_batching_forest(config);
+  }();
+  return forest;
+}
+
+void run_policy_property(BatchingPolicy policy) {
+  PlannerConfig config;
+  config.policy = policy;
+  if (policy == BatchingPolicy::kRandomForest)
+    config.forest = &property_forest();
+  const BatchedGemmPlanner planner(config);
+  // A couple of workers keep the block-parallel executor path (and its
+  // thread-safety) under test without swamping the single-core CI box.
+  ScopedParallelThreads guard(2);
+
+  Rng rng(0xC0FFEE0ULL + static_cast<std::uint64_t>(policy));
+  for (int iter = 0; iter < kCasesPerPolicy; ++iter) {
+    const PropertyCase pc = random_case(rng);
+    const std::string what = std::string("policy=") + to_string(policy) +
+                             " iter=" + std::to_string(iter);
+    const PlanSummary summary = planner.plan(pc.dims);
+    check_plan_properties(summary.plan, pc.dims, what);
+    ASSERT_NO_THROW(validate_plan(summary.plan, pc.dims)) << what;
+
+    CaseStorage plan_run = materialize(pc);
+    run_batched_plan(summary.plan, plan_run.ops, pc.alpha, pc.beta);
+    CaseStorage ref_run = materialize(pc);
+    for (std::size_t i = 0; i < ref_run.ops.size(); ++i)
+      reference_gemm(ref_run.ops[i], pc.alpha, pc.beta);
+    for (std::size_t i = 0; i < pc.dims.size(); ++i)
+      expect_bitwise_equal(ref_run.c[i], plan_run.c[i],
+                           what + " gemm " + std::to_string(i));
+  }
+}
+
+TEST(PlanProperty, ThresholdOnly) {
+  run_policy_property(BatchingPolicy::kThresholdOnly);
+}
+
+TEST(PlanProperty, BinaryOnly) {
+  run_policy_property(BatchingPolicy::kBinaryOnly);
+}
+
+TEST(PlanProperty, AutoOffline) {
+  run_policy_property(BatchingPolicy::kAutoOffline);
+}
+
+TEST(PlanProperty, RandomForest) {
+  run_policy_property(BatchingPolicy::kRandomForest);
+}
+
+TEST(PlanProperty, TilingOnly) {
+  run_policy_property(BatchingPolicy::kTilingOnly);
+}
+
+}  // namespace
+}  // namespace ctb

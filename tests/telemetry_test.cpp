@@ -1,0 +1,283 @@
+// ctb::telemetry unit tests: counter and histogram correctness, span
+// recording and nesting, the JSON / chrome-trace export schemas, and
+// race-cleanliness of concurrent instrumentation under parallel_for (the
+// TSan CI leg runs this binary). The export and snapshot entry points are
+// also exercised in the compiled-out configuration, where they must degrade
+// to empty-but-well-formed output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+#include "util/parallel.hpp"
+
+namespace ctb {
+namespace {
+
+// Minimal structural JSON check: braces/brackets balance and close in the
+// right order outside of string literals. Not a parser — enough to catch a
+// broken emitter (trailing comma handling aside, which the schema checks
+// below pin by substring).
+bool json_balanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped)
+        escaped = false;
+      else if (c == '\\')
+        escaped = true;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+std::int64_t counter_value(const telemetry::MetricsSnapshot& snap,
+                           const std::string& name) {
+  for (const auto& c : snap.counters)
+    if (c.name == name) return c.value;
+  ADD_FAILURE() << "counter " << name << " missing from snapshot";
+  return -1;
+}
+
+// The macros must behave as single statements in every build configuration.
+TEST(TelemetryMacros, AreDanglingElseSafe) {
+  if (telemetry::snapshot().compiled_in)
+    CTB_TEL_COUNT("test.macro.then", 1);
+  else
+    CTB_TEL_COUNT("test.macro.else", 1);
+  for (int i = 0; i < 2; ++i) CTB_TEL_HIST("test.macro.hist", i);
+  CTB_TEL_SPAN("test.macro.span");
+}
+
+TEST(TelemetryExport, EmptySnapshotIsWellFormedJson) {
+  const telemetry::MetricsSnapshot snap;  // compiled_in == false
+  std::ostringstream metrics, trace;
+  telemetry::write_metrics_json(metrics, snap);
+  telemetry::write_chrome_trace(trace, snap);
+  EXPECT_TRUE(json_balanced(metrics.str())) << metrics.str();
+  EXPECT_TRUE(json_balanced(trace.str())) << trace.str();
+  EXPECT_NE(metrics.str().find("\"version\":1"), std::string::npos);
+  EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+}
+
+#ifdef CTB_TELEMETRY_ENABLED
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::reset();
+    telemetry::set_enabled(true);
+  }
+  void TearDown() override {
+    telemetry::set_enabled(false);
+    telemetry::reset();
+  }
+};
+
+TEST_F(TelemetryTest, CountersAccumulateAndSnapshot) {
+  telemetry::counter("test.counter").add(3);
+  telemetry::counter("test.counter").add(4);
+  const auto snap = telemetry::snapshot();
+  EXPECT_TRUE(snap.compiled_in);
+  EXPECT_TRUE(snap.enabled);
+  EXPECT_EQ(counter_value(snap, "test.counter"), 7);
+  // The canonical taxonomy is pre-registered: acceptance-relevant counters
+  // appear in every snapshot even before their code path runs.
+  EXPECT_EQ(counter_value(snap, "cache.hit"), 0);
+  EXPECT_EQ(counter_value(snap, "cache.miss"), 0);
+  EXPECT_EQ(counter_value(snap, "exec.fallback"), 0);
+}
+
+TEST_F(TelemetryTest, DisabledSitesRegisterButDoNotCount) {
+  telemetry::set_enabled(false);
+  CTB_TEL_COUNT("test.disabled.counter", 5);
+  CTB_TEL_HIST("test.disabled.hist", 5);
+  const auto snap = telemetry::snapshot();
+  EXPECT_FALSE(snap.enabled);
+  EXPECT_EQ(counter_value(snap, "test.disabled.counter"), 0);
+  for (const auto& h : snap.histograms)
+    if (h.name == "test.disabled.hist") EXPECT_EQ(h.count, 0);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsMinMaxSum) {
+  telemetry::Histogram& h = telemetry::histogram("test.hist");
+  for (const std::int64_t v : {1, 2, 3, 1024}) h.record(v);
+  const auto snap = telemetry::snapshot();
+  const telemetry::HistogramSample* sample = nullptr;
+  for (const auto& s : snap.histograms)
+    if (s.name == "test.hist") sample = &s;
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, 4);
+  EXPECT_EQ(sample->sum, 1030);
+  EXPECT_EQ(sample->min, 1);
+  EXPECT_EQ(sample->max, 1024);
+  // Bucket i counts 2^(i-1) < v <= 2^i: 1 -> bucket 0, 2 -> bucket 1,
+  // 3 -> bucket 2, 1024 = 2^10 -> bucket 10; trailing zeros are trimmed.
+  ASSERT_EQ(sample->buckets.size(), 11u);
+  EXPECT_EQ(sample->buckets[0], 1);
+  EXPECT_EQ(sample->buckets[1], 1);
+  EXPECT_EQ(sample->buckets[2], 1);
+  EXPECT_EQ(sample->buckets[10], 1);
+}
+
+TEST_F(TelemetryTest, SpansNestAndCarryDurations) {
+  {
+    CTB_TEL_SPAN("test.outer");
+    CTB_TEL_SPAN("test.inner");
+  }
+  const auto snap = telemetry::snapshot();
+  const telemetry::SpanEvent* outer = nullptr;
+  const telemetry::SpanEvent* inner = nullptr;
+  for (const auto& s : snap.spans) {
+    if (std::string(s.name) == "test.outer") outer = &s;
+    if (std::string(s.name) == "test.inner") inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_LE(outer->start_us, inner->start_us);
+  EXPECT_GE(outer->dur_us, inner->dur_us);
+  EXPECT_GE(outer->start_us + outer->dur_us, inner->start_us + inner->dur_us);
+}
+
+TEST_F(TelemetryTest, SpanArmedAtConstructionRecordsAfterDisable) {
+  {
+    telemetry::ScopedSpan span("test.armed");
+    telemetry::set_enabled(false);
+  }
+  bool found = false;
+  for (const auto& s : telemetry::snapshot().spans)
+    if (std::string(s.name) == "test.armed") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TelemetryTest, SpanSkippedWhenDisabledAtConstruction) {
+  telemetry::set_enabled(false);
+  { telemetry::ScopedSpan span("test.skipped"); }
+  telemetry::set_enabled(true);
+  for (const auto& s : telemetry::snapshot().spans)
+    EXPECT_STRNE(s.name, "test.skipped");
+}
+
+TEST_F(TelemetryTest, ResetZeroesButKeepsRegistrations) {
+  telemetry::counter("test.reset").add(9);
+  telemetry::histogram("test.reset.h").record(5);
+  { CTB_TEL_SPAN("test.reset.span"); }
+  telemetry::reset();
+  const auto snap = telemetry::snapshot();
+  EXPECT_EQ(counter_value(snap, "test.reset"), 0);
+  for (const auto& h : snap.histograms)
+    if (h.name == "test.reset.h") EXPECT_EQ(h.count, 0);
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST_F(TelemetryTest, MetricsJsonSchema) {
+  telemetry::counter("test.json").add(2);
+  telemetry::histogram("test.json.h").record(3);
+  { CTB_TEL_SPAN("test.json.span"); }
+  std::ostringstream os;
+  telemetry::write_metrics_json(os, telemetry::snapshot());
+  const std::string json = os.str();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  for (const char* needle :
+       {"\"version\":1", "\"compiled_in\":true", "\"enabled\":true",
+        "\"counters\":{", "\"histograms\":{", "\"spans\":{",
+        "\"test.json\":2", "\"test.json.h\":{", "\"buckets\":[",
+        "\"test.json.span\":{", "\"count\":", "\"total_us\":", "\"max_us\":",
+        "\"cache.hit\":0", "\"cache.miss\":0", "\"exec.fallback\":0"})
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+}
+
+TEST_F(TelemetryTest, ChromeTraceSchema) {
+  { CTB_TEL_SPAN("test.trace.span"); }
+  const auto snap = telemetry::snapshot();
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os, snap);
+  const std::string trace = os.str();
+  EXPECT_TRUE(json_balanced(trace)) << trace;
+  EXPECT_EQ(trace.front(), '{');
+  for (const char* needle :
+       {"\"traceEvents\":[", "\"ph\":\"X\"", "\"test.trace.span\"",
+        "\"ts\":", "\"dur\":", "\"pid\":"})
+    EXPECT_NE(trace.find(needle), std::string::npos) << needle << "\n"
+                                                     << trace;
+
+  // Embedding form: events must splice into a foreign traceEvents array.
+  std::ostringstream combined;
+  combined << "{\"traceEvents\":[\n{\"name\":\"probe\",\"ph\":\"M\","
+              "\"pid\":0,\"args\":{}}";
+  telemetry::append_chrome_trace_events(combined, snap, 7);
+  combined << "\n]}\n";
+  EXPECT_TRUE(json_balanced(combined.str())) << combined.str();
+  EXPECT_NE(combined.str().find("\"pid\":7"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, ConcurrentInstrumentationIsRaceFreeAndLossless) {
+  constexpr long long kIters = 2000;
+  ScopedParallelThreads guard(4);
+  parallel_for(kIters, [](long long i) {
+    CTB_TEL_SPAN("test.par.span");
+    CTB_TEL_COUNT("test.par.count", 1);
+    CTB_TEL_HIST("test.par.hist", i % 7);
+  });
+  const auto snap = telemetry::snapshot();
+  EXPECT_EQ(counter_value(snap, "test.par.count"), kIters);
+  const telemetry::HistogramSample* sample = nullptr;
+  for (const auto& h : snap.histograms)
+    if (h.name == "test.par.hist") sample = &h;
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, kIters);
+  long long spans = 0;
+  for (const auto& s : snap.spans)
+    if (std::string(s.name) == "test.par.span") ++spans;
+  EXPECT_EQ(spans, kIters);
+  EXPECT_EQ(counter_value(snap, "telemetry.dropped_spans"), 0);
+}
+
+TEST_F(TelemetryTest, SpanBufferCapCountsDroppedSpans) {
+  constexpr int kOverCap = (1 << 16) + 100;
+  for (int i = 0; i < kOverCap; ++i)
+    telemetry::record_span("test.cap", 0.0, 0.0);
+  const auto snap = telemetry::snapshot();
+  EXPECT_GE(counter_value(snap, "telemetry.dropped_spans"), 100);
+  EXPECT_LE(static_cast<int>(snap.spans.size()), 1 << 16);
+}
+
+#else  // !CTB_TELEMETRY_ENABLED
+
+TEST(TelemetryCompiledOut, StubsAreInertAndSnapshotsEmpty) {
+  telemetry::set_enabled(true);  // must be a no-op
+  EXPECT_FALSE(telemetry::enabled());
+  telemetry::counter("test.off").add(5);
+  telemetry::histogram("test.off.h").record(5);
+  telemetry::record_span("test.off.span", 0.0, 1.0);
+  CTB_TEL_COUNT("test.off.macro", 1);
+  const auto snap = telemetry::snapshot();
+  EXPECT_FALSE(snap.compiled_in);
+  EXPECT_FALSE(snap.enabled);
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+#endif  // CTB_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace ctb

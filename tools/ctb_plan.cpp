@@ -6,6 +6,8 @@
 //   ctb_plan 16x32x128,64x64x64,256x256x64
 //   ctb_plan --random 32 --seed 7 --gpu p100 --policy binary
 //   ctb_plan 64x64x64 --dump-plan plan.txt
+//   ctb_plan 64x64x64 --trace out.json        # chrome://tracing schedule +
+//                                             # host telemetry + metrics
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -15,6 +17,7 @@
 #include "gpusim/trace.hpp"
 #include "kernels/work_builder.hpp"
 #include "core/rf_policy.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -76,7 +79,11 @@ int main(int argc, char** argv) {
   flags.define("dump-plan", "", "write the plan (aux arrays) to this file");
   flags.define("check-plan", "",
                "load a saved plan and validate it against the given shapes");
-  flags.define("trace", "", "write a chrome://tracing JSON of the schedule");
+  flags.define("trace", "",
+               "write a chrome://tracing JSON of the simulated schedule and "
+               "the host planning spans (metrics land in <file>.metrics.json)");
+  flags.define("metrics", "",
+               "write the telemetry metrics snapshot (JSON) to this file");
   flags.define("show-plan", "false", "print the aux arrays");
 
   std::vector<std::string> positional;
@@ -116,9 +123,17 @@ int main(int argc, char** argv) {
     PlannerConfig config;
     config.gpu = parse_gpu(flags.get("gpu"));
     config.policy = parse_policy(flags.get("policy"));
+
+    const std::string trace_path = flags.get("trace");
+    std::string metrics_path = flags.get("metrics");
+    if (metrics_path.empty() && !trace_path.empty())
+      metrics_path = trace_path + ".metrics.json";
+    if (!metrics_path.empty()) telemetry::set_enabled(true);
+
     const BatchedGemmPlanner planner(config);
     const GpuArch& arch = planner.arch();
-    const PlanSummary s = planner.plan(dims);
+    PlanCache cache(config);
+    const PlanSummary& s = cache.plan(dims);
     validate_plan(s.plan, dims);
 
     std::cout << "batch of " << dims.size() << " GEMMs on " << arch.name
@@ -162,16 +177,29 @@ int main(int argc, char** argv) {
     cmp.print(std::cout);
 
     if (flags.get_bool("show-plan")) std::cout << '\n' << to_string(s.plan);
-    const std::string trace_path = flags.get("trace");
     if (!trace_path.empty()) {
       ExecutionTrace trace;
       const KernelWork work = work_from_plan(s.plan, dims);
       simulate_kernel(arch, work, &trace);
       std::ofstream os(trace_path);
       CTB_CHECK_MSG(os.good(), "cannot write " << trace_path);
-      write_chrome_trace(os, trace, arch);
+      // One file, two timelines: the simulated device schedule (pid 0) and
+      // the host planning spans (pid 1).
+      os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+            "{\"name\":\"clock_sync\",\"ph\":\"M\",\"pid\":0,"
+            "\"args\":{\"source\":\"ctb_plan\"}}";
+      append_chrome_trace_events(os, trace, arch, 0);
+      telemetry::append_chrome_trace_events(os, telemetry::snapshot(), 1);
+      os << "\n]}\n";
       std::cout << "\nschedule trace written to " << trace_path
                 << " (open in chrome://tracing)\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      CTB_CHECK_MSG(os.good(), "cannot write " << metrics_path);
+      telemetry::write_metrics_json(os, telemetry::snapshot());
+      std::cout << (trace_path.empty() ? "\n" : "")
+                << "metrics snapshot written to " << metrics_path << '\n';
     }
     const std::string dump = flags.get("dump-plan");
     if (!dump.empty()) {
