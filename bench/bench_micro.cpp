@@ -4,10 +4,16 @@
 // negligible — "7-8 comparisons on average").
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "baselines/baselines.hpp"
 #include "core/api.hpp"
 #include "core/rf_policy.hpp"
 #include "dnn/im2col.hpp"
+#include "kernels/microkernel.hpp"
+#include "kernels/packing.hpp"
 #include "kernels/work_builder.hpp"
 #include "util/parallel.hpp"
 
@@ -76,6 +82,79 @@ void BM_FunctionalTileGemm(benchmark::State& state) {
   state.SetLabel(s.name());
 }
 BENCHMARK(BM_FunctionalTileGemm)->Arg(1)->Arg(5)->Arg(11);
+
+// ----------------------------------- microkernel specialization A/B ------
+// Paired same-process A/B of the generic staged tile executor vs the
+// specialized packed microkernel, per Table-2 strategy id (DenseRange 0-11),
+// over the full tile grid of a Fig. 8-style M=N=K=256 GEMM. Both variants
+// run serially over the identical grid so the ratio generic/specialized is
+// the tile-level speedup; on the 1-core container expect +/-50% run-to-run
+// noise, so compare medians of repeated runs.
+struct MicroAbFixture {
+  Matrixf a, b, c;
+  GemmOperands g;
+  explicit MicroAbFixture(const GemmDims& d) {
+    Rng rng(13);
+    a = Matrixf(static_cast<std::size_t>(d.m), static_cast<std::size_t>(d.k));
+    b = Matrixf(static_cast<std::size_t>(d.k), static_cast<std::size_t>(d.n));
+    c = Matrixf(static_cast<std::size_t>(d.m), static_cast<std::size_t>(d.n));
+    fill_random(a, rng);
+    fill_random(b, rng);
+    g = operands(a, b, c);
+  }
+};
+
+void BM_ExecuteTileGeneric(benchmark::State& state) {
+  const auto& s = batched_strategy_by_id(static_cast<int>(state.range(0)));
+  const GemmDims d{256, 256, 256};
+  MicroAbFixture f(d);
+  const int ty_count = (d.m + s.by - 1) / s.by;
+  const int tx_count = (d.n + s.bx - 1) / s.bx;
+  for (auto _ : state) {
+    for (int ty = 0; ty < ty_count; ++ty)
+      for (int tx = 0; tx < tx_count; ++tx)
+        execute_tile(s, f.g, ty, tx, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.flops());
+  state.SetLabel(s.name());
+}
+BENCHMARK(BM_ExecuteTileGeneric)->DenseRange(0, 11);
+
+void BM_ExecuteTileSpecialized(benchmark::State& state) {
+  const auto& s = batched_strategy_by_id(static_cast<int>(state.range(0)));
+  const GemmDims d{256, 256, 256};
+  MicroAbFixture f(d);
+  // Dispatch lookup and panel packing happen once per (GEMM, strategy) in
+  // the executors; keep them outside the timed loop to isolate the kernel.
+  const MicrokernelFn fn = microkernel_for(s);
+  const PackedGemm pk = pack_gemm(s, f.g);
+  for (auto _ : state) {
+    for (int ty = 0; ty < pk.ty_count; ++ty)
+      for (int tx = 0; tx < pk.tx_count; ++tx)
+        fn(f.g, pk, ty, tx, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.flops());
+  state.SetLabel(s.name());
+}
+BENCHMARK(BM_ExecuteTileSpecialized)->DenseRange(0, 11);
+
+// Amortized cost of the packing pass itself (the one-off per (GEMM,
+// strategy) work the specialized path adds before its first tile).
+void BM_PackPanels(benchmark::State& state) {
+  const auto& s = batched_strategy_by_id(static_cast<int>(state.range(0)));
+  const GemmDims d{256, 256, 256};
+  MicroAbFixture f(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack_gemm(s, f.g));
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<long long>(pack_footprint_bytes(s, d)));
+  state.SetLabel(s.name());
+}
+BENCHMARK(BM_PackPanels)->Arg(0)->Arg(5)->Arg(11);
 
 void BM_ReferenceGemmBlocked(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -238,6 +317,58 @@ void BM_MagmaVbatchSim(benchmark::State& state) {
 }
 BENCHMARK(BM_MagmaVbatchSim)->Arg(16)->Arg(256);
 
+// Minimal CSV file reporter: when CTB_BENCH_CSV names a file, one row per
+// benchmark run lands there alongside the normal console output. (The
+// library's own CSVReporter is deprecated, so the few columns the sweep
+// scripts need are emitted directly.)
+class CsvFileReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context&) override {
+    GetOutputStream()
+        << "name,iterations,real_time_s,cpu_time_s,items_per_second,label\n";
+    return true;
+  }
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      const double iters =
+          r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+      double items_per_second = 0.0;
+      if (const auto it = r.counters.find("items_per_second");
+          it != r.counters.end())
+        items_per_second = it->second;
+      GetOutputStream() << r.benchmark_name() << ',' << r.iterations << ','
+                        << r.real_accumulated_time / iters << ','
+                        << r.cpu_accumulated_time / iters << ','
+                        << items_per_second << ",\"" << r.report_label
+                        << "\"\n";
+    }
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // CTB_BENCH_CSV=<file> is sugar for --benchmark_out=<file> with the CSV
+  // reporter above; the library opens the file and owns the stream.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  const char* csv_path = std::getenv("CTB_BENCH_CSV");
+  const bool want_csv = csv_path != nullptr && *csv_path != '\0';
+  if (want_csv) {
+    out_flag = std::string("--benchmark_out=") + csv_path;
+    args.push_back(out_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::ConsoleReporter display;
+  if (want_csv) {
+    CsvFileReporter file;
+    benchmark::RunSpecifiedBenchmarks(&display, &file);
+  } else {
+    benchmark::RunSpecifiedBenchmarks(&display);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,11 @@
 #include "kernels/functional.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
+#include "kernels/microkernel.hpp"
+#include "kernels/packing.hpp"
 #include "kernels/thread_map.hpp"
 #include "linalg/half.hpp"
 #include "telemetry/telemetry.hpp"
@@ -20,52 +24,64 @@ constexpr int kMaxBk = 8;
 constexpr int kMaxSubX = 8;
 
 /// Emulated shared memory for one block: the staged A tile (BY x BK) and
-/// B tile (BK x BX), with zero padding past the matrix edges exactly as the
-/// guarded global loads of the real kernel produce.
+/// B tile (BK x BX). The per-element values come from staged_a_value /
+/// staged_b_value (packing.hpp) — the same functions the packing pass
+/// resolves once per panel — so the generic and packed paths consume
+/// bit-identical operand values by construction.
 struct SharedTiles {
   float a[kMaxBy * kMaxBk];
   float b[kMaxBk * kMaxBx];
 
   void stage(const TilingStrategy& s, const GemmOperands& g, int row0,
              int col0, int k0) {
-    const auto& d = g.dims;
-    // Logical A(i, k): stored at a[i * K + k] for kN, a[k * M + i] for kT.
-    for (int i = 0; i < s.by; ++i) {
-      for (int p = 0; p < s.bk; ++p) {
-        const int gi = row0 + i;
-        const int gk = k0 + p;
-        float v = 0.0f;
-        if (gi < d.m && gk < d.k) {
-          v = g.op_a == Op::kN
-                  ? g.a[static_cast<std::size_t>(gi) * d.k + gk]
-                  : g.a[static_cast<std::size_t>(gk) * d.m + gi];
-        }
-        if (g.precision == Precision::kFp16) v = round_to_half(v);
-        a[i * s.bk + p] = v;
-      }
-    }
-    // Logical B(k, j): stored at b[k * N + j] for kN, b[j * K + k] for kT,
-    // or computed by the gather for the implicit-GEMM path.
-    for (int p = 0; p < s.bk; ++p) {
-      for (int j = 0; j < s.bx; ++j) {
-        const int gk = k0 + p;
-        const int gj = col0 + j;
-        float v = 0.0f;
-        if (gk < d.k && gj < d.n) {
-          if (g.b_gather) {
-            v = g.b_gather(gk, gj);
-          } else {
-            v = g.op_b == Op::kN
-                    ? g.b[static_cast<std::size_t>(gk) * d.n + gj]
-                    : g.b[static_cast<std::size_t>(gj) * d.k + gk];
-          }
-        }
-        if (g.precision == Precision::kFp16) v = round_to_half(v);
-        b[p * s.bx + j] = v;
-      }
-    }
+    for (int i = 0; i < s.by; ++i)
+      for (int p = 0; p < s.bk; ++p)
+        a[i * s.bk + p] = staged_a_value(g, row0 + i, k0 + p);
+    for (int p = 0; p < s.bk; ++p)
+      for (int j = 0; j < s.bx; ++j)
+        b[p * s.bx + j] = staged_b_value(g, k0 + p, col0 + j);
   }
 };
+
+/// Per-call packing decision for one GEMM: the specialized kernel to run
+/// and the packed panels it reads. `fn == nullptr` means the generic path.
+struct PackedDispatch {
+  MicrokernelFn fn = nullptr;
+  PackedGemm pack;
+  bool specialized() const { return fn != nullptr && pack.valid(); }
+};
+
+/// Decides and performs packing for one GEMM under the call's cumulative
+/// pack-arena budget. `used` accumulates packed bytes across the call;
+/// a GEMM whose footprint would exceed the remaining budget (or whose
+/// strategy has no specialized kernel) stays on the generic path.
+PackedDispatch try_pack(const TilingStrategy& s, const GemmOperands& g,
+                        std::size_t& used) {
+  PackedDispatch d;
+  const MicrokernelFn fn = microkernel_for(s);
+  if (fn == nullptr) return d;
+  const std::size_t bytes = pack_footprint_bytes(s, g.dims);
+  const std::size_t budget = pack_arena_budget();
+  if (bytes > budget || used > budget - bytes) return d;
+  used += bytes;
+  d.fn = fn;
+  d.pack = pack_gemm(s, g);
+  return d;
+}
+
+/// Dispatch + staging-reuse accounting for `tiles` tiles of one GEMM that
+/// resolved to `d`. Each tile reads one A and one B panel; panels were
+/// packed once, so all but one read per panel is a staging the generic
+/// path would have repeated.
+void count_dispatch(const PackedDispatch& d, long long tiles) {
+  if (d.specialized()) {
+    CTB_TEL_COUNT("exec.dispatch.specialized", tiles);
+    CTB_TEL_COUNT("exec.pack.reuse",
+                  2 * tiles - d.pack.ty_count - d.pack.tx_count);
+  } else {
+    CTB_TEL_COUNT("exec.dispatch.generic", tiles);
+  }
+}
 
 }  // namespace
 
@@ -167,12 +183,23 @@ void run_single_gemm(const TilingStrategy& s, const GemmOperands& g,
   // the serial walk.
   const int ty_count = (g.dims.m + s.by - 1) / s.by;
   const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
-  parallel_for(static_cast<long long>(ty_count) * tx_count,
-               [&](long long block) {
-                 const int ty = static_cast<int>(block / tx_count);
-                 const int tx = static_cast<int>(block % tx_count);
-                 execute_tile(s, g, ty, tx, alpha, beta);
-               });
+  const long long tiles = static_cast<long long>(ty_count) * tx_count;
+
+  std::size_t used = 0;
+  const PackedDispatch d = try_pack(s, g, used);
+  count_dispatch(d, tiles);
+  if (d.specialized()) {
+    parallel_for(tiles, [&](long long block) {
+      d.fn(g, d.pack, static_cast<int>(block / tx_count),
+           static_cast<int>(block % tx_count), alpha, beta);
+    });
+    return;
+  }
+  parallel_for(tiles, [&](long long block) {
+    const int ty = static_cast<int>(block / tx_count);
+    const int tx = static_cast<int>(block % tx_count);
+    execute_tile(s, g, ty, tx, alpha, beta);
+  });
 }
 
 void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
@@ -184,19 +211,35 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
     max_ty = std::max(max_ty, (g.dims.m + s.by - 1) / s.by);
     max_tx = std::max(max_tx, (g.dims.n + s.bx - 1) / s.bx);
   }
+
+  // One uniform strategy: pack each GEMM in batch order until the arena
+  // budget runs out; the rest stay on the generic staging path.
+  std::vector<PackedDispatch> packs(batch.size());
+  std::size_t used = 0;
+  for (std::size_t z = 0; z < batch.size(); ++z) {
+    packs[z] = try_pack(s, batch[z], used);
+    count_dispatch(packs[z], s.tiles_for(batch[z].dims.m, batch[z].dims.n));
+  }
+
   // Every (z, ty, tx) grid block is independent — each GEMM has its own C
   // and the tiles within a GEMM are disjoint — so the whole grid runs as
-  // one parallel-for.
-  const long long grid = static_cast<long long>(batch.size()) * max_ty * max_tx;
+  // one parallel-for. The z divisor is hoisted as long long: max_ty *
+  // max_tx as an int product could overflow before widening on large grids.
+  const long long zdiv = static_cast<long long>(max_ty) * max_tx;
+  const long long grid = static_cast<long long>(batch.size()) * zdiv;
   parallel_for(grid, [&](long long block) {
-    const std::size_t z = static_cast<std::size_t>(block / (max_ty * max_tx));
+    const std::size_t z = static_cast<std::size_t>(block / zdiv);
     const int ty = static_cast<int>(block / max_tx % max_ty);
     const int tx = static_cast<int>(block % max_tx);
     const auto& g = batch[z];
     const int ty_count = (g.dims.m + s.by - 1) / s.by;
     const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
     if (ty >= ty_count || tx >= tx_count) return;  // bubble block
-    execute_tile(s, g, ty, tx, alpha, beta);
+    const PackedDispatch& d = packs[z];
+    if (d.specialized())
+      d.fn(g, d.pack, ty, tx, alpha, beta);
+    else
+      execute_tile(s, g, ty, tx, alpha, beta);
   });
 }
 
@@ -270,6 +313,31 @@ void run_batched_plan(const BatchPlan& plan,
   CTB_TEL_COUNT("exec.plan_runs", 1);
   CTB_TEL_COUNT("exec.blocks", plan.num_blocks());
   CTB_TEL_COUNT("exec.tiles", plan.num_tiles());
+
+  // Packing pass: a validated plan assigns each GEMM a single strategy, but
+  // strategies vary across GEMMs, so packs are keyed by (gemm, strategy).
+  // Walk the tile array once to find each GEMM's strategy and tile count,
+  // then pack in GEMM order (deterministic budget accounting) until the
+  // pack arena budget is spent.
+  std::vector<int> strategy_of_gemm(batch.size(), -1);
+  std::vector<PackedDispatch> packs(batch.size());
+  {
+    CTB_TEL_SPAN("exec.pack");
+    std::vector<long long> tiles_of_gemm(batch.size(), 0);
+    for (std::size_t t = 0; t < plan.gemm_of_tile.size(); ++t) {
+      const auto gi = static_cast<std::size_t>(plan.gemm_of_tile[t]);
+      strategy_of_gemm[gi] = plan.strategy_of_tile[t];
+      ++tiles_of_gemm[gi];
+    }
+    std::size_t used = 0;
+    for (std::size_t gi = 0; gi < batch.size(); ++gi) {
+      if (strategy_of_gemm[gi] < 0) continue;  // GEMM unused by the plan
+      packs[gi] = try_pack(batched_strategy_by_id(strategy_of_gemm[gi]),
+                           batch[gi], used);
+      count_dispatch(packs[gi], tiles_of_gemm[gi]);
+    }
+  }
+
   // Fig. 7: each block walks its tile range from the aux arrays. Blocks run
   // concurrently — validate_plan guarantees complete single coverage, so no
   // two blocks touch the same C tile — while each block's tile chain stays
@@ -282,11 +350,19 @@ void run_batched_plan(const BatchPlan& plan,
       const int g = plan.gemm_of_tile[static_cast<std::size_t>(t)];
       CTB_CHECK_MSG(g >= 0 && g < static_cast<int>(batch.size()),
                     "plan references GEMM " << g << " beyond the batch");
-      const TilingStrategy& s = batched_strategy_by_id(
-          plan.strategy_of_tile[static_cast<std::size_t>(t)]);
-      execute_tile(s, batch[static_cast<std::size_t>(g)],
-                   plan.y_coord[static_cast<std::size_t>(t)],
-                   plan.x_coord[static_cast<std::size_t>(t)], alpha, beta);
+      const int sid = plan.strategy_of_tile[static_cast<std::size_t>(t)];
+      const int ty = plan.y_coord[static_cast<std::size_t>(t)];
+      const int tx = plan.x_coord[static_cast<std::size_t>(t)];
+      const PackedDispatch& d = packs[static_cast<std::size_t>(g)];
+      if (d.specialized() &&
+          sid == strategy_of_gemm[static_cast<std::size_t>(g)]) {
+        d.fn(batch[static_cast<std::size_t>(g)], d.pack, ty, tx, alpha,
+             beta);
+      } else {
+        execute_tile(batched_strategy_by_id(sid),
+                     batch[static_cast<std::size_t>(g)], ty, tx, alpha,
+                     beta);
+      }
     }
   });
 }

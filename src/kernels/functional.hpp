@@ -12,6 +12,14 @@
 // All results are bit-exact across executors for a given strategy because
 // every executor accumulates in the same (k0, p) order.
 //
+// Dispatch: when a strategy has a compile-time-specialized microkernel
+// (microkernel.hpp — all Table-1 and Table-2 geometries do) and the GEMM's
+// packed-panel footprint fits the pack arena budget (packing.hpp), the
+// executors pack A/B panels once per (GEMM, strategy) and run every tile of
+// that GEMM through the specialized kernel; otherwise the generic
+// `execute_tile` stages tiles per block exactly as before. Both paths are
+// bit-identical; `exec.dispatch.{specialized,generic}` count the choice.
+//
 // Execution is block-parallel on the host: the executors fan independent
 // thread blocks out over ctb::parallel_for (OpenMP, serial fallback). This
 // is safe and bit-exact because blocks write disjoint C tiles — one tile

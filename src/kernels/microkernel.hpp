@@ -1,0 +1,209 @@
+// Compile-time-specialized tile microkernels over packed operand panels.
+//
+// The generic `execute_tile` treats every loop bound (BY/BX/BK/sub_y/sub_x)
+// as a runtime value, so nothing unrolls and the j-inner FMA loop carries a
+// variable trip count. The tiling suites are a fixed, closed set (Tables 1
+// and 2), which makes full specialization cheap: `packed_microkernel` bakes
+// the geometry into template parameters — the i/p/j loops fully unroll, the
+// j-inner loop vectorizes with a fixed trip count — and reads its A/B tiles
+// from the panels a `PackedGemm` staged once per (GEMM, strategy), so the
+// interior K loop is branch-free (no bounds/transpose/fp16/gather checks).
+//
+// Determinism (DESIGN.md §6): every C element still accumulates its FMA
+// chain in ascending (k0, p) order over exactly the staged values the
+// generic path would have produced, and the epilogue applies the identical
+// alpha/beta expression — so results are bit-identical to `execute_tile`
+// for every strategy, precision, transpose mode, and gather. The full-tile
+// fast path only skips edge *guards* (comparisons that never fail for an
+// interior tile); it performs the same arithmetic.
+//
+// Dispatch is a table keyed on the Table-2 strategy id (`microkernel_for_id`)
+// with a geometry matcher (`microkernel_for`) that also covers the Table-1
+// single-GEMM suite; unknown geometries return nullptr and the caller keeps
+// using the generic executor.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+#include "core/tiling_strategy.hpp"
+#include "kernels/functional.hpp"
+#include "kernels/packing.hpp"
+#include "linalg/half.hpp"
+
+namespace ctb {
+
+/// Executes C tile (ty, tx) of `g` from packed panels. `pk` must have been
+/// produced by `pack_gemm` for the same GEMM and a strategy whose geometry
+/// matches the kernel's template parameters.
+using MicrokernelFn = void (*)(const GemmOperands& g, const PackedGemm& pk,
+                               int ty, int tx, float alpha, float beta);
+
+namespace microkernel_detail {
+
+/// One shared per-thread accumulator scratch, sized for the largest tile
+/// (128 x 128) — mirrors the generic executor's thread-local reg_C, keeping
+/// every instantiation allocation-free without multiplying thread-local
+/// footprint by the number of instantiations.
+inline float* reg_c_scratch() {
+  static thread_local float buf[128 * 128];
+  return buf;
+}
+
+template <int BY, int BX, int BK, int SY, int SX>
+void packed_microkernel(const GemmOperands& g, const PackedGemm& pk, int ty,
+                        int tx, float alpha, float beta) {
+  static_assert(BY % SY == 0 && BX % SX == 0, "sub-tiles must tile the tile");
+  static_assert(BY * BX <= 128 * 128, "tile exceeds the scratch buffer");
+  constexpr int kCols = BX / SX;          // sub-tile grid columns
+  constexpr int kThreads = (BY / SY) * kCols;
+  constexpr int kAcc = SY * SX;           // accumulators per thread
+  const auto& d = g.dims;
+  const int row0 = ty * BY;
+  const int col0 = tx * BX;
+
+  float* reg_c = reg_c_scratch();
+  std::fill_n(reg_c, BY * BX, 0.0f);
+  const float* pa = pk.a_panel(ty);
+  const float* pb = pk.b_panel(tx);
+
+  // Main K loop over pre-staged panel blocks: branch-free contiguous reads,
+  // all inner trip counts compile-time constants. Per C element the FMA
+  // chain is ascending (k0, p), identical to the generic executor.
+  const int nsteps = pk.nsteps;
+  for (int step = 0; step < nsteps; ++step) {
+    const float* sa_blk = pa + static_cast<std::size_t>(step) * (BY * BK);
+    const float* sb_blk = pb + static_cast<std::size_t>(step) * (BK * BX);
+    for (int t = 0; t < kThreads; ++t) {
+      const int orow = t / kCols * SY;
+      const int ocol = t % kCols * SX;
+      float* acc = reg_c + t * kAcc;
+      if constexpr (SX == 1) {
+        // One C element per sub-tile row: plain dot product (same
+        // ascending-p chain as the j-inner form).
+        const float* sbcol = sb_blk + ocol;
+        for (int i = 0; i < SY; ++i) {
+          const float* sa = sa_blk + (orow + i) * BK;
+          float sum = acc[i];
+          for (int p = 0; p < BK; ++p) sum += sa[p] * sbcol[p * BX];
+          acc[i] = sum;
+        }
+      } else {
+        for (int i = 0; i < SY; ++i) {
+          const float* sa = sa_blk + (orow + i) * BK;
+          float* arow = acc + i * SX;
+          float row[SX];
+          for (int j = 0; j < SX; ++j) row[j] = arow[j];
+          for (int p = 0; p < BK; ++p) {
+            const float av = sa[p];
+            const float* sb = sb_blk + p * BX + ocol;
+            for (int j = 0; j < SX; ++j) row[j] += av * sb[j];
+          }
+          for (int j = 0; j < SX; ++j) arow[j] = row[j];
+        }
+      }
+    }
+  }
+
+  // Epilogue: C = alpha * acc + beta * C. The full-tile fast path drops the
+  // per-element edge guards when the whole BY x BX tile is inside M x N;
+  // the arithmetic per element is identical either way.
+  const bool fp16 = g.precision == Precision::kFp16;
+  auto store = [&](float* cell, float v) {
+    if (fp16) {
+      const float prior = beta == 0.0f ? 0.0f : beta * round_to_half(*cell);
+      *cell = round_to_half(alpha * v + prior);
+    } else {
+      const float prior = beta == 0.0f ? 0.0f : beta * *cell;
+      *cell = alpha * v + prior;
+    }
+  };
+  if (row0 + BY <= d.m && col0 + BX <= d.n) {
+    for (int t = 0; t < kThreads; ++t) {
+      const int orow = t / kCols * SY;
+      const int ocol = t % kCols * SX;
+      const float* acc = reg_c + t * kAcc;
+      for (int i = 0; i < SY; ++i) {
+        float* crow = g.c + static_cast<std::size_t>(row0 + orow + i) * d.n +
+                      col0 + ocol;
+        for (int j = 0; j < SX; ++j) store(crow + j, acc[i * SX + j]);
+      }
+    }
+  } else {
+    for (int t = 0; t < kThreads; ++t) {
+      const int orow = t / kCols * SY;
+      const int ocol = t % kCols * SX;
+      const float* acc = reg_c + t * kAcc;
+      for (int i = 0; i < SY; ++i) {
+        const int gi = row0 + orow + i;
+        if (gi >= d.m) continue;
+        for (int j = 0; j < SX; ++j) {
+          const int gj = col0 + ocol + j;
+          if (gj >= d.n) continue;
+          store(g.c + static_cast<std::size_t>(gi) * d.n + gj,
+                acc[i * SX + j]);
+        }
+      }
+    }
+  }
+}
+
+/// Every geometry appearing in Table 2 (all 12 batched ids) or Table 1 (the
+/// single-GEMM suite; tall/wide/huge coincide with Table-2 entries). BK is
+/// 8 throughout (paper §4.2.2).
+struct GeometryEntry {
+  int by, bx, sy, sx;
+  MicrokernelFn fn;
+};
+
+inline constexpr GeometryEntry kGeometryTable[] = {
+    // Table 2, id order: shape * 2 + (256-thread variant).
+    {16, 16, 2, 1, &packed_microkernel<16, 16, 8, 2, 1>},      // small/128
+    {16, 16, 1, 1, &packed_microkernel<16, 16, 8, 1, 1>},      // small/256
+    {32, 32, 4, 2, &packed_microkernel<32, 32, 8, 4, 2>},      // medium/128
+    {32, 32, 2, 2, &packed_microkernel<32, 32, 8, 2, 2>},      // medium/256
+    {64, 64, 8, 4, &packed_microkernel<64, 64, 8, 8, 4>},      // large/128
+    {64, 64, 4, 4, &packed_microkernel<64, 64, 8, 4, 4>},      // large/256
+    {128, 64, 8, 8, &packed_microkernel<128, 64, 8, 8, 8>},    // tall/128
+    {128, 64, 8, 4, &packed_microkernel<128, 64, 8, 8, 4>},    // tall/256
+    {64, 128, 8, 8, &packed_microkernel<64, 128, 8, 8, 8>},    // wide/128
+    {64, 128, 8, 4, &packed_microkernel<64, 128, 8, 8, 4>},    // wide/256
+    {128, 128, 16, 8, &packed_microkernel<128, 128, 8, 16, 8>},  // huge/128
+    {128, 128, 8, 8, &packed_microkernel<128, 128, 8, 8, 8>},    // huge/256
+    // Table-1-only geometries (ids -1; reached via run_single_gemm).
+    {16, 16, 4, 2, &packed_microkernel<16, 16, 8, 4, 2>},      // small/32
+    {32, 32, 4, 4, &packed_microkernel<32, 32, 8, 4, 4>},      // medium/64
+    {64, 64, 8, 8, &packed_microkernel<64, 64, 8, 8, 8>},      // large/64
+};
+
+}  // namespace microkernel_detail
+
+/// Specialized kernel for `strategy`, matched on geometry (by/bx/bk/sub_y/
+/// sub_x — the thread count is derived, so Table-1 and Table-2 strategies
+/// sharing a geometry share an instantiation). Returns nullptr when no
+/// compile-time instantiation matches; callers fall back to the generic
+/// `execute_tile`.
+inline MicrokernelFn microkernel_for(const TilingStrategy& s) {
+  if (s.bk != 8) return nullptr;
+  for (const auto& e : microkernel_detail::kGeometryTable) {
+    if (e.by == s.by && e.bx == s.bx && e.sy == s.sub_y && e.sx == s.sub_x)
+      return e.fn;
+  }
+  return nullptr;
+}
+
+/// Dispatch table keyed on the Table-2 strategy id (0..11, the encoding the
+/// plan aux arrays carry). Out-of-range ids return nullptr.
+inline MicrokernelFn microkernel_for_id(int id) {
+  static const std::array<MicrokernelFn, 12> table = [] {
+    std::array<MicrokernelFn, 12> t{};
+    for (int i = 0; i < static_cast<int>(t.size()); ++i)
+      t[static_cast<std::size_t>(i)] = microkernel_for(batched_strategy_by_id(i));
+    return t;
+  }();
+  if (id < 0 || id >= static_cast<int>(table.size())) return nullptr;
+  return table[static_cast<std::size_t>(id)];
+}
+
+}  // namespace ctb

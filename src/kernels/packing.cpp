@@ -1,0 +1,96 @@
+#include "kernels/packing.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "telemetry/telemetry.hpp"
+#include "util/assert.hpp"
+
+namespace ctb {
+
+namespace {
+
+constexpr std::size_t kDefaultPackArenaBytes = 256u << 20;  // 256 MiB
+
+std::size_t initial_pack_budget() {
+  const char* env = std::getenv("CTB_PACK_BUDGET");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0') return static_cast<std::size_t>(v);
+  }
+  return kDefaultPackArenaBytes;
+}
+
+std::atomic<std::size_t>& pack_budget_atomic() {
+  static std::atomic<std::size_t> budget{initial_pack_budget()};
+  return budget;
+}
+
+}  // namespace
+
+std::size_t pack_arena_budget() {
+  return pack_budget_atomic().load(std::memory_order_relaxed);
+}
+
+void set_pack_arena_budget(std::size_t bytes) {
+  pack_budget_atomic().store(bytes, std::memory_order_relaxed);
+}
+
+std::size_t pack_footprint_bytes(const TilingStrategy& s, const GemmDims& d) {
+  const long long ty = (d.m + s.by - 1) / s.by;
+  const long long tx = (d.n + s.bx - 1) / s.bx;
+  const long long steps = (d.k + s.bk - 1) / s.bk;
+  const long long floats =
+      ty * steps * (s.by * s.bk) + tx * steps * (s.bk * s.bx);
+  return static_cast<std::size_t>(floats) * sizeof(float);
+}
+
+PackedGemm pack_gemm(const TilingStrategy& s, const GemmOperands& g) {
+  CTB_CHECK(g.a != nullptr && g.dims.valid());
+  CTB_CHECK_MSG(g.b != nullptr || g.b_gather,
+                "B operand needs storage or a gather");
+  const auto& d = g.dims;
+  PackedGemm pk;
+  pk.by = s.by;
+  pk.bx = s.bx;
+  pk.bk = s.bk;
+  pk.nsteps = (d.k + s.bk - 1) / s.bk;
+  pk.ty_count = (d.m + s.by - 1) / s.by;
+  pk.tx_count = (d.n + s.bx - 1) / s.bx;
+  pk.a.resize(static_cast<std::size_t>(pk.ty_count) * pk.nsteps *
+              (s.by * s.bk));
+  pk.b.resize(static_cast<std::size_t>(pk.tx_count) * pk.nsteps *
+              (s.bk * s.bx));
+
+  // A panels: the write side walks the buffer sequentially; the staged
+  // value resolves bounds/transpose/fp16 once, here, instead of once per
+  // consuming tile x K-step in the generic path.
+  float* out = pk.a.data();
+  for (int ty = 0; ty < pk.ty_count; ++ty) {
+    const int row0 = ty * s.by;
+    for (int step = 0; step < pk.nsteps; ++step) {
+      const int k0 = step * s.bk;
+      for (int i = 0; i < s.by; ++i)
+        for (int p = 0; p < s.bk; ++p)
+          *out++ = staged_a_value(g, row0 + i, k0 + p);
+    }
+  }
+  // B panels, including the one-time materialization of b_gather.
+  out = pk.b.data();
+  for (int tx = 0; tx < pk.tx_count; ++tx) {
+    const int col0 = tx * s.bx;
+    for (int step = 0; step < pk.nsteps; ++step) {
+      const int k0 = step * s.bk;
+      for (int p = 0; p < s.bk; ++p)
+        for (int j = 0; j < s.bx; ++j)
+          *out++ = staged_b_value(g, k0 + p, col0 + j);
+    }
+  }
+
+  CTB_TEL_COUNT("exec.pack.panels", pk.ty_count + pk.tx_count);
+  CTB_TEL_COUNT("exec.pack.bytes", pk.bytes());
+  return pk;
+}
+
+}  // namespace ctb

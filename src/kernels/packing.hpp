@@ -1,0 +1,125 @@
+// Operand panel packing for the specialized microkernels.
+//
+// The generic executor re-stages the same A row-panel for every tile in a
+// C-tile row and the same B column-panel for every tile in a C-tile column,
+// paying per-element bounds/transpose/fp16/gather branches each time. The
+// packing pass resolves all of that exactly once per (GEMM, strategy): A is
+// laid out as ty_count row panels and B as tx_count column panels, each
+// panel a sequence of K-step blocks in precisely the layout the emulated
+// shared memory uses (A block `a[i * BK + p]`, B block `b[p * BX + j]`,
+// zero-padded past the matrix edges, values rounded through binary16 on the
+// fp16 path, `b_gather` materialized). Interior K-loop iterations of the
+// microkernel then read branch-free contiguous memory.
+//
+// Bit-exactness: `staged_a_value` / `staged_b_value` are the single source
+// of truth for staged operand values — the generic executor's SharedTiles
+// staging calls the same functions — so a packed panel block is byte-
+// identical to the tile the generic path would have staged, and the FMA
+// chains downstream see identical inputs.
+//
+// Packed buffers are transient per executor call, bounded by the pack-arena
+// budget (see `pack_arena_budget`): a call packs eligible GEMMs in batch
+// order until the budget is exhausted, and every GEMM past that point runs
+// through the generic unpacked staging path instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tiling_strategy.hpp"
+#include "kernels/functional.hpp"
+#include "linalg/half.hpp"
+
+namespace ctb {
+
+/// The exact value the kernel's guarded global->shared staging produces for
+/// logical A(gi, gk): zero past the M/K edge, transpose resolved, rounded
+/// through binary16 on the fp16 path.
+inline float staged_a_value(const GemmOperands& g, int gi, int gk) {
+  const auto& d = g.dims;
+  float v = 0.0f;
+  if (gi < d.m && gk < d.k) {
+    v = g.op_a == Op::kN ? g.a[static_cast<std::size_t>(gi) * d.k + gk]
+                         : g.a[static_cast<std::size_t>(gk) * d.m + gi];
+  }
+  if (g.precision == Precision::kFp16) v = round_to_half(v);
+  return v;
+}
+
+/// The exact staged value for logical B(gk, gj): zero past the K/N edge,
+/// transpose resolved or the implicit-GEMM gather invoked, fp16-rounded.
+inline float staged_b_value(const GemmOperands& g, int gk, int gj) {
+  const auto& d = g.dims;
+  float v = 0.0f;
+  if (gk < d.k && gj < d.n) {
+    if (g.b_gather) {
+      v = g.b_gather(gk, gj);
+    } else {
+      v = g.op_b == Op::kN ? g.b[static_cast<std::size_t>(gk) * d.n + gj]
+                           : g.b[static_cast<std::size_t>(gj) * d.k + gk];
+    }
+  }
+  if (g.precision == Precision::kFp16) v = round_to_half(v);
+  return v;
+}
+
+/// Packed operand panels for one (GEMM, strategy) pair.
+///
+/// Layout: A panel `ty` holds `nsteps` consecutive BY x BK blocks, block
+/// `step` storing staged A(ty*BY + i, step*BK + p) at `[i * BK + p]`;
+/// B panel `tx` holds `nsteps` consecutive BK x BX blocks, block `step`
+/// storing staged B(step*BK + p, tx*BX + j) at `[p * BX + j]`. Every tile
+/// (ty, tx) of the GEMM reads A panel `ty` and B panel `tx`.
+struct PackedGemm {
+  int by = 0, bx = 0, bk = 0;
+  int nsteps = 0;    ///< K-steps: ceil(K / BK)
+  int ty_count = 0;  ///< A (row) panels
+  int tx_count = 0;  ///< B (column) panels
+  std::vector<float> a;
+  std::vector<float> b;
+
+  bool valid() const { return nsteps > 0; }
+  std::size_t bytes() const { return (a.size() + b.size()) * sizeof(float); }
+  const float* a_panel(int ty) const {
+    return a.data() +
+           static_cast<std::size_t>(ty) * nsteps * (by * bk);
+  }
+  const float* b_panel(int tx) const {
+    return b.data() +
+           static_cast<std::size_t>(tx) * nsteps * (bk * bx);
+  }
+};
+
+/// Bytes `pack_gemm` would allocate for this (strategy, dims) pair — used
+/// against the pack-arena budget before committing to a pack.
+std::size_t pack_footprint_bytes(const TilingStrategy& s, const GemmDims& d);
+
+/// Packs all A and B panels of `g` for `s`. Counts `exec.pack.panels` and
+/// `exec.pack.bytes`. Safe to call from inside a parallel_for worker (it
+/// only reads `g` and writes its own buffers).
+PackedGemm pack_gemm(const TilingStrategy& s, const GemmOperands& g);
+
+/// Pack-arena budget in bytes for a single executor call (default 256 MiB,
+/// overridable at startup with CTB_PACK_BUDGET=<bytes>). GEMMs whose packs
+/// would push the call's cumulative packed bytes past the budget fall back
+/// to the generic unpacked staging path; 0 disables packing entirely (the
+/// lever the bit-exactness tests use to force the generic path).
+std::size_t pack_arena_budget();
+void set_pack_arena_budget(std::size_t bytes);
+
+/// RAII budget override for tests and benchmarks.
+class ScopedPackArenaBudget {
+ public:
+  explicit ScopedPackArenaBudget(std::size_t bytes)
+      : saved_(pack_arena_budget()) {
+    set_pack_arena_budget(bytes);
+  }
+  ~ScopedPackArenaBudget() { set_pack_arena_budget(saved_); }
+  ScopedPackArenaBudget(const ScopedPackArenaBudget&) = delete;
+  ScopedPackArenaBudget& operator=(const ScopedPackArenaBudget&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
+}  // namespace ctb

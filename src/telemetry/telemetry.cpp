@@ -42,6 +42,11 @@ constexpr const char* kCoreCounters[] = {
     "exec.blocks",
     "exec.tiles",
     "exec.fallback",
+    "exec.dispatch.specialized",
+    "exec.dispatch.generic",
+    "exec.pack.panels",
+    "exec.pack.bytes",
+    "exec.pack.reuse",
     "sim.kernels",
     "sim.blocks",
     "sim.bubble_blocks",

@@ -104,6 +104,11 @@ TEST_F(TelemetryTest, CountersAccumulateAndSnapshot) {
   EXPECT_EQ(counter_value(snap, "cache.hit"), 0);
   EXPECT_EQ(counter_value(snap, "cache.miss"), 0);
   EXPECT_EQ(counter_value(snap, "exec.fallback"), 0);
+  EXPECT_EQ(counter_value(snap, "exec.dispatch.specialized"), 0);
+  EXPECT_EQ(counter_value(snap, "exec.dispatch.generic"), 0);
+  EXPECT_EQ(counter_value(snap, "exec.pack.panels"), 0);
+  EXPECT_EQ(counter_value(snap, "exec.pack.bytes"), 0);
+  EXPECT_EQ(counter_value(snap, "exec.pack.reuse"), 0);
 }
 
 TEST_F(TelemetryTest, DisabledSitesRegisterButDoNotCount) {
@@ -201,7 +206,10 @@ TEST_F(TelemetryTest, MetricsJsonSchema) {
         "\"counters\":{", "\"histograms\":{", "\"spans\":{",
         "\"test.json\":2", "\"test.json.h\":{", "\"buckets\":[",
         "\"test.json.span\":{", "\"count\":", "\"total_us\":", "\"max_us\":",
-        "\"cache.hit\":0", "\"cache.miss\":0", "\"exec.fallback\":0"})
+        "\"cache.hit\":0", "\"cache.miss\":0", "\"exec.fallback\":0",
+        "\"exec.dispatch.specialized\":0", "\"exec.dispatch.generic\":0",
+        "\"exec.pack.panels\":0", "\"exec.pack.bytes\":0",
+        "\"exec.pack.reuse\":0"})
     EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
 }
 
