@@ -4,6 +4,9 @@
 // the three execution variants, speedup tables).
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
@@ -12,6 +15,10 @@
 
 #include "baselines/baselines.hpp"
 #include "core/api.hpp"
+#include "core/plan_io.hpp"
+#include "dnn/googlenet.hpp"
+#include "dnn/squeezenet.hpp"
+#include "telemetry/perf_report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -175,5 +182,218 @@ class TelemetryScope {
   std::string name_;
   std::string dir_;
 };
+
+// ---------------------------------------------------------------------------
+// Perf-report workload suites (ctb_bench, DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+/// One canonical workload of a perf suite: a batch of GEMM dims executed
+/// functionally (host matrices, real executors) either through the planner
+/// under `policy`, or — when `fixed_strategy_id` >= 0 — through a hand-built
+/// one-tile-per-block plan pinned to that Table-2 strategy, so each
+/// specialized microkernel has a workload exercising exactly it.
+struct BenchWorkload {
+  std::string name;
+  std::vector<GemmDims> dims;
+  BatchingPolicy policy = BatchingPolicy::kThresholdOnly;
+  int fixed_strategy_id = -1;
+};
+
+namespace detail {
+
+inline std::string sweep_workload_name(const SweepCell& c) {
+  return "sweep/mn" + std::to_string(c.mn) + "/b" + std::to_string(c.batch) +
+         "/k" + std::to_string(c.k);
+}
+
+inline void add_workload(std::vector<BenchWorkload>& out, BenchWorkload w) {
+  for (const BenchWorkload& existing : out)
+    if (existing.name == w.name) return;  // suites may overlap; dedup by name
+  out.push_back(std::move(w));
+}
+
+}  // namespace detail
+
+/// The quick suite (~21 workloads, a few seconds on the 1-core reference
+/// container): four fig8/fig9 sweep cells spanning the grid corners, three
+/// GoogLeNet inception stages and two SqueezeNet expand fans (the paper's
+/// Section-7.3 DNN batches, auto-offline policy), plus one pinned workload
+/// per Table-2 batched strategy so every specialized microkernel is covered.
+inline std::vector<BenchWorkload> perf_quick_suite() {
+  std::vector<BenchWorkload> out;
+  for (const SweepCell& c : {SweepCell{128, 4, 64}, SweepCell{128, 16, 256},
+                             SweepCell{256, 4, 128}, SweepCell{512, 4, 16}})
+    detail::add_workload(out, {detail::sweep_workload_name(c),
+                               equal_case(c.batch, c.mn, c.k),
+                               BatchingPolicy::kThresholdOnly, -1});
+  const auto& modules = googlenet_inception_modules();
+  for (const auto* pick : {&modules[0], &modules[2]}) {  // 3a, 4a
+    detail::add_workload(out, {"googlenet/" + pick->name + "/s1",
+                               pick->stage_gemms(1),
+                               BatchingPolicy::kAutoOffline, -1});
+  }
+  detail::add_workload(out, {"googlenet/" + modules[0].name + "/s2",
+                             modules[0].stage_gemms(2),
+                             BatchingPolicy::kAutoOffline, -1});
+  const auto& fires = squeezenet_fire_modules();
+  for (const auto* pick : {&fires.front(), &fires.back()})  // fire2, fire9
+    detail::add_workload(out, {"squeezenet/" + pick->name + "/expand",
+                               pick->expand_gemms(1),
+                               BatchingPolicy::kAutoOffline, -1});
+  for (const TilingStrategy& s : batched_strategies()) {
+    // Two tiles per axis: exercises the full-tile fast path and edge tiles.
+    detail::add_workload(
+        out, {"tile/" + s.name(),
+              {GemmDims{2 * s.by, 2 * s.bx, 96}},
+              BatchingPolicy::kTilingOnly, s.id});
+  }
+  return out;
+}
+
+/// The full suite: quick plus a wider sweep slice (all mn/batch pairs at
+/// K=64 and K=256, FLOP-capped for the 1-core container) plus every
+/// inception stage and every fire module.
+inline std::vector<BenchWorkload> perf_full_suite() {
+  std::vector<BenchWorkload> out = perf_quick_suite();
+  constexpr long long kCellFlopCap = 1'500'000'000;  // ~1.5 GFLOP per cell
+  for (int mn : sweep_mn())
+    for (int batch : sweep_batch())
+      for (int k : {64, 256}) {
+        const SweepCell c{mn, batch, k};
+        if (2LL * mn * mn * k * batch > kCellFlopCap) continue;
+        detail::add_workload(out, {detail::sweep_workload_name(c),
+                                   equal_case(c.batch, c.mn, c.k),
+                                   BatchingPolicy::kThresholdOnly, -1});
+      }
+  for (const InceptionModule& m : googlenet_inception_modules())
+    for (int stage : {1, 2})
+      detail::add_workload(
+          out, {"googlenet/" + m.name + "/s" + std::to_string(stage),
+                m.stage_gemms(stage), BatchingPolicy::kAutoOffline, -1});
+  for (const FireModule& m : squeezenet_fire_modules())
+    detail::add_workload(out, {"squeezenet/" + m.name + "/expand",
+                               m.expand_gemms(1),
+                               BatchingPolicy::kAutoOffline, -1});
+  return out;
+}
+
+/// Suite lookup by name; empty vector for an unknown suite.
+inline std::vector<BenchWorkload> perf_suite(const std::string& name) {
+  if (name == "quick") return perf_quick_suite();
+  if (name == "full") return perf_full_suite();
+  return {};
+}
+
+namespace detail {
+
+/// FNV-1a of the workload name: a stable per-workload seed so operand
+/// contents never depend on suite composition or run order.
+inline std::uint64_t workload_seed(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace detail
+
+/// Executes one workload `repeats` times and collects timing samples plus
+/// the telemetry snapshot delta across all repeats. Planner-policy workloads
+/// plan through a fresh PlanCache, so the report deterministically records
+/// one cache miss and repeats-1 hits; pinned-strategy workloads build their
+/// one-tile-per-block plan directly (no planner, no cache traffic).
+inline perfreport::WorkloadResult run_perf_workload(const BenchWorkload& w,
+                                                    int repeats) {
+  using clock = std::chrono::steady_clock;
+  perfreport::WorkloadResult out;
+  out.name = w.name;
+  out.repeats = repeats;
+  out.flops = batch_flops(w.dims);
+
+  Rng rng(detail::workload_seed(w.name));
+  std::vector<Matrixf> a, b, c;
+  a.reserve(w.dims.size());
+  b.reserve(w.dims.size());
+  c.reserve(w.dims.size());
+  for (const GemmDims& d : w.dims) {
+    a.emplace_back(static_cast<std::size_t>(d.m), static_cast<std::size_t>(d.k));
+    b.emplace_back(static_cast<std::size_t>(d.k), static_cast<std::size_t>(d.n));
+    c.emplace_back(static_cast<std::size_t>(d.m), static_cast<std::size_t>(d.n));
+    fill_random(a.back(), rng);
+    fill_random(b.back(), rng);
+  }
+  std::vector<GemmOperands> ops(w.dims.size());
+  for (std::size_t i = 0; i < w.dims.size(); ++i) {
+    ops[i].dims = w.dims[i];
+    ops[i].a = a[i].data();
+    ops[i].b = b[i].data();
+    ops[i].c = c[i].data();
+  }
+
+  const telemetry::MetricsSnapshot before = telemetry::snapshot();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  auto timed_execute = [&](const BatchPlan& plan) {
+    const auto t0 = clock::now();
+    execute_plan(plan, ops, 1.0f, 0.0f);
+    samples.push_back(
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count());
+  };
+  if (w.fixed_strategy_id >= 0) {
+    const TilingStrategy& s = batched_strategy_by_id(w.fixed_strategy_id);
+    const std::vector<const TilingStrategy*> strategies(w.dims.size(), &s);
+    std::vector<std::vector<Tile>> blocks;
+    for (const Tile& t : enumerate_tiles(w.dims, strategies))
+      blocks.push_back({t});
+    const BatchPlan plan = build_plan(blocks, s.threads);
+    for (int r = 0; r < repeats; ++r) timed_execute(plan);
+  } else {
+    PlannerConfig config;
+    config.policy = w.policy;
+    PlanCache cache(config);
+    for (int r = 0; r < repeats; ++r) timed_execute(cache.plan(w.dims).plan);
+  }
+  const telemetry::MetricsSnapshot after = telemetry::snapshot();
+
+  out.timing = perfreport::TimingStats::from_samples(std::move(samples));
+  if (after.compiled_in)
+    perfreport::harvest_deterministic_metrics(telemetry::delta(before, after),
+                                              out);
+  return out;
+}
+
+/// Runs a whole suite into a PerfReport. Telemetry is enabled for the run
+/// (and restored afterwards); per-workload counters come from snapshot
+/// deltas, so no global reset is needed and pre-existing counter state is
+/// irrelevant.
+inline perfreport::PerfReport run_perf_suite(
+    const std::vector<BenchWorkload>& workloads, const std::string& suite,
+    const std::string& tag, int repeats,
+    std::ostream* progress = nullptr) {
+  perfreport::PerfReport report;
+  report.suite = suite;
+  report.tag = tag;
+  report.repeats = repeats;
+  report.telemetry_compiled_in = telemetry::snapshot().compiled_in;
+  const bool was_enabled = telemetry::snapshot().enabled;
+  telemetry::set_enabled(true);
+  for (const BenchWorkload& w : workloads) {
+    report.workloads.push_back(run_perf_workload(w, repeats));
+    if (progress != nullptr) {
+      const perfreport::WorkloadResult& r = report.workloads.back();
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-40s median %10.1f us  iqr %8.1f us  %7.2f GFLOP/s",
+                    r.name.c_str(), r.timing.median_us, r.timing.iqr_us,
+                    r.gflops());
+      *progress << line << '\n';
+    }
+  }
+  telemetry::set_enabled(was_enabled);
+  perfreport::sort_workloads(report);
+  return report;
+}
 
 }  // namespace ctb::bench

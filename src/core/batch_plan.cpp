@@ -181,6 +181,13 @@ void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims) {
   }
 }
 
+long long batch_flops(std::span<const GemmDims> dims) {
+  long long total = 0;
+  for (const GemmDims& d : dims)
+    total += 2LL * d.m * d.n * d.k;
+  return total;
+}
+
 std::string to_string(const BatchPlan& plan) {
   std::ostringstream os;
   os << "BatchPlan{blocks=" << plan.num_blocks()

@@ -82,6 +82,11 @@ void validate_plan_structure(const BatchPlan& plan);
 /// description on the first violation.
 void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims);
 
+/// Useful floating-point operations of one pass over the batch: sum of
+/// 2*m*n*k per GEMM (the conventional GEMM FLOP count; the beta*C update is
+/// not charged). 64-bit: a single DNN layer batch already exceeds 2^31.
+long long batch_flops(std::span<const GemmDims> dims);
+
 /// Debug rendering of the aux arrays (small plans only).
 std::string to_string(const BatchPlan& plan);
 

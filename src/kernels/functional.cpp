@@ -51,21 +51,31 @@ struct PackedDispatch {
   bool specialized() const { return fn != nullptr && pack.valid(); }
 };
 
-/// Decides and performs packing for one GEMM under the call's cumulative
-/// pack-arena budget. `used` accumulates packed bytes across the call;
-/// a GEMM whose footprint would exceed the remaining budget (or whose
-/// strategy has no specialized kernel) stays on the generic path.
+/// Serial half of the packing decision for one GEMM under the call's
+/// cumulative pack-arena budget: microkernel lookup plus budget accounting.
+/// `used` accumulates packed bytes across the call in batch order, keeping
+/// the pack-or-not decision deterministic; a GEMM whose footprint would
+/// exceed the remaining budget (or whose strategy has no specialized
+/// kernel) stays on the generic path (nullptr). The panel materialization
+/// itself (pack_gemm) is deferred so the batched paths can run it for many
+/// GEMMs concurrently.
+MicrokernelFn pack_decision(const TilingStrategy& s, const GemmOperands& g,
+                            std::size_t& used) {
+  const MicrokernelFn fn = microkernel_for(s);
+  if (fn == nullptr) return nullptr;
+  const std::size_t bytes = pack_footprint_bytes(s, g.dims);
+  const std::size_t budget = pack_arena_budget();
+  if (bytes > budget || used > budget - bytes) return nullptr;
+  used += bytes;
+  return fn;
+}
+
+/// Decision + immediate packing for one GEMM (the single-GEMM path).
 PackedDispatch try_pack(const TilingStrategy& s, const GemmOperands& g,
                         std::size_t& used) {
   PackedDispatch d;
-  const MicrokernelFn fn = microkernel_for(s);
-  if (fn == nullptr) return d;
-  const std::size_t bytes = pack_footprint_bytes(s, g.dims);
-  const std::size_t budget = pack_arena_budget();
-  if (bytes > budget || used > budget - bytes) return d;
-  used += bytes;
-  d.fn = fn;
-  d.pack = pack_gemm(s, g);
+  d.fn = pack_decision(s, g, used);
+  if (d.fn != nullptr) d.pack = pack_gemm(s, g);
   return d;
 }
 
@@ -81,6 +91,16 @@ void count_dispatch(const PackedDispatch& d, long long tiles) {
   } else {
     CTB_TEL_COUNT("exec.dispatch.generic", tiles);
   }
+}
+
+/// Conventional useful-FLOP count of one pass over the batch (2*m*n*k per
+/// GEMM; beta*C not charged) — feeds the "exec.flops" counter that perf
+/// reports turn into GFLOP/s. Only evaluated when telemetry is enabled.
+[[maybe_unused]] long long flops_of(std::span<const GemmOperands> batch) {
+  long long total = 0;
+  for (const auto& g : batch)
+    total += 2LL * g.dims.m * g.dims.n * g.dims.k;
+  return total;
 }
 
 }  // namespace
@@ -184,6 +204,8 @@ void run_single_gemm(const TilingStrategy& s, const GemmOperands& g,
   const int ty_count = (g.dims.m + s.by - 1) / s.by;
   const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
   const long long tiles = static_cast<long long>(ty_count) * tx_count;
+  CTB_TEL_COUNT("exec.flops",
+                2LL * g.dims.m * g.dims.n * g.dims.k);
 
   std::size_t used = 0;
   const PackedDispatch d = try_pack(s, g, used);
@@ -212,14 +234,25 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
     max_tx = std::max(max_tx, (g.dims.n + s.bx - 1) / s.bx);
   }
 
-  // One uniform strategy: pack each GEMM in batch order until the arena
-  // budget runs out; the rest stay on the generic staging path.
+  CTB_TEL_COUNT("exec.flops", flops_of(batch));
+
+  // One uniform strategy: budget decisions stay serial in batch order
+  // (deterministic accounting), then the panel materialization fans out one
+  // GEMM per parallel_for task. Each pack_gemm writes only its own
+  // PackedGemm buffers and resolves every panel element identically
+  // regardless of which worker runs it, so results are bit-exact across
+  // thread counts.
   std::vector<PackedDispatch> packs(batch.size());
   std::size_t used = 0;
-  for (std::size_t z = 0; z < batch.size(); ++z) {
-    packs[z] = try_pack(s, batch[z], used);
+  for (std::size_t z = 0; z < batch.size(); ++z)
+    packs[z].fn = pack_decision(s, batch[z], used);
+  parallel_for(static_cast<long long>(batch.size()), [&](long long z) {
+    auto& d = packs[static_cast<std::size_t>(z)];
+    if (d.fn != nullptr)
+      d.pack = pack_gemm(s, batch[static_cast<std::size_t>(z)]);
+  });
+  for (std::size_t z = 0; z < batch.size(); ++z)
     count_dispatch(packs[z], s.tiles_for(batch[z].dims.m, batch[z].dims.n));
-  }
 
   // Every (z, ty, tx) grid block is independent — each GEMM has its own C
   // and the tiles within a GEMM are disjoint — so the whole grid runs as
@@ -313,12 +346,15 @@ void run_batched_plan(const BatchPlan& plan,
   CTB_TEL_COUNT("exec.plan_runs", 1);
   CTB_TEL_COUNT("exec.blocks", plan.num_blocks());
   CTB_TEL_COUNT("exec.tiles", plan.num_tiles());
+  CTB_TEL_COUNT("exec.flops", flops_of(batch));
 
   // Packing pass: a validated plan assigns each GEMM a single strategy, but
   // strategies vary across GEMMs, so packs are keyed by (gemm, strategy).
   // Walk the tile array once to find each GEMM's strategy and tile count,
-  // then pack in GEMM order (deterministic budget accounting) until the
-  // pack arena budget is spent.
+  // make the budget decisions serially in GEMM order (deterministic
+  // accounting), then materialize the panels one GEMM per parallel_for task
+  // — disjoint PackedGemm buffers and order-independent panel contents keep
+  // the pass bit-exact across thread counts.
   std::vector<int> strategy_of_gemm(batch.size(), -1);
   std::vector<PackedDispatch> packs(batch.size());
   {
@@ -332,8 +368,17 @@ void run_batched_plan(const BatchPlan& plan,
     std::size_t used = 0;
     for (std::size_t gi = 0; gi < batch.size(); ++gi) {
       if (strategy_of_gemm[gi] < 0) continue;  // GEMM unused by the plan
-      packs[gi] = try_pack(batched_strategy_by_id(strategy_of_gemm[gi]),
-                           batch[gi], used);
+      packs[gi].fn = pack_decision(batched_strategy_by_id(strategy_of_gemm[gi]),
+                                   batch[gi], used);
+    }
+    parallel_for(static_cast<long long>(batch.size()), [&](long long z) {
+      const auto gi = static_cast<std::size_t>(z);
+      if (packs[gi].fn != nullptr)
+        packs[gi].pack = pack_gemm(batched_strategy_by_id(strategy_of_gemm[gi]),
+                                   batch[gi]);
+    });
+    for (std::size_t gi = 0; gi < batch.size(); ++gi) {
+      if (strategy_of_gemm[gi] < 0) continue;
       count_dispatch(packs[gi], tiles_of_gemm[gi]);
     }
   }

@@ -1,0 +1,175 @@
+// ctb::perfreport — versioned performance-report artifacts with
+// deterministic regression gating (DESIGN.md §8).
+//
+// A report (`BENCH_<tag>.json`) captures one run of a canonical workload
+// suite: per workload, wall-clock timing statistics (median-of-k with IQR —
+// advisory, since host timing on the 1-core reference container swings by
+// ±50%) next to **deterministic work counters** harvested from telemetry
+// snapshot deltas (dispatch mix, packed panels/bytes, PlanCache hits,
+// fallbacks, FLOPs). Counter values are bit-deterministic functions of the
+// workload definitions, so `compare_reports` can demand exact equality
+// there — a changed dispatch mix or cache hit rate is a hard regression on
+// any host — while timing deltas only classify as advisory noise /
+// regression against a configurable noise band.
+//
+// This module is deliberately at the bottom of the stack (depends only on
+// ctb_telemetry): it defines the artifact schema, canonical serialization,
+// and the comparison algebra. Building a report from live workloads lives
+// above it — `bench/bench_common.hpp` defines the suites and the runner,
+// and `tools/ctb_bench.cpp` is the CLI.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace ctb::perfreport {
+
+/// Bumped whenever the JSON schema changes shape; load_perf_report rejects
+/// reports from other versions (a baseline must be regenerated knowingly).
+inline constexpr int kSchemaVersion = 1;
+
+/// Wall-clock statistics over one workload's k repeats. Median-of-k with
+/// interquartile range: the median resists the reference container's timing
+/// outliers and the IQR records how noisy the run itself was.
+struct TimingStats {
+  double median_us = 0.0;
+  double iqr_us = 0.0;  ///< q75 - q25 (nearest-rank quartiles)
+  double min_us = 0.0;
+  double max_us = 0.0;
+
+  /// Nearest-rank median/quartiles of the samples. Empty input -> all zero.
+  static TimingStats from_samples(std::vector<double> samples_us);
+};
+
+/// One deterministic histogram harvested into a report: integral shape
+/// stats plus the bucket-derived percentile estimates (bit-deterministic,
+/// see telemetry::HistogramSample::percentile).
+struct HistogramStat {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p95 = 0;
+  std::int64_t p99 = 0;
+};
+
+/// One workload's results: timing (advisory) + deterministic counters.
+struct WorkloadResult {
+  std::string name;
+  std::int64_t flops = 0;  ///< useful FLOPs of ONE repeat (2*m*n*k summed)
+  int repeats = 0;
+  TimingStats timing;
+  std::vector<telemetry::CounterSample> counters;  // sorted by name
+  std::vector<HistogramStat> histograms;           // sorted by name
+
+  double gflops() const {
+    return timing.median_us > 0.0
+               ? static_cast<double>(flops) / (timing.median_us * 1e3)
+               : 0.0;
+  }
+};
+
+/// The artifact. Workloads are kept sorted by name so a report's byte
+/// serialization — and every comparison walk — is independent of the order
+/// workloads were run or inserted.
+struct PerfReport {
+  int schema_version = kSchemaVersion;
+  std::string tag;    ///< run label ("ci", "local", a commit sha, ...)
+  std::string suite;  ///< suite name the workloads came from
+  int repeats = 0;    ///< suite-level default k
+  /// False when the producing binary was built with -DCTB_TELEMETRY=OFF;
+  /// counters are then empty and compare_reports skips counter gating.
+  bool telemetry_compiled_in = true;
+  std::vector<WorkloadResult> workloads;
+};
+
+/// The counters whose per-workload snapshot deltas are bit-deterministic
+/// (pure functions of dims/policy/arch, independent of thread count and
+/// host speed) — the set compare_reports gates on exactly.
+const std::vector<std::string>& deterministic_counter_names();
+
+/// Histograms with deterministic shape (plan structure, not timing).
+const std::vector<std::string>& deterministic_histogram_names();
+
+/// Copies the deterministic counters/histograms out of a snapshot delta
+/// into `out` (sorted by name). Counters absent from the snapshot are
+/// recorded as 0 so every report carries the full gated set.
+void harvest_deterministic_metrics(const telemetry::MetricsSnapshot& snap,
+                                   WorkloadResult& out);
+
+/// Sorts workloads (and their metric vectors) by name — the canonical order
+/// write_perf_report_json requires.
+void sort_workloads(PerfReport& report);
+
+/// Canonical JSON serialization. Reports written by this function round-trip
+/// byte-identically through load_perf_report + write_perf_report_json.
+void write_perf_report_json(std::ostream& os, const PerfReport& report);
+
+struct PerfReportError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a report written by write_perf_report_json. Throws PerfReportError
+/// on malformed JSON, a missing field, or an unsupported schema version.
+PerfReport load_perf_report(std::istream& is);
+
+/// Classification of one workload's baseline->current delta.
+enum class DeltaClass {
+  kMatch,              ///< timing ratio exactly 1 and counters equal
+  kNoise,              ///< counters equal, timing within the noise band
+  kTimingImprovement,  ///< counters equal, faster beyond the band (advisory)
+  kTimingRegression,   ///< counters equal, slower beyond the band (advisory)
+  kCounterRegression,  ///< deterministic counters differ: hard fail
+  kMissing,            ///< workload present in only one report: hard fail
+};
+
+const char* to_string(DeltaClass cls);
+
+struct WorkloadDelta {
+  std::string name;
+  DeltaClass cls = DeltaClass::kMatch;
+  /// current median / baseline median; 0 when either side is missing.
+  double time_ratio = 0.0;
+  /// Human-readable mismatch descriptions ("exec.tiles: 70 -> 72", ...).
+  std::vector<std::string> counter_mismatches;
+};
+
+struct CompareOptions {
+  /// Relative band for advisory timing classification: a ratio within
+  /// [1/(1+band), 1+band] is noise. 0.5 matches the documented ±50% wall
+  /// clock noise of the 1-core reference container.
+  double noise_band = 0.5;
+};
+
+struct CompareResult {
+  std::vector<WorkloadDelta> workloads;  ///< union of both reports, by name
+  /// Geometric mean of current/baseline median ratios over workloads
+  /// present in both reports with nonzero medians; 1.0 when none qualify.
+  double geomean_time_ratio = 1.0;
+  int counter_regressions = 0;
+  int timing_regressions = 0;
+  int timing_improvements = 0;
+  int missing = 0;
+  /// Counter regressions and missing workloads gate; timing never does.
+  bool hard_fail() const { return counter_regressions > 0 || missing > 0; }
+};
+
+/// Compares per-workload deterministic counters exactly (also flops and
+/// repeats — a mismatch there means the suite definition or run
+/// configuration changed, which invalidates the baseline) and classifies
+/// timing deltas against the noise band. Counter gating is skipped when
+/// either report was produced without compiled-in telemetry.
+CompareResult compare_reports(const PerfReport& baseline,
+                              const PerfReport& current,
+                              const CompareOptions& opts = {});
+
+/// Human-readable comparison summary (one line per workload + totals).
+void print_comparison(std::ostream& os, const CompareResult& cmp,
+                      const CompareOptions& opts = {});
+
+}  // namespace ctb::perfreport

@@ -41,6 +41,7 @@ constexpr const char* kCoreCounters[] = {
     "exec.plan_runs",
     "exec.blocks",
     "exec.tiles",
+    "exec.flops",
     "exec.fallback",
     "exec.dispatch.specialized",
     "exec.dispatch.generic",
@@ -232,6 +233,7 @@ MetricsSnapshot snapshot() {
   MetricsSnapshot snap;
   snap.compiled_in = true;
   snap.enabled = enabled();
+  snap.taken_us = now_us();
   const std::lock_guard<std::mutex> lock(r.mu);
   snap.counters.reserve(r.counters.size());
   for (const auto& [name, c] : r.counters)
@@ -289,11 +291,96 @@ void reset() {}
 
 #endif  // CTB_TELEMETRY_ENABLED
 
-// ---- Exporters (shared between the real and the stub build: an empty
-// snapshot serializes to a valid, empty document). ----
+// ---- Sample-level helpers and exporters (shared between the real and the
+// stub build: an empty snapshot serializes to a valid, empty document). ----
+
+double HistogramSample::percentile(double p) const {
+  if (count <= 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min);
+  // Nearest-rank on the bucket cumulative counts.
+  std::int64_t rank = static_cast<std::int64_t>(p / 100.0 *
+                                                static_cast<double>(count));
+  if (static_cast<double>(rank) * 100.0 < p * static_cast<double>(count))
+    ++rank;  // ceil without float round-off on exact multiples
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::int64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum >= rank) {
+      // Upper bound of bucket b is 2^b (bucket 0 holds v <= 1); clamp into
+      // the recorded [min, max] so single-valued and edge samples are exact.
+      const std::int64_t bound =
+          b >= 62 ? INT64_MAX : (std::int64_t{1} << b);
+      return static_cast<double>(std::min(max, std::max(min, bound)));
+    }
+  }
+  return static_cast<double>(max);  // trailing buckets trimmed
+}
+
+MetricsSnapshot delta(const MetricsSnapshot& before,
+                      const MetricsSnapshot& after) {
+  MetricsSnapshot d;
+  d.compiled_in = after.compiled_in;
+  d.enabled = after.enabled;
+  d.taken_us = after.taken_us;
+
+  auto counter_before = [&](const std::string& name) -> std::int64_t {
+    for (const CounterSample& c : before.counters)
+      if (c.name == name) return c.value;
+    return 0;
+  };
+  d.counters.reserve(after.counters.size());
+  for (const CounterSample& c : after.counters)
+    d.counters.push_back(CounterSample{c.name, c.value - counter_before(c.name)});
+
+  auto hist_before = [&](const std::string& name) -> const HistogramSample* {
+    for (const HistogramSample& h : before.histograms)
+      if (h.name == name) return &h;
+    return nullptr;
+  };
+  d.histograms.reserve(after.histograms.size());
+  for (const HistogramSample& h : after.histograms) {
+    HistogramSample out = h;
+    if (const HistogramSample* b = hist_before(h.name); b != nullptr) {
+      out.count -= b->count;
+      out.sum -= b->sum;
+      for (std::size_t i = 0; i < out.buckets.size(); ++i)
+        if (i < b->buckets.size()) out.buckets[i] -= b->buckets[i];
+      while (!out.buckets.empty() && out.buckets.back() == 0)
+        out.buckets.pop_back();
+    }
+    // Min/max are lifetime watermarks — they cannot be subtracted, and
+    // keeping `after`'s values would make percentile() on a delta depend on
+    // observations outside the window (the clamp would tighten or widen with
+    // unrelated history). Rebuild a bucket-envelope [min, max] instead, so
+    // every delta statistic is a pure function of the window's own bucket
+    // counts. perfreport's cross-run counter gating relies on this.
+    std::size_t lo = out.buckets.size(), hi = 0;
+    for (std::size_t i = 0; i < out.buckets.size(); ++i)
+      if (out.buckets[i] > 0) {
+        if (lo == out.buckets.size()) lo = i;
+        hi = i;
+      }
+    if (out.count <= 0 || lo == out.buckets.size()) {
+      out.min = 0;
+      out.max = 0;
+    } else {
+      // Bucket i holds 2^(i-1) < v <= 2^i (bucket 0: v <= 1).
+      out.min = lo == 0 ? 0 : (std::int64_t{1} << (lo - 1)) + 1;
+      out.max = hi >= 62 ? INT64_MAX : (std::int64_t{1} << hi);
+    }
+    d.histograms.push_back(std::move(out));
+  }
+
+  d.spans.reserve(after.spans.size());
+  for (const SpanEvent& s : after.spans)
+    if (s.start_us >= before.taken_us) d.spans.push_back(s);
+  return d;
+}
 
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
-  os << "{\n\"version\":1,\n\"compiled_in\":"
+  os << "{\n\"version\":2,\n\"compiled_in\":"
      << (snap.compiled_in ? "true" : "false")
      << ",\n\"enabled\":" << (snap.enabled ? "true" : "false")
      << ",\n\"counters\":{";
@@ -311,7 +398,11 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
     first = false;
     write_json_escaped(os, h.name);
     os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
-       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"buckets\":[";
+       << ",\"min\":" << h.min << ",\"max\":" << h.max
+       << ",\"p50\":" << static_cast<std::int64_t>(h.p50())
+       << ",\"p95\":" << static_cast<std::int64_t>(h.p95())
+       << ",\"p99\":" << static_cast<std::int64_t>(h.p99())
+       << ",\"buckets\":[";
     for (std::size_t b = 0; b < h.buckets.size(); ++b)
       os << (b == 0 ? "" : ",") << h.buckets[b];
     os << "]}";

@@ -47,6 +47,18 @@ struct HistogramSample {
   std::int64_t min = 0;  ///< meaningful only when count > 0
   std::int64_t max = 0;
   std::vector<std::int64_t> buckets;  ///< trailing all-zero buckets trimmed
+
+  /// Deterministic percentile estimate from the power-of-two buckets: the
+  /// upper bound (2^i) of the bucket holding the ceil(p/100 * count)-th
+  /// recorded value, clamped into [min, max]. Exact whenever every value in
+  /// that bucket equals its bound (counts of 0/1, single-valued metrics);
+  /// otherwise an upper bound within the bucket's 2x resolution. Returns 0
+  /// for an empty sample. Being derived from integer bucket counts, the
+  /// result is bit-deterministic — perf reports may diff it exactly.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
 };
 
 /// One completed span. `name` points at the instrumentation site's literal.
@@ -61,6 +73,7 @@ struct SpanEvent {
 struct MetricsSnapshot {
   bool compiled_in = false;
   bool enabled = false;
+  double taken_us = 0;  ///< now_us() when the snapshot was taken
   std::vector<CounterSample> counters;    // sorted by name
   std::vector<HistogramSample> histograms;  // sorted by name
   std::vector<SpanEvent> spans;           // sorted by start time
@@ -70,14 +83,28 @@ struct MetricsSnapshot {
 /// snapshot when telemetry is compiled out).
 MetricsSnapshot snapshot();
 
+/// What happened between two snapshots of the same registry: counter values
+/// and histogram count/sum/buckets subtract element-wise (metrics absent
+/// from `before` keep their `after` value); histogram min/max are rebuilt
+/// as the bucket envelope of the delta'd counts (lifetime watermarks cannot
+/// be subtracted, and keeping them would let history outside the window
+/// leak into percentile()'s clamp) — so every delta statistic, percentiles
+/// included, is a pure function of the window's own observations; spans are
+/// the `after` spans that started at or after `before.taken_us`. This is
+/// how the perf-report runner isolates one workload's deterministic work
+/// counters without resetting global state.
+MetricsSnapshot delta(const MetricsSnapshot& before,
+                      const MetricsSnapshot& after);
+
 /// Zeroes every counter and histogram and drops all recorded spans, keeping
 /// registrations. Tests isolate themselves with this; no-op when compiled
 /// out.
 void reset();
 
 /// JSON object {"version","enabled","counters","histograms","spans"} where
-/// spans are aggregated per name (count / total_us / max_us). Schema in
-/// DESIGN.md §8.
+/// histograms carry deterministic p50/p95/p99 percentile estimates (schema
+/// version 2) and spans are aggregated per name (count / total_us /
+/// max_us). Schema in DESIGN.md §8.
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
 
 /// Appends one chrome-trace event per span (plus a process_name metadata

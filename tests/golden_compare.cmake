@@ -28,3 +28,22 @@ if(NOT actual STREQUAL expected)
           "written to ${name}.actual — diff them, and update the golden only "
           "if the change is intentional")
 endif()
+
+# Optional side-artifact check: when REQUIRE_FILE is set, that file must
+# exist after the run and contain every |-separated needle in
+# REQUIRE_CONTAINS (e.g. the --metrics JSON carrying the percentile fields).
+# '|' as separator keeps needle lists free of CMake's ';' escaping rules.
+if(DEFINED REQUIRE_FILE)
+  if(NOT EXISTS "${REQUIRE_FILE}")
+    message(FATAL_ERROR "${CMD} ${ARGS} did not produce ${REQUIRE_FILE}")
+  endif()
+  file(READ "${REQUIRE_FILE}" artifact)
+  string(REPLACE "|" ";" REQUIRE_CONTAINS "${REQUIRE_CONTAINS}")
+  foreach(needle IN LISTS REQUIRE_CONTAINS)
+    string(FIND "${artifact}" "${needle}" found)
+    if(found EQUAL -1)
+      message(FATAL_ERROR
+              "${REQUIRE_FILE} is missing expected content '${needle}'")
+    endif()
+  endforeach()
+endif()

@@ -284,6 +284,45 @@ TEST(Microkernel, SpecializedParallelMatchesSerial) {
   expect_bitwise_equal(serial_case.c, parallel_case.c, "parallel");
 }
 
+// The per-GEMM packing pass itself runs under parallel_for in the vbatch
+// and batched-plan paths; budget decisions stay serial in batch order, so
+// the same GEMMs pack regardless of thread count and the packed panels (and
+// therefore C) must be bit-identical between serial and parallel packing.
+TEST(Microkernel, ParallelPackingBitExact) {
+  const TilingStrategy& s = single_gemm_strategy(TileShape::kMedium);
+  auto serial_vbatch = BatchCase(ragged_batch(), 900);
+  {
+    ScopedParallelThreads guard(1);
+    run_vbatch(s, serial_vbatch.ops, 1.0f, 0.5f);
+  }
+  auto parallel_vbatch = BatchCase(ragged_batch(), 900);
+  {
+    ScopedParallelThreads guard(4);
+    run_vbatch(s, parallel_vbatch.ops, 1.0f, 0.5f);
+  }
+  for (std::size_t i = 0; i < serial_vbatch.gemms.size(); ++i)
+    expect_bitwise_equal(serial_vbatch.gemms[i].c, parallel_vbatch.gemms[i].c,
+                         "parallel-pack/vbatch/gemm" + std::to_string(i));
+
+  PlannerConfig config;
+  config.policy = BatchingPolicy::kThresholdOnly;
+  const BatchedGemmPlanner planner(config);
+  const PlanSummary summary = planner.plan(ragged_batch());
+  auto serial_plan = BatchCase(ragged_batch(), 901);
+  {
+    ScopedParallelThreads guard(1);
+    run_batched_plan(summary.plan, serial_plan.ops, 1.5f, 0.25f);
+  }
+  auto parallel_plan = BatchCase(ragged_batch(), 901);
+  {
+    ScopedParallelThreads guard(4);
+    run_batched_plan(summary.plan, parallel_plan.ops, 1.5f, 0.25f);
+  }
+  for (std::size_t i = 0; i < serial_plan.gemms.size(); ++i)
+    expect_bitwise_equal(serial_plan.gemms[i].c, parallel_plan.gemms[i].c,
+                         "parallel-pack/plan/gemm" + std::to_string(i));
+}
+
 // A budget that fits only the first GEMM of a plan must split the batch
 // between the packed and generic paths — and still be bit-exact.
 TEST(Microkernel, PartialBudgetMixesPathsBitExact) {

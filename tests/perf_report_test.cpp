@@ -1,0 +1,359 @@
+// ctb::perfreport tests: timing statistics, canonical JSON round-trips,
+// malformed-input rejection, stable workload ordering, the
+// noise/timing/counter delta classification (a synthetic dispatch-mix
+// regression must hard-fail), and the end-to-end acceptance property — two
+// runs of the same workloads produce bit-identical deterministic counters,
+// so a self-comparison never gates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "telemetry/perf_report.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ctb {
+namespace {
+
+using perfreport::CompareOptions;
+using perfreport::CompareResult;
+using perfreport::DeltaClass;
+using perfreport::PerfReport;
+using perfreport::TimingStats;
+using perfreport::WorkloadResult;
+
+WorkloadResult make_workload(const std::string& name, double median_us,
+                             std::int64_t specialized, std::int64_t generic) {
+  WorkloadResult w;
+  w.name = name;
+  w.flops = 1000000;
+  w.repeats = 3;
+  w.timing.median_us = median_us;
+  w.timing.iqr_us = 1.5;
+  w.timing.min_us = median_us * 0.9;
+  w.timing.max_us = median_us * 1.4;
+  w.counters.push_back({"exec.dispatch.generic", generic});
+  w.counters.push_back({"exec.dispatch.specialized", specialized});
+  w.counters.push_back({"exec.tiles", specialized + generic});
+  w.histograms.push_back({"batching.tiles_per_block", 4, 16, 4, 8, 8});
+  return w;
+}
+
+PerfReport make_report(std::vector<WorkloadResult> workloads) {
+  PerfReport r;
+  r.tag = "test";
+  r.suite = "synthetic";
+  r.repeats = 3;
+  r.workloads = std::move(workloads);
+  perfreport::sort_workloads(r);
+  return r;
+}
+
+TEST(TimingStatsTest, MedianIqrNearestRank) {
+  const TimingStats s =
+      TimingStats::from_samples({5.0, 1.0, 9.0, 3.0, 7.0});
+  EXPECT_DOUBLE_EQ(s.median_us, 5.0);
+  // Nearest-rank quartiles of {1,3,5,7,9}: q25 = 2nd value, q75 = 4th.
+  EXPECT_DOUBLE_EQ(s.iqr_us, 7.0 - 3.0);
+  EXPECT_DOUBLE_EQ(s.min_us, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 9.0);
+
+  const TimingStats single = TimingStats::from_samples({4.0});
+  EXPECT_DOUBLE_EQ(single.median_us, 4.0);
+  EXPECT_DOUBLE_EQ(single.iqr_us, 0.0);
+
+  const TimingStats empty = TimingStats::from_samples({});
+  EXPECT_DOUBLE_EQ(empty.median_us, 0.0);
+  EXPECT_DOUBLE_EQ(empty.min_us, 0.0);
+}
+
+TEST(PerfReportJson, RoundTripsByteIdentically) {
+  const PerfReport report = make_report(
+      {make_workload("beta", 120.25, 10, 2),
+       make_workload("alpha \"quoted\"\n", 3.125, 0, 7)});
+  std::ostringstream first;
+  perfreport::write_perf_report_json(first, report);
+
+  std::istringstream is(first.str());
+  const PerfReport loaded = perfreport::load_perf_report(is);
+  std::ostringstream second;
+  perfreport::write_perf_report_json(second, loaded);
+  EXPECT_EQ(first.str(), second.str());
+
+  EXPECT_EQ(loaded.schema_version, perfreport::kSchemaVersion);
+  EXPECT_EQ(loaded.tag, "test");
+  EXPECT_EQ(loaded.suite, "synthetic");
+  ASSERT_EQ(loaded.workloads.size(), 2u);
+  EXPECT_EQ(loaded.workloads[0].name, "alpha \"quoted\"\n");
+  EXPECT_EQ(loaded.workloads[1].counters[1].value, 10);
+  EXPECT_EQ(loaded.workloads[1].histograms[0].p95, 8);
+}
+
+TEST(PerfReportJson, EmptyReportRoundTrips) {
+  PerfReport report;
+  report.tag = "empty";
+  report.suite = "none";
+  std::ostringstream os;
+  perfreport::write_perf_report_json(os, report);
+  std::istringstream is(os.str());
+  const PerfReport loaded = perfreport::load_perf_report(is);
+  EXPECT_TRUE(loaded.workloads.empty());
+  EXPECT_EQ(loaded.tag, "empty");
+}
+
+TEST(PerfReportJson, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                               // empty
+      "{",                              // truncated
+      "[1,2,3]\n",                      // wrong top-level type
+      "{\"schema_version\": 1}\n",      // missing fields
+      "{\"schema_version\": 99, \"tag\": \"t\", \"suite\": \"s\","
+      " \"repeats\": 1, \"telemetry_compiled_in\": true,"
+      " \"workloads\": []}\n",          // unsupported version
+      "{\"schema_version\": 1, \"tag\": 3, \"suite\": \"s\","
+      " \"repeats\": 1, \"telemetry_compiled_in\": true,"
+      " \"workloads\": []}\n",          // wrong field type
+      "{\"schema_version\": 1, \"tag\": \"t\", \"suite\": \"s\","
+      " \"repeats\": 1, \"telemetry_compiled_in\": true,"
+      " \"workloads\": []} trailing\n",  // trailing garbage
+  };
+  for (const char* text : bad) {
+    std::istringstream is(text);
+    EXPECT_THROW(perfreport::load_perf_report(is), perfreport::PerfReportError)
+        << text;
+  }
+}
+
+TEST(PerfReportJson, WorkloadOrderIsCanonical) {
+  // Same workloads, inserted in opposite orders, must serialize identically.
+  const PerfReport forward = make_report(
+      {make_workload("a", 1.0, 1, 0), make_workload("b", 2.0, 2, 0),
+       make_workload("c", 3.0, 3, 0)});
+  const PerfReport backward = make_report(
+      {make_workload("c", 3.0, 3, 0), make_workload("b", 2.0, 2, 0),
+       make_workload("a", 1.0, 1, 0)});
+  std::ostringstream f, b;
+  perfreport::write_perf_report_json(f, forward);
+  perfreport::write_perf_report_json(b, backward);
+  EXPECT_EQ(f.str(), b.str());
+  ASSERT_EQ(forward.workloads.size(), 3u);
+  EXPECT_EQ(forward.workloads[0].name, "a");
+  EXPECT_EQ(forward.workloads[2].name, "c");
+}
+
+TEST(PerfReportCompare, IdenticalReportsMatch) {
+  const PerfReport r = make_report(
+      {make_workload("a", 100.0, 10, 2), make_workload("b", 50.0, 4, 4)});
+  const CompareResult cmp = perfreport::compare_reports(r, r);
+  EXPECT_FALSE(cmp.hard_fail());
+  EXPECT_EQ(cmp.counter_regressions, 0);
+  EXPECT_EQ(cmp.timing_regressions, 0);
+  EXPECT_DOUBLE_EQ(cmp.geomean_time_ratio, 1.0);
+  for (const auto& d : cmp.workloads)
+    EXPECT_EQ(d.cls, DeltaClass::kMatch) << d.name;
+}
+
+TEST(PerfReportCompare, TimingDeltasClassifyAgainstNoiseBand) {
+  const PerfReport baseline = make_report(
+      {make_workload("noisy", 100.0, 1, 0), make_workload("slow", 100.0, 1, 0),
+       make_workload("fast", 100.0, 1, 0)});
+  const PerfReport current = make_report(
+      {make_workload("noisy", 130.0, 1, 0),  // 1.3x: inside the 0.5 band
+       make_workload("slow", 200.0, 1, 0),   // 2.0x: advisory regression
+       make_workload("fast", 40.0, 1, 0)});  // 0.4x: advisory improvement
+  const CompareResult cmp = perfreport::compare_reports(baseline, current);
+  EXPECT_FALSE(cmp.hard_fail());  // timing never gates
+  EXPECT_EQ(cmp.timing_regressions, 1);
+  EXPECT_EQ(cmp.timing_improvements, 1);
+  for (const auto& d : cmp.workloads) {
+    if (d.name == "noisy") EXPECT_EQ(d.cls, DeltaClass::kNoise);
+    if (d.name == "slow") EXPECT_EQ(d.cls, DeltaClass::kTimingRegression);
+    if (d.name == "fast") EXPECT_EQ(d.cls, DeltaClass::kTimingImprovement);
+  }
+  // Geomean of {1.3, 2.0, 0.4}.
+  EXPECT_NEAR(cmp.geomean_time_ratio, std::cbrt(1.3 * 2.0 * 0.4), 1e-9);
+}
+
+TEST(PerfReportCompare, DispatchMixRegressionHardFails) {
+  // Synthetic regression: the same tiles now run generic instead of
+  // specialized (e.g. a broken microkernel lookup). Timing is identical —
+  // only the deterministic counters catch it, and they must gate.
+  const PerfReport baseline =
+      make_report({make_workload("w", 100.0, 12, 0)});
+  const PerfReport current = make_report({make_workload("w", 100.0, 0, 12)});
+  const CompareResult cmp = perfreport::compare_reports(baseline, current);
+  EXPECT_TRUE(cmp.hard_fail());
+  EXPECT_EQ(cmp.counter_regressions, 1);
+  ASSERT_EQ(cmp.workloads.size(), 1u);
+  EXPECT_EQ(cmp.workloads[0].cls, DeltaClass::kCounterRegression);
+  // The mismatch list names both flipped counters.
+  EXPECT_EQ(cmp.workloads[0].counter_mismatches.size(), 2u);
+}
+
+TEST(PerfReportCompare, FlopsOrRepeatsMismatchHardFails) {
+  const PerfReport baseline = make_report({make_workload("w", 100.0, 1, 0)});
+  PerfReport current = make_report({make_workload("w", 100.0, 1, 0)});
+  current.workloads[0].flops += 5;
+  EXPECT_TRUE(perfreport::compare_reports(baseline, current).hard_fail());
+  current = make_report({make_workload("w", 100.0, 1, 0)});
+  current.workloads[0].repeats = 7;
+  EXPECT_TRUE(perfreport::compare_reports(baseline, current).hard_fail());
+}
+
+TEST(PerfReportCompare, HistogramShapeChangeHardFails) {
+  const PerfReport baseline = make_report({make_workload("w", 100.0, 1, 0)});
+  PerfReport current = make_report({make_workload("w", 100.0, 1, 0)});
+  current.workloads[0].histograms[0].p95 = 16;
+  const CompareResult cmp = perfreport::compare_reports(baseline, current);
+  EXPECT_TRUE(cmp.hard_fail());
+  EXPECT_EQ(cmp.workloads[0].cls, DeltaClass::kCounterRegression);
+}
+
+TEST(PerfReportCompare, MissingWorkloadHardFails) {
+  const PerfReport baseline = make_report(
+      {make_workload("kept", 10.0, 1, 0), make_workload("gone", 10.0, 1, 0)});
+  const PerfReport current = make_report(
+      {make_workload("kept", 10.0, 1, 0), make_workload("new", 10.0, 1, 0)});
+  const CompareResult cmp = perfreport::compare_reports(baseline, current);
+  EXPECT_TRUE(cmp.hard_fail());
+  EXPECT_EQ(cmp.missing, 2);
+  ASSERT_EQ(cmp.workloads.size(), 3u);  // union, sorted by name
+  EXPECT_EQ(cmp.workloads[0].name, "gone");
+  EXPECT_EQ(cmp.workloads[0].cls, DeltaClass::kMissing);
+  EXPECT_EQ(cmp.workloads[2].name, "new");
+  EXPECT_EQ(cmp.workloads[2].cls, DeltaClass::kMissing);
+}
+
+TEST(PerfReportCompare, CounterGatingSkippedWithoutTelemetry) {
+  const PerfReport baseline = make_report({make_workload("w", 100.0, 12, 0)});
+  PerfReport current = make_report({make_workload("w", 100.0, 0, 12)});
+  current.telemetry_compiled_in = false;  // e.g. a -DCTB_TELEMETRY=OFF build
+  const CompareResult cmp = perfreport::compare_reports(baseline, current);
+  EXPECT_FALSE(cmp.hard_fail());
+  EXPECT_EQ(cmp.workloads[0].cls, DeltaClass::kMatch);
+}
+
+TEST(PerfReportCompare, PrintedSummaryCarriesVerdict) {
+  const PerfReport r = make_report({make_workload("w", 100.0, 1, 0)});
+  const CompareResult ok = perfreport::compare_reports(r, r);
+  std::ostringstream os;
+  perfreport::print_comparison(os, ok);
+  EXPECT_NE(os.str().find("RESULT: OK"), std::string::npos);
+  EXPECT_NE(os.str().find("counter regressions: 0"), std::string::npos);
+
+  const PerfReport bad = make_report({make_workload("w", 100.0, 0, 1)});
+  std::ostringstream fail_os;
+  perfreport::print_comparison(fail_os, perfreport::compare_reports(r, bad));
+  EXPECT_NE(fail_os.str().find("RESULT: FAIL"), std::string::npos);
+}
+
+// -------------------------------------------------------------------------
+// Live-suite acceptance: rerunning the same workloads reproduces the
+// deterministic counters exactly, so a self-comparison never hard-fails
+// (ISSUE acceptance criterion; ctb_bench_self_compare covers the CLI).
+// -------------------------------------------------------------------------
+
+std::vector<bench::BenchWorkload> small_suite() {
+  std::vector<bench::BenchWorkload> all = bench::perf_quick_suite();
+  // A planner-policy workload, a DNN batch, and a pinned-strategy workload —
+  // one of each runner path, kept small for test runtime.
+  std::vector<bench::BenchWorkload> picked;
+  for (const auto& w : all)
+    if (w.name == "sweep/mn128/b4/k64" || w.name == "squeezenet/fire9/expand" ||
+        w.name.rfind("tile/small", 0) == 0)
+      picked.push_back(w);
+  return picked;
+}
+
+TEST(PerfSuite, RerunHasBitIdenticalCountersAndNeverGates) {
+  const std::vector<bench::BenchWorkload> suite = small_suite();
+  ASSERT_EQ(suite.size(), 4u);
+  const PerfReport first = bench::run_perf_suite(suite, "small", "a", 2);
+  const PerfReport second = bench::run_perf_suite(suite, "small", "b", 2);
+
+  ASSERT_EQ(first.workloads.size(), suite.size());
+  for (std::size_t i = 0; i < first.workloads.size(); ++i) {
+    const WorkloadResult& fw = first.workloads[i];
+    const WorkloadResult& sw = second.workloads[i];
+    EXPECT_EQ(fw.name, sw.name);
+    EXPECT_EQ(fw.flops, sw.flops);
+    EXPECT_GT(fw.timing.median_us, 0.0);
+    ASSERT_EQ(fw.counters.size(), sw.counters.size());
+    for (std::size_t c = 0; c < fw.counters.size(); ++c) {
+      EXPECT_EQ(fw.counters[c].name, sw.counters[c].name);
+      EXPECT_EQ(fw.counters[c].value, sw.counters[c].value)
+          << fw.name << " / " << fw.counters[c].name;
+    }
+    ASSERT_EQ(fw.histograms.size(), sw.histograms.size());
+    for (std::size_t h = 0; h < fw.histograms.size(); ++h) {
+      EXPECT_EQ(fw.histograms[h].count, sw.histograms[h].count);
+      EXPECT_EQ(fw.histograms[h].sum, sw.histograms[h].sum);
+      EXPECT_EQ(fw.histograms[h].p50, sw.histograms[h].p50);
+    }
+  }
+
+  const CompareResult cmp = perfreport::compare_reports(first, second);
+  EXPECT_FALSE(cmp.hard_fail());
+  EXPECT_EQ(cmp.counter_regressions, 0);
+  EXPECT_EQ(cmp.missing, 0);
+  for (const auto& d : cmp.workloads) {
+    // Timing may land anywhere (this host's clock is noisy) but the class
+    // must never be a gating one.
+    EXPECT_NE(d.cls, DeltaClass::kCounterRegression) << d.name;
+    EXPECT_NE(d.cls, DeltaClass::kMissing) << d.name;
+  }
+
+  // And the artifact itself round-trips byte-identically through disk form.
+  std::ostringstream os;
+  perfreport::write_perf_report_json(os, first);
+  std::istringstream is(os.str());
+  const PerfReport loaded = perfreport::load_perf_report(is);
+  std::ostringstream os2;
+  perfreport::write_perf_report_json(os2, loaded);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+#ifdef CTB_TELEMETRY_ENABLED
+
+// The harvest allowlist: every deterministic counter appears (zero-filled if
+// the path never ran), timing-derived metrics stay out, and a live suite
+// run populates the execution counters.
+TEST(PerfSuite, HarvestCarriesFullDeterministicTaxonomy) {
+  const std::vector<bench::BenchWorkload> suite = small_suite();
+  const PerfReport report = bench::run_perf_suite(suite, "small", "t", 1);
+  ASSERT_TRUE(report.telemetry_compiled_in);
+  for (const WorkloadResult& w : report.workloads) {
+    ASSERT_EQ(w.counters.size(),
+              perfreport::deterministic_counter_names().size());
+    for (std::size_t i = 0; i < w.counters.size(); ++i)
+      EXPECT_EQ(w.counters[i].name,
+                perfreport::deterministic_counter_names()[i]);
+    for (const auto& c : w.counters) {
+      EXPECT_EQ(c.name.find("sim."), std::string::npos) << c.name;
+      EXPECT_NE(c.name, "telemetry.dropped_spans");
+    }
+    auto counter = [&](const std::string& name) {
+      for (const auto& c : w.counters)
+        if (c.name == name) return c.value;
+      return std::int64_t{-1};
+    };
+    EXPECT_EQ(counter("exec.flops"), w.flops * w.repeats) << w.name;
+    EXPECT_GT(counter("exec.tiles"), 0) << w.name;
+    EXPECT_EQ(counter("exec.fallback"), 0) << w.name;
+    if (w.name.rfind("tile/", 0) != 0) {
+      // Planner-policy workloads plan through a fresh PlanCache: exactly
+      // one miss, repeats-1 hits.
+      EXPECT_EQ(counter("cache.miss"), 1) << w.name;
+      EXPECT_EQ(counter("cache.hit"), w.repeats - 1) << w.name;
+    }
+  }
+}
+
+#endif  // CTB_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace ctb

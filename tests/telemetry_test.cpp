@@ -74,7 +74,7 @@ TEST(TelemetryExport, EmptySnapshotIsWellFormedJson) {
   telemetry::write_chrome_trace(trace, snap);
   EXPECT_TRUE(json_balanced(metrics.str())) << metrics.str();
   EXPECT_TRUE(json_balanced(trace.str())) << trace.str();
-  EXPECT_NE(metrics.str().find("\"version\":1"), std::string::npos);
+  EXPECT_NE(metrics.str().find("\"version\":2"), std::string::npos);
   EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
 }
 
@@ -143,6 +143,73 @@ TEST_F(TelemetryTest, HistogramBucketsMinMaxSum) {
   EXPECT_EQ(sample->buckets[10], 1);
 }
 
+TEST_F(TelemetryTest, HistogramPercentilesAreDeterministicBucketBounds) {
+  telemetry::Histogram& h = telemetry::histogram("test.pct");
+  // 100 values: 50x 1, 45x 8, 5x 1000.
+  for (int i = 0; i < 50; ++i) h.record(1);
+  for (int i = 0; i < 45; ++i) h.record(8);
+  for (int i = 0; i < 5; ++i) h.record(1000);
+  const auto snap = telemetry::snapshot();
+  const telemetry::HistogramSample* sample = nullptr;
+  for (const auto& s : snap.histograms)
+    if (s.name == "test.pct") sample = &s;
+  ASSERT_NE(sample, nullptr);
+  // Nearest-rank over the power-of-two buckets: the 50th value is a 1, the
+  // 95th an 8 (its bucket bound exactly), the 99th falls in the 1000s'
+  // bucket whose 1024 bound clamps to max.
+  EXPECT_DOUBLE_EQ(sample->percentile(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample->p50(), 1.0);
+  EXPECT_DOUBLE_EQ(sample->p95(), 8.0);
+  EXPECT_DOUBLE_EQ(sample->p99(), 1000.0);
+  // Degenerate inputs: empty sample -> 0; p <= 0 clamps to the first value.
+  EXPECT_DOUBLE_EQ(telemetry::HistogramSample{}.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(sample->percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample->percentile(100.0), 1000.0);
+}
+
+TEST_F(TelemetryTest, SnapshotDeltaSubtractsCountersAndHistograms) {
+  telemetry::counter("test.delta.c").add(10);
+  telemetry::histogram("test.delta.h").record(4);
+  { CTB_TEL_SPAN("test.delta.before"); }
+  const auto before = telemetry::snapshot();
+  telemetry::counter("test.delta.c").add(7);
+  telemetry::counter("test.delta.fresh").add(3);
+  telemetry::histogram("test.delta.h").record(4);
+  telemetry::histogram("test.delta.h").record(32);
+  { CTB_TEL_SPAN("test.delta.after"); }
+  const auto after = telemetry::snapshot();
+
+  const auto d = telemetry::delta(before, after);
+  EXPECT_EQ(counter_value(d, "test.delta.c"), 7);
+  // Metrics absent from `before` keep their `after` value.
+  EXPECT_EQ(counter_value(d, "test.delta.fresh"), 3);
+  const telemetry::HistogramSample* h = nullptr;
+  for (const auto& s : d.histograms)
+    if (s.name == "test.delta.h") h = &s;
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2);
+  EXPECT_EQ(h->sum, 36);
+  // Bucket deltas: one more 4 (bucket 2) and one 32 (bucket 5).
+  ASSERT_GE(h->buckets.size(), 6u);
+  EXPECT_EQ(h->buckets[2], 1);
+  EXPECT_EQ(h->buckets[5], 1);
+  // Min/max of a delta are the bucket envelope of the window, NOT the
+  // lifetime watermarks — percentiles on a delta must be reproducible from
+  // the window alone (bucket 2 spans (2,4], bucket 5 spans (16,32]).
+  EXPECT_EQ(h->min, 3);
+  EXPECT_EQ(h->max, 32);
+  EXPECT_DOUBLE_EQ(h->percentile(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(h->percentile(99.0), 32.0);
+  // Spans: only those started after `before` was taken survive.
+  bool saw_before = false, saw_after = false;
+  for (const auto& s : d.spans) {
+    if (std::string(s.name) == "test.delta.before") saw_before = true;
+    if (std::string(s.name) == "test.delta.after") saw_after = true;
+  }
+  EXPECT_FALSE(saw_before);
+  EXPECT_TRUE(saw_after);
+}
+
 TEST_F(TelemetryTest, SpansNestAndCarryDurations) {
   {
     CTB_TEL_SPAN("test.outer");
@@ -202,9 +269,10 @@ TEST_F(TelemetryTest, MetricsJsonSchema) {
   const std::string json = os.str();
   EXPECT_TRUE(json_balanced(json)) << json;
   for (const char* needle :
-       {"\"version\":1", "\"compiled_in\":true", "\"enabled\":true",
+       {"\"version\":2", "\"compiled_in\":true", "\"enabled\":true",
         "\"counters\":{", "\"histograms\":{", "\"spans\":{",
         "\"test.json\":2", "\"test.json.h\":{", "\"buckets\":[",
+        "\"p50\":3", "\"p95\":3", "\"p99\":3",
         "\"test.json.span\":{", "\"count\":", "\"total_us\":", "\"max_us\":",
         "\"cache.hit\":0", "\"cache.miss\":0", "\"exec.fallback\":0",
         "\"exec.dispatch.specialized\":0", "\"exec.dispatch.generic\":0",

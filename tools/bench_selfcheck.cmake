@@ -1,0 +1,31 @@
+# Acceptance check for the perf-report pipeline: a rerun of the same suite
+# compared against its own fresh report must classify every workload as
+# match/noise — the deterministic counters are bit-identical, and timing
+# never gates. Run with:
+#   cmake -DCTB_BENCH=<path> -DWORK_DIR=<dir> -P bench_selfcheck.cmake
+execute_process(
+  COMMAND ${CTB_BENCH} --suite quick --repeats 1 --tag selfbase
+          --out ${WORK_DIR}/BENCH_selfbase.json
+  RESULT_VARIABLE base_rc
+  OUTPUT_VARIABLE base_out
+  ERROR_VARIABLE base_err)
+if(NOT base_rc EQUAL 0)
+  message(FATAL_ERROR "baseline run failed (${base_rc}):\n${base_out}${base_err}")
+endif()
+
+execute_process(
+  COMMAND ${CTB_BENCH} --suite quick --repeats 1 --tag selfcheck
+          --out ${WORK_DIR}/BENCH_selfcheck.json
+          --compare ${WORK_DIR}/BENCH_selfbase.json
+  RESULT_VARIABLE cmp_rc
+  OUTPUT_VARIABLE cmp_out
+  ERROR_VARIABLE cmp_err)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR
+          "self-compare exited ${cmp_rc} — deterministic counters diverged "
+          "between two runs of the same binary:\n${cmp_out}${cmp_err}")
+endif()
+if(NOT cmp_out MATCHES "counter regressions: 0")
+  message(FATAL_ERROR "self-compare output missing clean counter summary:\n${cmp_out}")
+endif()
+message(STATUS "ctb_bench self-compare clean")

@@ -1,0 +1,103 @@
+// ctb_bench — canonical perf-suite runner emitting versioned BENCH_<tag>.json
+// artifacts with deterministic regression gating (DESIGN.md §8).
+//
+//   ctb_bench --suite quick                              # write BENCH_local.json
+//   ctb_bench --suite quick --compare bench/baselines/quick.json
+//
+// Exit status: 0 unless --compare finds a deterministic counter regression
+// or a missing workload. Timing deltas are advisory on this host (the
+// reference container's wall clock swings by ±50%) and never gate.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "telemetry/perf_report.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  ctb::CliFlags flags;
+  flags.define("suite", "quick", "workload suite: quick | full");
+  flags.define("repeats", "5", "timing repeats per workload (median-of-k)");
+  flags.define("tag", "local", "run label embedded in the report");
+  flags.define("out", "", "output path (default BENCH_<tag>.json)");
+  flags.define("compare", "", "baseline report to gate against");
+  flags.define("noise-band", "0.5",
+               "advisory timing band: ratios within 1+/-band are noise");
+  flags.define("list", "false", "list the suite's workloads and exit");
+  flags.parse(argc, argv);
+
+  const std::string suite_name = flags.get("suite");
+  const std::vector<ctb::bench::BenchWorkload> suite =
+      ctb::bench::perf_suite(suite_name);
+  if (suite.empty()) {
+    std::cerr << "error: unknown suite '" << suite_name
+              << "' (available: quick, full)\n";
+    return 2;
+  }
+
+  if (flags.get_bool("list")) {
+    for (const auto& w : suite)
+      std::cout << w.name << " (" << w.dims.size() << " GEMMs, "
+                << ctb::batch_flops(w.dims) << " flops)\n";
+    return 0;
+  }
+
+  const int repeats = static_cast<int>(flags.get_int("repeats"));
+  if (repeats < 1) {
+    std::cerr << "error: --repeats must be >= 1\n";
+    return 2;
+  }
+  const std::string tag = flags.get("tag");
+  std::string out_path = flags.get("out");
+  if (out_path.empty()) out_path = "BENCH_" + tag + ".json";
+
+  std::cout << "running suite '" << suite_name << "' (" << suite.size()
+            << " workloads, " << repeats << " repeats each)\n";
+  const ctb::perfreport::PerfReport report =
+      ctb::bench::run_perf_suite(suite, suite_name, tag, repeats, &std::cout);
+  if (!report.telemetry_compiled_in)
+    std::cout << "note: telemetry compiled out — the report carries timing "
+                 "only, and comparisons will not gate on counters\n";
+
+  {
+    std::ofstream os(out_path);
+    if (!os.good()) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 2;
+    }
+    ctb::perfreport::write_perf_report_json(os, report);
+  }
+  std::cout << "report written to " << out_path << "\n";
+
+  const std::string baseline_path = flags.get("compare");
+  if (baseline_path.empty()) return 0;
+
+  std::ifstream is(baseline_path);
+  if (!is.good()) {
+    std::cerr << "error: cannot read baseline " << baseline_path << "\n";
+    return 2;
+  }
+  const ctb::perfreport::PerfReport baseline =
+      ctb::perfreport::load_perf_report(is);
+  ctb::perfreport::CompareOptions opts;
+  opts.noise_band = flags.get_double("noise-band");
+  const ctb::perfreport::CompareResult cmp =
+      ctb::perfreport::compare_reports(baseline, report, opts);
+  ctb::perfreport::print_comparison(std::cout, cmp, opts);
+  return cmp.hard_fail() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
