@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "core/plan_io.hpp"
 #include "dnn/googlenet.hpp"
 #include "dnn/squeezenet.hpp"
+#include "kernels/pack_cache.hpp"
+#include "kernels/simd.hpp"
 #include "telemetry/perf_report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
@@ -132,16 +135,26 @@ void print_sweep_tables(std::ostream& os,
   }
 }
 
+/// "# isa=<active-isa>,threads=<n>" — the provenance comment every CSV
+/// artifact leads with, so paired A/B runs are self-describing (the 1-core
+/// reference container and a vector-ISA override both change what a timing
+/// means; the artifact now says which configuration produced it).
+inline std::string csv_provenance_comment() {
+  return std::string("# isa=") + simd_isa_name(active_simd_isa()) +
+         ",threads=" + std::to_string(parallel_max_threads());
+}
+
 /// Optional machine-readable sweep output: when CTB_BENCH_CSV names a file,
-/// the harness writes `header` plus one CSV line per cell there; otherwise
-/// every call is a no-op, keeping the default stdout byte-identical.
+/// the harness writes the provenance comment, `header`, then one CSV line
+/// per cell there; otherwise every call is a no-op, keeping the default
+/// stdout byte-identical.
 class CsvSink {
  public:
   explicit CsvSink(const char* header) {
     const char* path = std::getenv("CTB_BENCH_CSV");
     if (path != nullptr && *path != '\0') {
       os_.open(path);
-      if (os_.good()) os_ << header << '\n';
+      if (os_.good()) os_ << csv_provenance_comment() << '\n' << header << '\n';
     }
   }
   void row(const std::string& line) {
@@ -197,6 +210,11 @@ struct BenchWorkload {
   std::vector<GemmDims> dims;
   BatchingPolicy policy = BatchingPolicy::kThresholdOnly;
   int fixed_strategy_id = -1;
+  /// Run with the cross-call packed-panel cache enabled (from a cold,
+  /// invalidated cache, so the counters are deterministic): the first repeat
+  /// packs and every later repeat hits, which is the repeated-plan
+  /// amortization the cache exists for.
+  bool use_pack_cache = false;
 };
 
 namespace detail {
@@ -246,6 +264,20 @@ inline std::vector<BenchWorkload> perf_quick_suite() {
         out, {"tile/" + s.name(),
               {GemmDims{2 * s.by, 2 * s.bx, 96}},
               BatchingPolicy::kTilingOnly, s.id});
+  }
+  // Paired A/B for the cross-call pack cache: same dims and plans as their
+  // uncached counterparts, run with the cache enabled, so a report diff (or
+  // the per-workload counters alone) shows packing amortized to the first
+  // repeat — exec.pack.cache.hit > 0 and exec.pack.bytes collapsing to one
+  // repeat's worth.
+  {
+    const TilingStrategy& large = batched_strategy_by_id(4);  // large/128
+    detail::add_workload(out, {"cached/tile/" + large.name(),
+                               {GemmDims{2 * large.by, 2 * large.bx, 96}},
+                               BatchingPolicy::kTilingOnly, large.id, true});
+    detail::add_workload(out, {"cached/sweep/mn128/b16/k256",
+                               equal_case(16, 128, 256),
+                               BatchingPolicy::kThresholdOnly, -1, true});
   }
   return out;
 }
@@ -341,19 +373,29 @@ inline perfreport::WorkloadResult run_perf_workload(const BenchWorkload& w,
     samples.push_back(
         std::chrono::duration<double, std::micro>(clock::now() - t0).count());
   };
-  if (w.fixed_strategy_id >= 0) {
-    const TilingStrategy& s = batched_strategy_by_id(w.fixed_strategy_id);
-    const std::vector<const TilingStrategy*> strategies(w.dims.size(), &s);
-    std::vector<std::vector<Tile>> blocks;
-    for (const Tile& t : enumerate_tiles(w.dims, strategies))
-      blocks.push_back({t});
-    const BatchPlan plan = build_plan(blocks, s.threads);
-    for (int r = 0; r < repeats; ++r) timed_execute(plan);
-  } else {
-    PlannerConfig config;
-    config.policy = w.policy;
-    PlanCache cache(config);
-    for (int r = 0; r < repeats; ++r) timed_execute(cache.plan(w.dims).plan);
+  {
+    // Cached workloads run against a cold, scope-local pack cache (the
+    // ScopedPackCache invalidates on entry and exit), so their cache
+    // counters are a pure function of the workload: repeat 1 misses and
+    // packs, repeats 2..k hit. The scope closes before the `after` snapshot
+    // so both invalidations land inside this workload's delta; uncached
+    // workloads construct nothing and keep all cache counters at zero.
+    std::optional<ScopedPackCache> pack_cache;
+    if (w.use_pack_cache) pack_cache.emplace(true);
+    if (w.fixed_strategy_id >= 0) {
+      const TilingStrategy& s = batched_strategy_by_id(w.fixed_strategy_id);
+      const std::vector<const TilingStrategy*> strategies(w.dims.size(), &s);
+      std::vector<std::vector<Tile>> blocks;
+      for (const Tile& t : enumerate_tiles(w.dims, strategies))
+        blocks.push_back({t});
+      const BatchPlan plan = build_plan(blocks, s.threads);
+      for (int r = 0; r < repeats; ++r) timed_execute(plan);
+    } else {
+      PlannerConfig config;
+      config.policy = w.policy;
+      PlanCache cache(config);
+      for (int r = 0; r < repeats; ++r) timed_execute(cache.plan(w.dims).plan);
+    }
   }
   const telemetry::MetricsSnapshot after = telemetry::snapshot();
 
@@ -377,6 +419,7 @@ inline perfreport::PerfReport run_perf_suite(
   report.tag = tag;
   report.repeats = repeats;
   report.telemetry_compiled_in = telemetry::snapshot().compiled_in;
+  report.simd_isa = simd_isa_name(active_simd_isa());
   const bool was_enabled = telemetry::snapshot().enabled;
   telemetry::set_enabled(true);
   for (const BenchWorkload& w : workloads) {

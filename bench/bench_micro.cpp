@@ -13,7 +13,9 @@
 #include "core/rf_policy.hpp"
 #include "dnn/im2col.hpp"
 #include "kernels/microkernel.hpp"
+#include "kernels/pack_cache.hpp"
 #include "kernels/packing.hpp"
+#include "kernels/simd.hpp"
 #include "kernels/work_builder.hpp"
 #include "util/parallel.hpp"
 
@@ -139,6 +141,56 @@ void BM_ExecuteTileSpecialized(benchmark::State& state) {
   state.SetLabel(s.name());
 }
 BENCHMARK(BM_ExecuteTileSpecialized)->DenseRange(0, 11);
+
+// The B side of the tile-level SIMD A/B: same grid, same packed panels, but
+// dispatched through tile_kernel_for — the explicit-SIMD microkernel for the
+// active ISA when one covers the geometry, the scalar template otherwise.
+// BM_ExecuteTileSpecialized above deliberately stays pinned to
+// microkernel_for (the scalar packed path of the previous perf PR), so
+// Specialized/Simd medians give the tile-level SIMD speedup directly. The
+// label carries the ISA the kernel actually ran with.
+void BM_ExecuteTileSimd(benchmark::State& state) {
+  const auto& s = batched_strategy_by_id(static_cast<int>(state.range(0)));
+  const GemmDims d{256, 256, 256};
+  MicroAbFixture f(d);
+  const TileKernel kernel = tile_kernel_for(s);
+  if (!kernel) {
+    state.SkipWithError("no packed kernel for this strategy");
+    return;
+  }
+  const PackedGemm pk = pack_gemm(s, f.g);
+  for (auto _ : state) {
+    for (int ty = 0; ty < pk.ty_count; ++ty)
+      for (int tx = 0; tx < pk.tx_count; ++tx)
+        kernel.fn(f.g, pk, ty, tx, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.flops());
+  state.SetLabel(s.name() + std::string(" isa=") +
+                 simd_isa_name(kernel.isa));
+}
+BENCHMARK(BM_ExecuteTileSimd)->DenseRange(0, 11);
+
+// Whole-GEMM repeated-plan A/B of the cross-call packed-panel cache:
+// Arg(0) reruns run_single_gemm with the cache disabled (panels repacked
+// every call, the default), Arg(1) inside a ScopedPackCache so every
+// iteration after the first hits the cache and skips packing entirely.
+// The ratio off/on is the amortized packing overhead the cache removes.
+void BM_SingleGemmPackCache(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  const GemmDims d{256, 256, 256};
+  MicroAbFixture f(d);
+  const auto& s = batched_strategy(TileShape::kLarge, ThreadVariant::k256);
+  ScopedPackCache scope(cached);
+  if (cached) run_single_gemm(s, f.g, 1.0f, 0.0f);  // warm the cache
+  for (auto _ : state) {
+    run_single_gemm(s, f.g, 1.0f, 0.0f);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.flops());
+  state.SetLabel(cached ? "pack cache on" : "pack cache off");
+}
+BENCHMARK(BM_SingleGemmPackCache)->Arg(0)->Arg(1)->UseRealTime();
 
 // Amortized cost of the packing pass itself (the one-off per (GEMM,
 // strategy) work the specialized path adds before its first tile).
@@ -324,7 +376,12 @@ BENCHMARK(BM_MagmaVbatchSim)->Arg(16)->Arg(256);
 class CsvFileReporter : public benchmark::BenchmarkReporter {
  public:
   bool ReportContext(const Context&) override {
+    // Same "# isa=...,threads=..." provenance comment the sweep binaries'
+    // CsvSink writes, so paired A/B artifacts from different hosts or
+    // CTB_SIMD_ISA overrides are self-describing.
     GetOutputStream()
+        << "# isa=" << simd_isa_name(ctb::active_simd_isa())
+        << ",threads=" << ctb::parallel_max_threads() << '\n'
         << "name,iterations,real_time_s,cpu_time_s,items_per_second,label\n";
     return true;
   }

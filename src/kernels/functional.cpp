@@ -1,11 +1,14 @@
 #include "kernels/functional.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "kernels/microkernel.hpp"
+#include "kernels/pack_cache.hpp"
 #include "kernels/packing.hpp"
+#include "kernels/simd.hpp"
 #include "kernels/thread_map.hpp"
 #include "linalg/half.hpp"
 #include "telemetry/telemetry.hpp"
@@ -43,53 +46,95 @@ struct SharedTiles {
   }
 };
 
-/// Per-call packing decision for one GEMM: the specialized kernel to run
-/// and the packed panels it reads. `fn == nullptr` means the generic path.
+/// Per-call packing decision for one GEMM: the dispatched kernel (with the
+/// ISA that selected it) and the packed panels it reads — shared with the
+/// cross-call cache, so panels a concurrent invalidate evicts stay alive
+/// for the rest of this call. `kernel.fn == nullptr` means generic.
 struct PackedDispatch {
-  MicrokernelFn fn = nullptr;
-  PackedGemm pack;
-  bool specialized() const { return fn != nullptr && pack.valid(); }
+  TileKernel kernel;
+  std::shared_ptr<const PackedGemm> pack;
+  bool need_pack = false;  ///< admitted but not in the cache: materialize
+  bool specialized() const {
+    return kernel.fn != nullptr && pack != nullptr && pack->valid();
+  }
 };
 
-/// Serial half of the packing decision for one GEMM under the call's
-/// cumulative pack-arena budget: microkernel lookup plus budget accounting.
-/// `used` accumulates packed bytes across the call in batch order, keeping
-/// the pack-or-not decision deterministic; a GEMM whose footprint would
-/// exceed the remaining budget (or whose strategy has no specialized
-/// kernel) stays on the generic path (nullptr). The panel materialization
-/// itself (pack_gemm) is deferred so the batched paths can run it for many
-/// GEMMs concurrently.
-MicrokernelFn pack_decision(const TilingStrategy& s, const GemmOperands& g,
-                            std::size_t& used) {
-  const MicrokernelFn fn = microkernel_for(s);
-  if (fn == nullptr) return nullptr;
+/// Serial half of the packing decision for one GEMM: kernel lookup, budget
+/// admission, and cache probe. Admission requires the footprint to fit both
+/// the per-GEMM cap (one oversized GEMM falls back to generic without
+/// starving the rest of the batch) and the call's remaining cumulative
+/// arena budget; `used` accumulates in batch order, keeping the decision
+/// deterministic. A cache hit charges `used` exactly like a fresh pack, so
+/// which GEMMs are admitted never depends on what the cache happens to
+/// hold. The panel materialization itself (pack_gemm) is deferred so the
+/// batched paths can run it for many GEMMs concurrently.
+PackedDispatch pack_decision(const TilingStrategy& s, const GemmOperands& g,
+                             std::size_t& used) {
+  PackedDispatch d;
+  d.kernel = tile_kernel_for(s);
+  if (d.kernel.fn == nullptr) return d;
   const std::size_t bytes = pack_footprint_bytes(s, g.dims);
   const std::size_t budget = pack_arena_budget();
-  if (bytes > budget || used > budget - bytes) return nullptr;
+  if (bytes > pack_gemm_budget() || bytes > budget ||
+      used > budget - bytes) {
+    d.kernel = {};
+    return d;
+  }
   used += bytes;
-  return fn;
+  d.pack = pack_cache_lookup(s, g);
+  d.need_pack = d.pack == nullptr;
+  return d;
 }
 
-/// Decision + immediate packing for one GEMM (the single-GEMM path).
-PackedDispatch try_pack(const TilingStrategy& s, const GemmOperands& g,
-                        std::size_t& used) {
-  PackedDispatch d;
-  d.fn = pack_decision(s, g, used);
-  if (d.fn != nullptr) d.pack = pack_gemm(s, g);
-  return d;
+/// Deferred materialization for one admitted cache miss. Safe inside a
+/// parallel_for worker: pack_gemm only reads `g` and fills the fresh
+/// buffers. Publication to the cache stays with the caller (serial, batch
+/// order) so eviction order is deterministic.
+void materialize_pack(const TilingStrategy& s, const GemmOperands& g,
+                      PackedDispatch& d) {
+  if (d.need_pack) d.pack = std::make_shared<PackedGemm>(pack_gemm(s, g));
+}
+
+/// Serial tail of the decision: publishes a freshly packed miss to the
+/// cross-call cache (no-op when the cache is off or `g` is uncacheable).
+void publish_pack(const TilingStrategy& s, const GemmOperands& g,
+                  PackedDispatch& d) {
+  if (d.need_pack) pack_cache_insert(s, g, d.pack);
+}
+
+/// Per-ISA tile accounting: exec.simd.* partitions every executed tile by
+/// the ISA that ran it (generic-executor tiles count as scalar), so the
+/// four counters always sum to the call's total tiles.
+void count_simd_tiles(SimdIsa isa, long long tiles) {
+  switch (isa) {
+    case SimdIsa::kAvx512:
+      CTB_TEL_COUNT("exec.simd.avx512", tiles);
+      return;
+    case SimdIsa::kAvx2:
+      CTB_TEL_COUNT("exec.simd.avx2", tiles);
+      return;
+    case SimdIsa::kNeon:
+      CTB_TEL_COUNT("exec.simd.neon", tiles);
+      return;
+    case SimdIsa::kScalar:
+      break;
+  }
+  CTB_TEL_COUNT("exec.simd.scalar", tiles);
 }
 
 /// Dispatch + staging-reuse accounting for `tiles` tiles of one GEMM that
 /// resolved to `d`. Each tile reads one A and one B panel; panels were
-/// packed once, so all but one read per panel is a staging the generic
-/// path would have repeated.
+/// packed (or fetched from the cache) once, so all but one read per panel
+/// is a staging the generic path would have repeated.
 void count_dispatch(const PackedDispatch& d, long long tiles) {
   if (d.specialized()) {
     CTB_TEL_COUNT("exec.dispatch.specialized", tiles);
     CTB_TEL_COUNT("exec.pack.reuse",
-                  2 * tiles - d.pack.ty_count - d.pack.tx_count);
+                  2 * tiles - d.pack->ty_count - d.pack->tx_count);
+    count_simd_tiles(d.kernel.isa, tiles);
   } else {
     CTB_TEL_COUNT("exec.dispatch.generic", tiles);
+    count_simd_tiles(SimdIsa::kScalar, tiles);
   }
 }
 
@@ -208,12 +253,14 @@ void run_single_gemm(const TilingStrategy& s, const GemmOperands& g,
                 2LL * g.dims.m * g.dims.n * g.dims.k);
 
   std::size_t used = 0;
-  const PackedDispatch d = try_pack(s, g, used);
+  PackedDispatch d = pack_decision(s, g, used);
+  materialize_pack(s, g, d);
+  publish_pack(s, g, d);
   count_dispatch(d, tiles);
   if (d.specialized()) {
     parallel_for(tiles, [&](long long block) {
-      d.fn(g, d.pack, static_cast<int>(block / tx_count),
-           static_cast<int>(block % tx_count), alpha, beta);
+      d.kernel.fn(g, *d.pack, static_cast<int>(block / tx_count),
+                  static_cast<int>(block % tx_count), alpha, beta);
     });
     return;
   }
@@ -245,14 +292,15 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
   std::vector<PackedDispatch> packs(batch.size());
   std::size_t used = 0;
   for (std::size_t z = 0; z < batch.size(); ++z)
-    packs[z].fn = pack_decision(s, batch[z], used);
+    packs[z] = pack_decision(s, batch[z], used);
   parallel_for(static_cast<long long>(batch.size()), [&](long long z) {
-    auto& d = packs[static_cast<std::size_t>(z)];
-    if (d.fn != nullptr)
-      d.pack = pack_gemm(s, batch[static_cast<std::size_t>(z)]);
+    materialize_pack(s, batch[static_cast<std::size_t>(z)],
+                     packs[static_cast<std::size_t>(z)]);
   });
-  for (std::size_t z = 0; z < batch.size(); ++z)
+  for (std::size_t z = 0; z < batch.size(); ++z) {
+    publish_pack(s, batch[z], packs[z]);
     count_dispatch(packs[z], s.tiles_for(batch[z].dims.m, batch[z].dims.n));
+  }
 
   // Every (z, ty, tx) grid block is independent — each GEMM has its own C
   // and the tiles within a GEMM are disjoint — so the whole grid runs as
@@ -270,7 +318,7 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
     if (ty >= ty_count || tx >= tx_count) return;  // bubble block
     const PackedDispatch& d = packs[z];
     if (d.specialized())
-      d.fn(g, d.pack, ty, tx, alpha, beta);
+      d.kernel.fn(g, *d.pack, ty, tx, alpha, beta);
     else
       execute_tile(s, g, ty, tx, alpha, beta);
   });
@@ -368,17 +416,19 @@ void run_batched_plan(const BatchPlan& plan,
     std::size_t used = 0;
     for (std::size_t gi = 0; gi < batch.size(); ++gi) {
       if (strategy_of_gemm[gi] < 0) continue;  // GEMM unused by the plan
-      packs[gi].fn = pack_decision(batched_strategy_by_id(strategy_of_gemm[gi]),
-                                   batch[gi], used);
+      packs[gi] = pack_decision(batched_strategy_by_id(strategy_of_gemm[gi]),
+                                batch[gi], used);
     }
     parallel_for(static_cast<long long>(batch.size()), [&](long long z) {
       const auto gi = static_cast<std::size_t>(z);
-      if (packs[gi].fn != nullptr)
-        packs[gi].pack = pack_gemm(batched_strategy_by_id(strategy_of_gemm[gi]),
-                                   batch[gi]);
+      if (strategy_of_gemm[gi] >= 0)
+        materialize_pack(batched_strategy_by_id(strategy_of_gemm[gi]),
+                         batch[gi], packs[gi]);
     });
     for (std::size_t gi = 0; gi < batch.size(); ++gi) {
       if (strategy_of_gemm[gi] < 0) continue;
+      publish_pack(batched_strategy_by_id(strategy_of_gemm[gi]), batch[gi],
+                   packs[gi]);
       count_dispatch(packs[gi], tiles_of_gemm[gi]);
     }
   }
@@ -401,8 +451,8 @@ void run_batched_plan(const BatchPlan& plan,
       const PackedDispatch& d = packs[static_cast<std::size_t>(g)];
       if (d.specialized() &&
           sid == strategy_of_gemm[static_cast<std::size_t>(g)]) {
-        d.fn(batch[static_cast<std::size_t>(g)], d.pack, ty, tx, alpha,
-             beta);
+        d.kernel.fn(batch[static_cast<std::size_t>(g)], *d.pack, ty, tx,
+                    alpha, beta);
       } else {
         execute_tile(batched_strategy_by_id(sid),
                      batch[static_cast<std::size_t>(g)], ty, tx, alpha,

@@ -30,6 +30,7 @@
 #include "core/tiling_strategy.hpp"
 #include "kernels/functional.hpp"
 #include "kernels/packing.hpp"
+#include "kernels/simd.hpp"
 #include "linalg/half.hpp"
 
 namespace ctb {
@@ -149,6 +150,88 @@ void packed_microkernel(const GemmOperands& g, const PackedGemm& pk, int ty,
   }
 }
 
+/// Shared alpha/beta epilogue for the explicit-SIMD kernels, whose
+/// accumulator is plain row-major BY x BX (each vector lane owns one C
+/// element) rather than the per-thread sub-tile layout above. The
+/// per-element arithmetic — edge guards, beta short-circuit, fp16 rounding —
+/// is identical to the scalar epilogue, so the store order difference is
+/// unobservable (disjoint elements).
+template <int BY, int BX>
+void store_tile_rowmajor(const GemmOperands& g, int ty, int tx, float alpha,
+                         float beta, const float* acc) {
+  const auto& d = g.dims;
+  const int row0 = ty * BY;
+  const int col0 = tx * BX;
+  const bool fp16 = g.precision == Precision::kFp16;
+  auto store = [&](float* cell, float v) {
+    if (fp16) {
+      const float prior = beta == 0.0f ? 0.0f : beta * round_to_half(*cell);
+      *cell = round_to_half(alpha * v + prior);
+    } else {
+      const float prior = beta == 0.0f ? 0.0f : beta * *cell;
+      *cell = alpha * v + prior;
+    }
+  };
+  if (row0 + BY <= d.m && col0 + BX <= d.n) {
+    for (int i = 0; i < BY; ++i) {
+      float* crow = g.c + static_cast<std::size_t>(row0 + i) * d.n + col0;
+      const float* arow = acc + static_cast<std::size_t>(i) * BX;
+      for (int j = 0; j < BX; ++j) store(crow + j, arow[j]);
+    }
+  } else {
+    for (int i = 0; i < BY; ++i) {
+      const int gi = row0 + i;
+      if (gi >= d.m) continue;
+      const float* arow = acc + static_cast<std::size_t>(i) * BX;
+      for (int j = 0; j < BX; ++j) {
+        const int gj = col0 + j;
+        if (gj >= d.n) continue;
+        store(g.c + static_cast<std::size_t>(gi) * d.n + gj, arow[j]);
+      }
+    }
+  }
+}
+
+/// Explicit-SIMD microkernel: zeroes the shared scratch row-major, runs the
+/// `Isa` tile loop over the packed panels (each lane one C element, per
+/// element the same ascending (k0, p) unfused chain as the scalar kernels),
+/// then applies the shared epilogue. The tile-loop pointer resolves once per
+/// (geometry, Isa) instantiation; dispatch (`tile_kernel_for`) only hands
+/// out instantiations whose loop exists on this host/build.
+template <int BY, int BX, int BK, SimdIsa Isa>
+void simd_packed_microkernel(const GemmOperands& g, const PackedGemm& pk,
+                             int ty, int tx, float alpha, float beta) {
+  static_assert(BY * BX <= 128 * 128, "tile exceeds the scratch buffer");
+  static const SimdTileLoopFn loop = simd_tile_loop(Isa, BY, BX, BK);
+  // The loop fully overwrites the scratch (see simd_kernels.inl), so no
+  // clearing pass is needed between tiles.
+  float* acc = reg_c_scratch();
+  loop(pk.a_panel(ty), pk.b_panel(tx), pk.nsteps, acc);
+  store_tile_rowmajor<BY, BX>(g, ty, tx, alpha, beta, acc);
+}
+
+/// The six distinct (BY, BX) geometries of Tables 1 and 2 x the three
+/// vector ISAs. Indexed by static_cast<int>(isa) - 1.
+struct SimdKernelEntry {
+  int by, bx;
+  MicrokernelFn fn[3];
+};
+
+template <int BY, int BX>
+constexpr SimdKernelEntry simd_kernel_entry() {
+  return {BY,
+          BX,
+          {&simd_packed_microkernel<BY, BX, 8, SimdIsa::kNeon>,
+           &simd_packed_microkernel<BY, BX, 8, SimdIsa::kAvx2>,
+           &simd_packed_microkernel<BY, BX, 8, SimdIsa::kAvx512>}};
+}
+
+inline constexpr SimdKernelEntry kSimdKernelTable[] = {
+    simd_kernel_entry<16, 16>(),   simd_kernel_entry<32, 32>(),
+    simd_kernel_entry<64, 64>(),   simd_kernel_entry<128, 64>(),
+    simd_kernel_entry<64, 128>(),  simd_kernel_entry<128, 128>(),
+};
+
 /// Every geometry appearing in Table 2 (all 12 batched ids) or Table 1 (the
 /// single-GEMM suite; tall/wide/huge coincide with Table-2 entries). BK is
 /// 8 throughout (paper §4.2.2).
@@ -204,6 +287,44 @@ inline MicrokernelFn microkernel_for_id(int id) {
   }();
   if (id < 0 || id >= static_cast<int>(table.size())) return nullptr;
   return table[static_cast<std::size_t>(id)];
+}
+
+/// A dispatched packed-tile kernel plus the ISA it was selected for (kScalar
+/// for the compile-time microkernels; the executors count exec.simd.<isa>
+/// from this).
+struct TileKernel {
+  MicrokernelFn fn = nullptr;
+  SimdIsa isa = SimdIsa::kScalar;
+  explicit operator bool() const { return fn != nullptr; }
+};
+
+/// ISA-aware dispatch for `strategy`: the active ISA's explicit-SIMD kernel
+/// when one exists for the geometry, else the scalar compile-time
+/// microkernel, else {nullptr} (caller falls back to the generic executor).
+/// All three produce bit-identical C. Note sub_y/sub_x do not key the SIMD
+/// kernels — they only partition work among emulated threads, and the SIMD
+/// accumulator is row-major over the whole tile — but the scalar fallback
+/// still requires a full geometry match.
+inline TileKernel tile_kernel_for(const TilingStrategy& s) {
+  const SimdIsa isa = active_simd_isa();
+  if (isa != SimdIsa::kScalar && s.bk == 8 &&
+      simd_tile_loop(isa, s.by, s.bx, s.bk) != nullptr) {
+    // A matching loop exists, so the scalar fallback must too; require it
+    // anyway so SIMD never widens dispatch beyond the scalar suite.
+    if (microkernel_for(s) != nullptr) {
+      for (const auto& e : microkernel_detail::kSimdKernelTable) {
+        if (e.by == s.by && e.bx == s.bx)
+          return {e.fn[static_cast<int>(isa) - 1], isa};
+      }
+    }
+  }
+  return {microkernel_for(s), SimdIsa::kScalar};
+}
+
+/// tile_kernel_for over the Table-2 strategy id encoding (0..11).
+inline TileKernel tile_kernel_for_id(int id) {
+  if (id < 0 || id >= 12) return {};
+  return tile_kernel_for(batched_strategy_by_id(id));
 }
 
 }  // namespace ctb

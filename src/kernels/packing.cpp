@@ -11,19 +11,27 @@ namespace ctb {
 namespace {
 
 constexpr std::size_t kDefaultPackArenaBytes = 256u << 20;  // 256 MiB
+constexpr std::size_t kDefaultPackGemmBytes = 64u << 20;    // 64 MiB
 
-std::size_t initial_pack_budget() {
-  const char* env = std::getenv("CTB_PACK_BUDGET");
+std::size_t env_bytes_or(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
   if (env != nullptr && *env != '\0') {
     char* end = nullptr;
     const unsigned long long v = std::strtoull(env, &end, 10);
     if (end != nullptr && *end == '\0') return static_cast<std::size_t>(v);
   }
-  return kDefaultPackArenaBytes;
+  return fallback;
 }
 
 std::atomic<std::size_t>& pack_budget_atomic() {
-  static std::atomic<std::size_t> budget{initial_pack_budget()};
+  static std::atomic<std::size_t> budget{
+      env_bytes_or("CTB_PACK_BUDGET", kDefaultPackArenaBytes)};
+  return budget;
+}
+
+std::atomic<std::size_t>& pack_gemm_budget_atomic() {
+  static std::atomic<std::size_t> budget{
+      env_bytes_or("CTB_PACK_GEMM_BUDGET", kDefaultPackGemmBytes)};
   return budget;
 }
 
@@ -35,6 +43,14 @@ std::size_t pack_arena_budget() {
 
 void set_pack_arena_budget(std::size_t bytes) {
   pack_budget_atomic().store(bytes, std::memory_order_relaxed);
+}
+
+std::size_t pack_gemm_budget() {
+  return pack_gemm_budget_atomic().load(std::memory_order_relaxed);
+}
+
+void set_pack_gemm_budget(std::size_t bytes) {
+  pack_gemm_budget_atomic().store(bytes, std::memory_order_relaxed);
 }
 
 std::size_t pack_footprint_bytes(const TilingStrategy& s, const GemmDims& d) {

@@ -107,6 +107,15 @@ PackedGemm pack_gemm(const TilingStrategy& s, const GemmOperands& g);
 std::size_t pack_arena_budget();
 void set_pack_arena_budget(std::size_t bytes);
 
+/// Per-GEMM pack admission cap in bytes (default 64 MiB, overridable at
+/// startup with CTB_PACK_GEMM_BUDGET=<bytes>). A single GEMM whose pack
+/// footprint exceeds this runs generic without consuming any of the
+/// cumulative arena budget, so one oversized GEMM cannot starve the rest of
+/// the batch out of packing; 0 disables packing for every GEMM (equivalent
+/// to a zero arena budget).
+std::size_t pack_gemm_budget();
+void set_pack_gemm_budget(std::size_t bytes);
+
 /// RAII budget override for tests and benchmarks.
 class ScopedPackArenaBudget {
  public:
@@ -117,6 +126,21 @@ class ScopedPackArenaBudget {
   ~ScopedPackArenaBudget() { set_pack_arena_budget(saved_); }
   ScopedPackArenaBudget(const ScopedPackArenaBudget&) = delete;
   ScopedPackArenaBudget& operator=(const ScopedPackArenaBudget&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
+/// RAII per-GEMM cap override for tests and benchmarks.
+class ScopedPackGemmBudget {
+ public:
+  explicit ScopedPackGemmBudget(std::size_t bytes)
+      : saved_(pack_gemm_budget()) {
+    set_pack_gemm_budget(bytes);
+  }
+  ~ScopedPackGemmBudget() { set_pack_gemm_budget(saved_); }
+  ScopedPackGemmBudget(const ScopedPackGemmBudget&) = delete;
+  ScopedPackGemmBudget& operator=(const ScopedPackGemmBudget&) = delete;
 
  private:
   std::size_t saved_;

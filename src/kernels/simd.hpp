@@ -1,0 +1,105 @@
+// Runtime-dispatched explicit-SIMD tile loops for the packed microkernels.
+//
+// The compile-time microkernels in microkernel.hpp rely on the compiler
+// auto-vectorizing their unrolled j-loops. This layer replaces the interior
+// K loop with hand-vectorized code: per-ISA translation units (simd_avx2.cpp,
+// simd_avx512.cpp, simd_neon.cpp) instantiate one shared tile-loop template
+// (simd_kernels.inl) per distinct Table-1/2 tile geometry, vectorizing along
+// the j (x) axis so every vector lane owns exactly one C element.
+//
+// Determinism (DESIGN.md §6): lanes are independent C elements, so each
+// element's accumulation chain is still scalar-ordered — ascending (k0, p)
+// over the staged panel values — and the multiply and add are written as
+// separate statements under the global -ffp-contract=off, so no lane ever
+// sees a fused or reassociated operation. The SIMD result is bit-identical
+// to the scalar microkernels and the generic executor for every geometry,
+// precision, transpose mode, and gather.
+//
+// Dispatch: `detected_simd_isa()` probes the host once (CPUID on x86-64,
+// NEON is baseline on aarch64); `active_simd_isa()` starts from the
+// detection, optionally overridden by CTB_SIMD_ISA=scalar|neon|avx2|avx512
+// in the environment, and is clamped so it never exceeds what the host
+// supports. Building with -DCTB_SIMD=OFF compiles every per-ISA table to an
+// empty stub and detection reports kScalar, so the scalar microkernels carry
+// the whole suite.
+//
+// This header deliberately defines no inline functions: it is included by
+// translation units compiled with different target flags (-mavx2, -mavx512f),
+// and keeping it declaration-only removes any chance of ODR-merging function
+// bodies compiled for different ISAs.
+#pragma once
+
+namespace ctb {
+
+/// Instruction sets the dispatcher can select, in increasing capability
+/// order (the order set_simd_isa clamps against).
+enum class SimdIsa { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
+
+/// Interior K loop over the packed panels of one (ty, tx) tile: accumulates
+/// `nsteps` BY x BK / BK x BX panel blocks into a row-major BY x BX
+/// accumulator (`acc[i * BX + j]`), fully overwriting it (every element is
+/// the sum-from-zero, so callers need not clear the scratch). The caller
+/// applies the alpha/beta epilogue; the loop touches nothing else.
+using SimdTileLoopFn = void (*)(const float* a_panel, const float* b_panel,
+                                int nsteps, float* acc);
+
+/// One geometry's tile loop in a per-ISA table. BK is 8 for every suite
+/// entry (paper §4.2.2); it is part of the key anyway so a future suite
+/// cannot silently match the wrong kernel.
+struct SimdLoopEntry {
+  int by, bx, bk;
+  SimdTileLoopFn fn;
+};
+
+namespace simd_detail {
+/// Per-ISA geometry tables, defined in their own translation units so each
+/// can be compiled with the matching target flags. On hosts (or builds)
+/// without the ISA they return an empty table (*count == 0).
+const SimdLoopEntry* avx2_loops(int* count);
+const SimdLoopEntry* avx512_loops(int* count);
+const SimdLoopEntry* neon_loops(int* count);
+}  // namespace simd_detail
+
+/// Best ISA the host supports (memoized; kScalar when CTB_SIMD=OFF).
+SimdIsa detected_simd_isa();
+
+/// The ISA the executors dispatch on: detection clamped by CTB_SIMD_ISA and
+/// any set_simd_isa() call. Never exceeds detected_simd_isa(); requesting an
+/// ISA the host lacks (e.g. neon on x86-64) selects an empty table, and the
+/// dispatcher falls back to the scalar microkernels — still bit-exact.
+SimdIsa active_simd_isa();
+
+/// Overrides the active ISA (clamped to the detected one). For in-process
+/// A/B comparisons in tests and benchmarks; takes effect on the next
+/// executor call.
+void set_simd_isa(SimdIsa isa);
+
+/// "scalar" | "neon" | "avx2" | "avx512" — used in telemetry names, CSV
+/// headers, and perf-report fields.
+const char* simd_isa_name(SimdIsa isa);
+
+/// Parses a simd_isa_name string (as in CTB_SIMD_ISA); returns kScalar for
+/// anything unrecognized.
+SimdIsa parse_simd_isa(const char* name);
+
+/// The `isa` tile loop for the given geometry, or nullptr when that ISA has
+/// no kernel for it (unknown geometry, ISA unavailable on this host/build,
+/// or isa == kScalar, which by design has no entries here — scalar tiles run
+/// the compile-time microkernels).
+SimdTileLoopFn simd_tile_loop(SimdIsa isa, int by, int bx, int bk);
+
+/// RAII ISA override for tests and benchmarks.
+class ScopedSimdIsa {
+ public:
+  explicit ScopedSimdIsa(SimdIsa isa) : saved_(active_simd_isa()) {
+    set_simd_isa(isa);
+  }
+  ~ScopedSimdIsa() { set_simd_isa(saved_); }
+  ScopedSimdIsa(const ScopedSimdIsa&) = delete;
+  ScopedSimdIsa& operator=(const ScopedSimdIsa&) = delete;
+
+ private:
+  SimdIsa saved_;
+};
+
+}  // namespace ctb

@@ -1,0 +1,32 @@
+// AVX-512 instantiation of the shared SIMD tile loop (16 fp32 lanes). This
+// file is compiled with -mavx512f on x86-64; on other targets, or under
+// -DCTB_SIMD=OFF, it degrades to an empty table and the dispatcher never
+// selects AVX-512.
+#include "kernels/simd.hpp"
+
+#if defined(CTB_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))
+
+#define CTB_SIMD_W 16
+#include "kernels/simd_kernels.inl"
+
+namespace ctb::simd_detail {
+
+const SimdLoopEntry* avx512_loops(int* count) {
+  *count = kSimdLoopCount;
+  return kSimdLoops;
+}
+
+}  // namespace ctb::simd_detail
+
+#else
+
+namespace ctb::simd_detail {
+
+const SimdLoopEntry* avx512_loops(int* count) {
+  *count = 0;
+  return nullptr;
+}
+
+}  // namespace ctb::simd_detail
+
+#endif

@@ -1,0 +1,122 @@
+// Shared explicit-SIMD tile-loop template, included by exactly one per-ISA
+// translation unit at a time with CTB_SIMD_W (vector lanes) defined and the
+// matching -m<isa> target flags on that file. Everything lives in an
+// anonymous namespace so instantiations compiled for different ISAs can
+// never collide across translation units.
+//
+// Vector model: GCC/Clang vector extensions rather than <immintrin.h>
+// intrinsics — the arithmetic (`*`, `+`) lowers to single vmulps/vaddps
+// (or fmul/fadd on NEON) instructions of the file's target width, and
+// because the global -ffp-contract=off applies here too, the separate
+// multiply and add statements below are never fused into an FMA. Each
+// vector lane is one C element, so per element the accumulation order is
+// exactly the scalar chain: ascending (k0, p) over staged panel values.
+//
+// Layout contract (packing.hpp): A panel block `step` is BY x BK at
+// `a_panel[step*BY*BK]`, element (i, p) at `[i*BK + p]`; B panel block is
+// BK x BX at `b_panel[step*BK*BX]`, element (p, j) at `[p*BX + j]`. The
+// accumulator is row-major BY x BX and fully OVERWRITTEN (every element is
+// the freshly accumulated sum from zero) — callers need not clear it.
+#ifndef CTB_SIMD_W
+#error "simd_kernels.inl requires CTB_SIMD_W (vector lanes) to be defined"
+#endif
+
+#include <cstddef>
+
+namespace {
+
+constexpr int kLanes = CTB_SIMD_W;
+typedef float VecF
+    __attribute__((vector_size(kLanes * sizeof(float)), aligned(4)));
+
+// Unaligned load/store through memcpy — compiles to a single vmovups /
+// ldr q on every supported target; the panels are only float-aligned.
+inline VecF loadu(const float* p) {
+  VecF v;
+  __builtin_memcpy(&v, p, sizeof(VecF));
+  return v;
+}
+
+inline void storeu(float* p, VecF v) { __builtin_memcpy(p, &v, sizeof(VecF)); }
+
+inline VecF splat(float x) {
+  VecF v;
+  for (int l = 0; l < kLanes; ++l) v[l] = x;
+  return v;
+}
+
+/// Interior K loop for one BY x BX tile (see SimdTileLoopFn). Register
+/// blocking: a kRowBlock x kColBlock block of accumulator vectors is held
+/// in registers across the ENTIRE K extent (all nsteps * BK products) and
+/// stored to `acc` exactly once — the accumulator never round-trips through
+/// memory per k-step, which is what keeps the large 128x128 geometries from
+/// going memory-bound on accumulator traffic. Per C element the add order
+/// is still ascending (step, p), i.e. the scalar chain's ascending (k0, p).
+///
+/// Block sizes: 8 rows on the 32-register files (AVX-512 zmm, NEON), 4 on
+/// AVX2's 16-ymm file where 16 live accumulators would spill; 2 vector
+/// columns whenever the geometry has an even vector-column count (every
+/// Table-1/2 geometry except BX == kLanes). Every geometry has BY % 8 == 0
+/// except 16x16 at kRowBlock 8 — 16 % 8 == 0, so the static_assert holds
+/// throughout.
+template <int BY, int BX, int BK>
+void simd_tile_loop(const float* a_panel, const float* b_panel, int nsteps,
+                    float* acc) {
+  static_assert(BX % kLanes == 0, "BX must be a whole number of vectors");
+  constexpr int kVecCols = BX / kLanes;
+  constexpr int kColBlock = (kVecCols % 2 == 0) ? 2 : 1;
+  constexpr int kRowBlock = (kLanes == 8) ? 4 : 8;
+  static_assert(BY % kRowBlock == 0, "BY must be a whole number of row blocks");
+
+  for (int i0 = 0; i0 < BY; i0 += kRowBlock) {
+    for (int v0 = 0; v0 < kVecCols; v0 += kColBlock) {
+      VecF r[kRowBlock][kColBlock];
+      for (int i = 0; i < kRowBlock; ++i)
+        for (int c = 0; c < kColBlock; ++c) r[i][c] = splat(0.0f);
+      for (int step = 0; step < nsteps; ++step) {
+        const float* a_blk = a_panel +
+                             static_cast<std::size_t>(step) * (BY * BK) +
+                             static_cast<std::size_t>(i0) * BK;
+        const float* b_blk = b_panel +
+                             static_cast<std::size_t>(step) * (BK * BX) +
+                             static_cast<std::size_t>(v0) * kLanes;
+        for (int p = 0; p < BK; ++p) {
+          VecF vb[kColBlock];
+          for (int c = 0; c < kColBlock; ++c)
+            vb[c] = loadu(b_blk + p * BX + c * kLanes);
+          for (int i = 0; i < kRowBlock; ++i) {
+            const VecF va = splat(a_blk[i * BK + p]);
+            for (int c = 0; c < kColBlock; ++c) {
+              // Separate product/sum statements: with -ffp-contract=off
+              // these stay an unfused vmulps + vaddps, matching the scalar
+              // chain's rounding exactly.
+              VecF m = va * vb[c];
+              r[i][c] = r[i][c] + m;
+            }
+          }
+        }
+      }
+      for (int i = 0; i < kRowBlock; ++i)
+        for (int c = 0; c < kColBlock; ++c)
+          storeu(acc + static_cast<std::size_t>(i0 + i) * BX + v0 * kLanes +
+                     c * kLanes,
+                 r[i][c]);
+    }
+  }
+}
+
+/// The six distinct (BY, BX) tile geometries covering all 15 Table-1/2
+/// entries (BK is 8 throughout). Shared by every per-ISA table.
+constexpr ctb::SimdLoopEntry kSimdLoops[] = {
+    {16, 16, 8, &simd_tile_loop<16, 16, 8>},
+    {32, 32, 8, &simd_tile_loop<32, 32, 8>},
+    {64, 64, 8, &simd_tile_loop<64, 64, 8>},
+    {128, 64, 8, &simd_tile_loop<128, 64, 8>},
+    {64, 128, 8, &simd_tile_loop<64, 128, 8>},
+    {128, 128, 8, &simd_tile_loop<128, 128, 8>},
+};
+
+constexpr int kSimdLoopCount =
+    static_cast<int>(sizeof(kSimdLoops) / sizeof(kSimdLoops[0]));
+
+}  // namespace

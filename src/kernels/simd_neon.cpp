@@ -1,0 +1,32 @@
+// NEON instantiation of the shared SIMD tile loop (4 fp32 lanes). NEON is
+// baseline on aarch64, so no extra target flags are needed; on other
+// targets, or under -DCTB_SIMD=OFF, this degrades to an empty table and the
+// dispatcher never selects NEON.
+#include "kernels/simd.hpp"
+
+#if defined(CTB_SIMD_ENABLED) && (defined(__aarch64__) || defined(_M_ARM64))
+
+#define CTB_SIMD_W 4
+#include "kernels/simd_kernels.inl"
+
+namespace ctb::simd_detail {
+
+const SimdLoopEntry* neon_loops(int* count) {
+  *count = kSimdLoopCount;
+  return kSimdLoops;
+}
+
+}  // namespace ctb::simd_detail
+
+#else
+
+namespace ctb::simd_detail {
+
+const SimdLoopEntry* neon_loops(int* count) {
+  *count = 0;
+  return nullptr;
+}
+
+}  // namespace ctb::simd_detail
+
+#endif

@@ -64,9 +64,22 @@ const std::vector<std::string>& deterministic_counter_names() {
       "exec.fallback",
       "exec.flops",
       "exec.pack.bytes",
+      "exec.pack.cache.evict",
+      "exec.pack.cache.hit",
+      "exec.pack.cache.invalidate",
+      "exec.pack.cache.miss",
+      "exec.pack.cache.stale",
       "exec.pack.panels",
       "exec.pack.reuse",
       "exec.plan_runs",
+      // exec.simd.* are deterministic per ISA (the dispatch decision is a
+      // pure function of geometry and the active ISA) but host-dependent
+      // across machines; compare_reports gates them only when the two
+      // reports' simd_isa fields match.
+      "exec.simd.avx2",
+      "exec.simd.avx512",
+      "exec.simd.neon",
+      "exec.simd.scalar",
       "exec.tiles",
       "plan.auto.binary_wins",
       "plan.auto.threshold_wins",
@@ -197,6 +210,9 @@ void write_perf_report_json(std::ostream& os, const PerfReport& report) {
   os << ",\n  \"repeats\": " << sorted.repeats << ",\n";
   os << "  \"telemetry_compiled_in\": "
      << (sorted.telemetry_compiled_in ? "true" : "false") << ",\n";
+  os << "  \"simd_isa\": ";
+  write_escaped(os, sorted.simd_isa);
+  os << ",\n";
   os << "  \"workloads\": [";
   bool first_w = true;
   for (const WorkloadResult& w : sorted.workloads) {
@@ -492,6 +508,8 @@ PerfReport load_perf_report(std::istream& is) {
   report.telemetry_compiled_in =
       require(root, "telemetry_compiled_in", JsonValue::Type::kBool, "report")
           .boolean;
+  report.simd_isa =
+      require(root, "simd_isa", JsonValue::Type::kString, "report").text;
 
   const JsonValue& workloads =
       require(root, "workloads", JsonValue::Type::kArray, "report");
@@ -566,8 +584,15 @@ const char* to_string(DeltaClass cls) {
 
 namespace {
 
+bool is_simd_counter(const std::string& name) {
+  return name.rfind("exec.simd.", 0) == 0;
+}
+
+/// With gate_simd false (the reports came from hosts with different vector
+/// units), exec.simd.* entries are dropped from the walk on both sides —
+/// their values are ISA-dependent by construction, not a regression.
 void diff_counters(const WorkloadResult& base, const WorkloadResult& cur,
-                   std::vector<std::string>& out) {
+                   bool gate_simd, std::vector<std::string>& out) {
   if (base.flops != cur.flops)
     out.push_back("flops: " + std::to_string(base.flops) + " -> " +
                   std::to_string(cur.flops));
@@ -587,16 +612,19 @@ void diff_counters(const WorkloadResult& base, const WorkloadResult& cur,
         (j < cur.counters.size() &&
          cur.counters[j].name < base.counters[i].name);
     if (take_base) {
-      out.push_back(base.counters[i].name + ": " +
-                    std::to_string(base.counters[i].value) +
-                    " -> (absent)");
+      if (gate_simd || !is_simd_counter(base.counters[i].name))
+        out.push_back(base.counters[i].name + ": " +
+                      std::to_string(base.counters[i].value) +
+                      " -> (absent)");
       ++i;
     } else if (take_cur) {
-      out.push_back(cur.counters[j].name + ": (absent) -> " +
-                    std::to_string(cur.counters[j].value));
+      if (gate_simd || !is_simd_counter(cur.counters[j].name))
+        out.push_back(cur.counters[j].name + ": (absent) -> " +
+                      std::to_string(cur.counters[j].value));
       ++j;
     } else {
-      if (base.counters[i].value != cur.counters[j].value)
+      if (base.counters[i].value != cur.counters[j].value &&
+          (gate_simd || !is_simd_counter(base.counters[i].name)))
         out.push_back(base.counters[i].name + ": " +
                       std::to_string(base.counters[i].value) + " -> " +
                       std::to_string(cur.counters[j].value));
@@ -624,8 +652,11 @@ CompareResult compare_reports(const PerfReport& baseline,
                               const PerfReport& current,
                               const CompareOptions& opts) {
   CompareResult res;
+  res.baseline_simd_isa = baseline.simd_isa;
+  res.current_simd_isa = current.simd_isa;
   const bool gate_counters =
       baseline.telemetry_compiled_in && current.telemetry_compiled_in;
+  const bool gate_simd = res.simd_isa_matches();
 
   double log_sum = 0.0;
   int log_count = 0;
@@ -660,7 +691,8 @@ CompareResult compare_reports(const PerfReport& baseline,
     }
 
     d.name = base->name;
-    if (gate_counters) diff_counters(*base, *cur, d.counter_mismatches);
+    if (gate_counters)
+      diff_counters(*base, *cur, gate_simd, d.counter_mismatches);
     if (base->timing.median_us > 0.0 && cur->timing.median_us > 0.0) {
       d.time_ratio = cur->timing.median_us / base->timing.median_us;
       log_sum += std::log(d.time_ratio);
@@ -695,6 +727,10 @@ void print_comparison(std::ostream& os, const CompareResult& cmp,
                       const CompareOptions& opts) {
   os << "comparison vs baseline (noise band +/-"
      << static_cast<int>(opts.noise_band * 100.0) << "% on timing):\n";
+  if (!cmp.simd_isa_matches())
+    os << "  note: simd_isa differs (baseline " << cmp.baseline_simd_isa
+       << ", current " << cmp.current_simd_isa
+       << ") — exec.simd.* counters excluded from gating\n";
   for (const WorkloadDelta& d : cmp.workloads) {
     char ratio[32];
     if (d.time_ratio > 0.0)

@@ -31,7 +31,9 @@ namespace ctb::perfreport {
 
 /// Bumped whenever the JSON schema changes shape; load_perf_report rejects
 /// reports from other versions (a baseline must be regenerated knowingly).
-inline constexpr int kSchemaVersion = 1;
+/// v2: added the report-level "simd_isa" field and the exec.simd.* /
+/// exec.pack.cache.* counters to the gated allowlist.
+inline constexpr int kSchemaVersion = 2;
 
 /// Wall-clock statistics over one workload's k repeats. Median-of-k with
 /// interquartile range: the median resists the reference container's timing
@@ -85,6 +87,11 @@ struct PerfReport {
   /// False when the producing binary was built with -DCTB_TELEMETRY=OFF;
   /// counters are then empty and compare_reports skips counter gating.
   bool telemetry_compiled_in = true;
+  /// simd_isa_name(active_simd_isa()) of the producing run. The exec.simd.*
+  /// dispatch counters are deterministic per ISA but differ across hosts
+  /// with different vector units, so compare_reports only gates them when
+  /// this field matches between baseline and current.
+  std::string simd_isa = "scalar";
   std::vector<WorkloadResult> workloads;
 };
 
@@ -148,6 +155,15 @@ struct CompareOptions {
 
 struct CompareResult {
   std::vector<WorkloadDelta> workloads;  ///< union of both reports, by name
+  /// The two reports' simd_isa fields. When they differ, exec.simd.*
+  /// counters were excluded from gating (advisory note in the printout);
+  /// every other gated counter — including exec.pack.cache.* — is
+  /// ISA-independent and still compared exactly.
+  std::string baseline_simd_isa;
+  std::string current_simd_isa;
+  bool simd_isa_matches() const {
+    return baseline_simd_isa == current_simd_isa;
+  }
   /// Geometric mean of current/baseline median ratios over workloads
   /// present in both reports with nonzero medians; 1.0 when none qualify.
   double geomean_time_ratio = 1.0;

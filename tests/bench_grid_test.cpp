@@ -111,6 +111,12 @@ TEST(CsvSink, NoopWithoutEnvAndWritesHeaderPlusRowsWithIt) {
   std::ifstream in(path);
   ASSERT_TRUE(in.good());
   std::string line;
+  // Line 1: the "# isa=...,threads=..." provenance comment making A/B
+  // artifacts self-describing; then the column header and the rows.
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, csv_provenance_comment());
+  EXPECT_EQ(line.rfind("# isa=", 0), 0u) << line;
+  EXPECT_NE(line.find(",threads="), std::string::npos) << line;
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line, fig8_csv_header());
   ASSERT_TRUE(std::getline(in, line));

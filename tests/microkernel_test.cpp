@@ -353,6 +353,163 @@ TEST(Microkernel, PartialBudgetMixesPathsBitExact) {
                          "partial-budget/gemm" + std::to_string(i));
 }
 
+// ---------------------------------------------------------- SIMD dispatch --
+// The explicit-SIMD layer (kernels/simd.hpp) must be bit-identical to the
+// generic executor under every ISA the host can run, and the dispatcher
+// must fall back to the scalar microkernels cleanly everywhere else.
+
+// The ISAs this host can actually execute: always kScalar, plus every level
+// up to detected_simd_isa() that has a non-empty kernel table.
+std::vector<SimdIsa> runnable_isas() {
+  std::vector<SimdIsa> isas{SimdIsa::kScalar};
+  for (SimdIsa isa : {SimdIsa::kNeon, SimdIsa::kAvx2, SimdIsa::kAvx512})
+    if (static_cast<int>(isa) <= static_cast<int>(detected_simd_isa()) &&
+        simd_tile_loop(isa, 64, 64, 8) != nullptr)
+      isas.push_back(isa);
+  return isas;
+}
+
+TEST(SimdDispatch, EveryTable2IdResolvesUnderEveryRunnableIsa) {
+  for (SimdIsa isa : runnable_isas()) {
+    ScopedSimdIsa guard(isa);
+    for (int id = 0; id < 12; ++id) {
+      const TilingStrategy& s = batched_strategy_by_id(id);
+      const TileKernel k = tile_kernel_for(s);
+      ASSERT_TRUE(static_cast<bool>(k)) << s.name();
+      EXPECT_EQ(k.isa, isa) << s.name() << " under " << simd_isa_name(isa);
+      if (isa == SimdIsa::kScalar)
+        EXPECT_EQ(k.fn, microkernel_for(s)) << s.name();
+      else
+        EXPECT_NE(k.fn, microkernel_for(s)) << s.name();
+    }
+    for (const TilingStrategy& s : single_gemm_strategies()) {
+      const TileKernel k = tile_kernel_for(s);
+      ASSERT_TRUE(static_cast<bool>(k)) << "table1/" << s.name();
+      EXPECT_EQ(k.isa, isa) << "table1/" << s.name();
+    }
+  }
+}
+
+TEST(SimdDispatch, UnknownGeometryAndUnavailableIsaFallBackToScalar) {
+  TilingStrategy s = batched_strategy_by_id(0);
+  s.bk = 4;  // no SIMD loop carries BK != 8
+  {
+    ScopedSimdIsa guard(detected_simd_isa());
+    EXPECT_EQ(tile_kernel_for(s).fn, nullptr);
+    EXPECT_EQ(tile_kernel_for(s).isa, SimdIsa::kScalar);
+  }
+  // Requesting an ISA beyond the host clamps rather than dispatching a
+  // kernel the CPU cannot execute.
+  {
+    ScopedSimdIsa guard(SimdIsa::kAvx512);
+    EXPECT_LE(static_cast<int>(active_simd_isa()),
+              static_cast<int>(detected_simd_isa()));
+  }
+}
+
+// The acceptance sweep: every Table-2 strategy x {fp32, fp16} x {N, T} on
+// both operands x implicit gather, ragged dims (edge tiles + padded K),
+// bitwise equal to the generic executor under EVERY runnable ISA.
+TEST(SimdDispatch, BitExactVsGenericAllStrategiesAllIsas) {
+  for (SimdIsa isa : runnable_isas()) {
+    ScopedSimdIsa guard(isa);
+    const std::string tag = std::string("/") + simd_isa_name(isa);
+    for (int id = 0; id < 12; ++id) {
+      const TilingStrategy& s = batched_strategy_by_id(id);
+      const GemmDims d = ragged_dims(s);
+      for (Precision prec : {Precision::kFp32, Precision::kFp16}) {
+        for (Op op_a : {Op::kN, Op::kT}) {
+          for (Op op_b : {Op::kN, Op::kT}) {
+            expect_specialized_matches_generic(
+                [&] { return GemmCase(d, op_a, op_b, prec, false, 100 + id); },
+                [&](GemmCase& gc) { run_single_gemm(s, gc.ops, 1.25f, 0.5f); },
+                s.name() + (prec == Precision::kFp16 ? "/fp16" : "/fp32") +
+                    "/op_a=" + to_string(op_a) + "/op_b=" + to_string(op_b) +
+                    tag);
+          }
+        }
+        expect_specialized_matches_generic(
+            [&] { return GemmCase(d, Op::kN, Op::kN, prec, true, 200 + id); },
+            [&](GemmCase& gc) { run_single_gemm(s, gc.ops, 1.0f, 0.0f); },
+            s.name() + "/gather" + tag);
+      }
+    }
+    for (const TilingStrategy& s : single_gemm_strategies()) {
+      const GemmDims d = ragged_dims(s);
+      expect_specialized_matches_generic(
+          [&] {
+            return GemmCase(d, Op::kN, Op::kN, Precision::kFp32, false, 400);
+          },
+          [&](GemmCase& gc) { run_single_gemm(s, gc.ops, 2.0f, 1.0f); },
+          "table1/" + s.name() + tag);
+    }
+  }
+}
+
+// Cross-ISA: the vectorized kernels must agree bitwise with the SCALAR
+// microkernels directly (not just transitively via the generic path), and
+// stay bit-exact at any thread count.
+TEST(SimdDispatch, VectorIsaMatchesScalarIsaAtAnyThreadCount) {
+  for (SimdIsa isa : runnable_isas()) {
+    if (isa == SimdIsa::kScalar) continue;
+    for (int id : {0, 3, 5, 7, 9, 11}) {
+      const TilingStrategy& s = batched_strategy_by_id(id);
+      const GemmDims d = ragged_dims(s);
+      for (int threads : {1, 4}) {
+        ScopedParallelThreads par(threads);
+        GemmCase vec_case(d, Op::kN, Op::kT, Precision::kFp32, false, 1000);
+        {
+          ScopedSimdIsa guard(isa);
+          run_single_gemm(s, vec_case.ops, 1.0f, 0.5f);
+        }
+        GemmCase scalar_case(d, Op::kN, Op::kT, Precision::kFp32, false, 1000);
+        {
+          ScopedSimdIsa guard(SimdIsa::kScalar);
+          run_single_gemm(s, scalar_case.ops, 1.0f, 0.5f);
+        }
+        expect_bitwise_equal(vec_case.c, scalar_case.c,
+                             s.name() + "/" + simd_isa_name(isa) +
+                                 "-vs-scalar/threads" +
+                                 std::to_string(threads));
+      }
+    }
+  }
+}
+
+// Batched executors under the vector ISA (the single-GEMM sweep above
+// already covers every geometry; this pins the vbatch/plan wiring).
+TEST(SimdDispatch, BatchedExecutorsBitExactUnderVectorIsa) {
+  if (detected_simd_isa() == SimdIsa::kScalar)
+    GTEST_SKIP() << "host has no vector ISA";
+  ScopedSimdIsa guard(detected_simd_isa());
+  const TilingStrategy& s = single_gemm_strategy(TileShape::kLarge);
+  auto packed_case = BatchCase(ragged_batch(), 500);
+  run_vbatch(s, packed_case.ops, 1.0f, 0.5f);
+  auto generic_case = BatchCase(ragged_batch(), 500);
+  {
+    ScopedPackArenaBudget budget(0);
+    run_vbatch(s, generic_case.ops, 1.0f, 0.5f);
+  }
+  for (std::size_t i = 0; i < packed_case.gemms.size(); ++i)
+    expect_bitwise_equal(packed_case.gemms[i].c, generic_case.gemms[i].c,
+                         "simd-vbatch/gemm" + std::to_string(i));
+
+  PlannerConfig config;
+  config.policy = BatchingPolicy::kThresholdOnly;
+  const BatchedGemmPlanner planner(config);
+  const PlanSummary summary = planner.plan(ragged_batch());
+  auto packed_plan = BatchCase(ragged_batch(), 600);
+  run_batched_plan(summary.plan, packed_plan.ops, 1.5f, 0.25f);
+  auto generic_plan = BatchCase(ragged_batch(), 600);
+  {
+    ScopedPackArenaBudget budget(0);
+    run_batched_plan(summary.plan, generic_plan.ops, 1.5f, 0.25f);
+  }
+  for (std::size_t i = 0; i < packed_plan.gemms.size(); ++i)
+    expect_bitwise_equal(packed_plan.gemms[i].c, generic_plan.gemms[i].c,
+                         "simd-plan/gemm" + std::to_string(i));
+}
+
 #ifdef CTB_TELEMETRY_ENABLED
 
 std::int64_t counter_value(const telemetry::MetricsSnapshot& snap,
@@ -394,6 +551,57 @@ TEST(Microkernel, DispatchCountersTrackPaths) {
   EXPECT_EQ(counter_value(snap, "exec.dispatch.specialized"), 0);
   EXPECT_EQ(counter_value(snap, "exec.dispatch.generic"), 6);
   EXPECT_EQ(counter_value(snap, "exec.pack.panels"), 0);
+  telemetry::set_enabled(false);
+  telemetry::reset();
+}
+
+// exec.simd.* partitions ALL executed tiles by the ISA that ran them:
+// vector-kernel tiles under the active vector ISA, scalar-microkernel and
+// generic-executor tiles under exec.simd.scalar.
+TEST(Microkernel, SimdCountersPartitionTilesByIsa) {
+  const TilingStrategy& s = batched_strategy_by_id(4);  // large/128
+  const GemmDims d{2 * s.by, 3 * s.bx, 64};             // 2x3 tile grid
+  const char* active_name = simd_isa_name(active_simd_isa());
+
+  telemetry::reset();
+  telemetry::set_enabled(true);
+  {
+    GemmCase gc(d, Op::kN, Op::kN, Precision::kFp32, false, 900);
+    run_single_gemm(s, gc.ops, 1.0f, 0.0f);
+  }
+  auto snap = telemetry::snapshot();
+  std::int64_t total = 0;
+  for (const char* name : {"exec.simd.scalar", "exec.simd.neon",
+                           "exec.simd.avx2", "exec.simd.avx512"}) {
+    const std::int64_t v = counter_value(snap, name);
+    total += v;
+    EXPECT_EQ(v, std::string(name) ==
+                         std::string("exec.simd.") + active_name
+                     ? 6
+                     : 0)
+        << name;
+  }
+  EXPECT_EQ(total, 6);  // a partition: every tile counted exactly once
+
+  // Forcing scalar dispatch moves all six tiles to exec.simd.scalar.
+  telemetry::reset();
+  {
+    ScopedSimdIsa guard(SimdIsa::kScalar);
+    GemmCase gc(d, Op::kN, Op::kN, Precision::kFp32, false, 900);
+    run_single_gemm(s, gc.ops, 1.0f, 0.0f);
+  }
+  snap = telemetry::snapshot();
+  EXPECT_EQ(counter_value(snap, "exec.simd.scalar"), 6);
+
+  // The generic (unpacked) path is scalar by definition.
+  telemetry::reset();
+  {
+    ScopedPackArenaBudget budget(0);
+    GemmCase gc(d, Op::kN, Op::kN, Precision::kFp32, false, 900);
+    run_single_gemm(s, gc.ops, 1.0f, 0.0f);
+  }
+  snap = telemetry::snapshot();
+  EXPECT_EQ(counter_value(snap, "exec.simd.scalar"), 6);
   telemetry::set_enabled(false);
   telemetry::reset();
 }

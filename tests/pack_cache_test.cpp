@@ -1,0 +1,319 @@
+// Cross-call packed-panel cache (kernels/pack_cache.hpp): hit/miss
+// accounting, the explicit-invalidate contract and its best-effort staleness
+// probe, FIFO eviction under the pack-arena budget, the per-GEMM admission
+// cap, and — above all — bit-exactness: a cache hit must produce the exact
+// bytes a fresh repack would.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "kernels/functional.hpp"
+#include "kernels/microkernel.hpp"
+#include "kernels/pack_cache.hpp"
+#include "kernels/packing.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ctb {
+namespace {
+
+Matrixf rand_mat(int r, int c, Rng& rng) {
+  Matrixf m(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+  fill_random(m, rng);
+  return m;
+}
+
+struct GemmCase {
+  Matrixf a, b, c;
+  GemmOperands ops;
+
+  explicit GemmCase(const GemmDims& d, std::uint64_t seed) {
+    Rng rng(seed);
+    a = rand_mat(d.m, d.k, rng);
+    b = rand_mat(d.k, d.n, rng);
+    c = rand_mat(d.m, d.n, rng);
+    ops = operands(a, b, c);
+  }
+};
+
+void expect_bitwise_equal(const Matrixf& lhs, const Matrixf& rhs,
+                          const std::string& what) {
+  ASSERT_EQ(lhs.rows(), rhs.rows());
+  ASSERT_EQ(lhs.cols(), rhs.cols());
+  const auto l = lhs.flat();
+  const auto r = rhs.flat();
+  for (std::size_t i = 0; i < l.size(); ++i)
+    ASSERT_EQ(l[i], r[i]) << what << " diverges at flat index " << i;
+}
+
+TEST(PackCache, DisabledByDefaultAndLookupIsInert) {
+  // No scope active: the cache must be off (unless the environment forces
+  // it on, which the test suite does not).
+  const TilingStrategy& s = batched_strategy_by_id(5);
+  GemmCase gc({64, 64, 32}, 1);
+  if (!pack_cache_enabled())
+    EXPECT_EQ(pack_cache_lookup(s, gc.ops), nullptr);
+  ScopedPackCache off(false);
+  EXPECT_FALSE(pack_cache_enabled());
+  EXPECT_EQ(pack_cache_lookup(s, gc.ops), nullptr);
+  pack_cache_insert(s, gc.ops,
+                    std::make_shared<PackedGemm>(pack_gemm(s, gc.ops)));
+  EXPECT_EQ(pack_cache_entries(), 0u);
+}
+
+TEST(PackCache, HitReturnsInsertedPanelsAndMissesOnDifferentKey) {
+  ScopedPackCache scope;
+  const TilingStrategy& s = batched_strategy_by_id(5);  // large/256
+  GemmCase gc({100, 80, 50}, 2);
+  EXPECT_EQ(pack_cache_lookup(s, gc.ops), nullptr);  // cold: miss
+  auto pk = std::make_shared<PackedGemm>(pack_gemm(s, gc.ops));
+  pack_cache_insert(s, gc.ops, pk);
+  EXPECT_EQ(pack_cache_entries(), 1u);
+  EXPECT_EQ(pack_cache_bytes(), pk->bytes());
+  EXPECT_EQ(pack_cache_lookup(s, gc.ops), pk);  // hit: same panels
+
+  // Different strategy, dims, or operand pointers -> different key.
+  EXPECT_EQ(pack_cache_lookup(batched_strategy_by_id(0), gc.ops), nullptr);
+  GemmCase other({100, 80, 50}, 3);
+  EXPECT_EQ(pack_cache_lookup(s, other.ops), nullptr);
+  GemmOperands transposed = gc.ops;
+  transposed.op_a = Op::kT;
+  EXPECT_EQ(pack_cache_lookup(s, transposed), nullptr);
+}
+
+TEST(PackCache, GatherOperandsAreNeverCached) {
+  ScopedPackCache scope;
+  const TilingStrategy& s = batched_strategy_by_id(5);
+  GemmCase gc({64, 64, 32}, 4);
+  const float* data = gc.b.data();
+  gc.ops.b = nullptr;
+  gc.ops.b_gather = [data](int k, int j) {
+    return data[static_cast<std::size_t>(k) * 64 + j];
+  };
+  pack_cache_insert(s, gc.ops,
+                    std::make_shared<PackedGemm>(pack_gemm(s, gc.ops)));
+  EXPECT_EQ(pack_cache_entries(), 0u);
+  EXPECT_EQ(pack_cache_lookup(s, gc.ops), nullptr);
+}
+
+TEST(PackCache, InvalidateDropsEntriesAndBumpsGeneration) {
+  ScopedPackCache scope;
+  const TilingStrategy& s = batched_strategy_by_id(5);
+  GemmCase gc({64, 64, 32}, 5);
+  pack_cache_insert(s, gc.ops,
+                    std::make_shared<PackedGemm>(pack_gemm(s, gc.ops)));
+  ASSERT_EQ(pack_cache_entries(), 1u);
+  const std::uint64_t gen = pack_cache_generation();
+  invalidate_pack_cache();
+  EXPECT_EQ(pack_cache_entries(), 0u);
+  EXPECT_EQ(pack_cache_bytes(), 0u);
+  EXPECT_GT(pack_cache_generation(), gen);
+  EXPECT_EQ(pack_cache_lookup(s, gc.ops), nullptr);
+}
+
+// The invalidation contract's safety net: mutating an operand value that the
+// probe samples (corners/center of the panels) demotes the entry to a stale
+// miss instead of serving wrong panels.
+TEST(PackCache, StalenessProbeDetectsProbedMutation) {
+  ScopedPackCache scope;
+  const TilingStrategy& s = batched_strategy_by_id(5);
+  GemmCase gc({64, 64, 32}, 6);
+  pack_cache_insert(s, gc.ops,
+                    std::make_shared<PackedGemm>(pack_gemm(s, gc.ops)));
+  ASSERT_NE(pack_cache_lookup(s, gc.ops), nullptr);
+  // Mutate A(0, 0) — a probed sample — WITHOUT calling invalidate.
+  gc.a(0, 0) += 1.0f;
+  EXPECT_EQ(pack_cache_lookup(s, gc.ops), nullptr);  // stale -> miss
+  EXPECT_EQ(pack_cache_entries(), 0u);  // the stale entry was dropped
+}
+
+// The probe is best-effort by design: a mutation it does not sample can go
+// undetected, and the documented contract (invalidate_pack_cache after
+// in-place mutation) is what restores correctness.
+TEST(PackCache, UnprobedMutationRequiresExplicitInvalidate) {
+  ScopedPackCache scope;
+  const TilingStrategy& s = batched_strategy_by_id(5);  // 128x64 tiles
+  GemmCase gc({128, 64, 32}, 7);
+  pack_cache_insert(s, gc.ops,
+                    std::make_shared<PackedGemm>(pack_gemm(s, gc.ops)));
+  // An interior element away from the probed corners/centers.
+  gc.a(3, 5) += 1.0f;
+  auto hit = pack_cache_lookup(s, gc.ops);
+  if (hit != nullptr) {
+    // Undetected (expected): the panels are stale. The contract call fixes
+    // the next lookup.
+    invalidate_pack_cache();
+    EXPECT_EQ(pack_cache_lookup(s, gc.ops), nullptr);
+  }
+  // Either way the caller repacks and the fresh panels reflect the mutation.
+  const PackedGemm fresh = pack_gemm(s, gc.ops);
+  EXPECT_EQ(fresh.a_panel(0)[3 * s.bk + 5], gc.a(3, 5));
+}
+
+TEST(PackCache, FifoEvictionKeepsResidentBytesWithinArenaBudget) {
+  ScopedPackCache scope;
+  const TilingStrategy& s = batched_strategy_by_id(5);
+  const GemmDims d{64, 64, 32};
+  std::vector<GemmCase> cases;
+  for (int i = 0; i < 3; ++i) cases.emplace_back(d, 10 + i);
+  const std::size_t one = pack_footprint_bytes(s, d);
+
+  // Budget fits exactly two entries: inserting the third evicts the OLDEST.
+  ScopedPackArenaBudget budget(2 * one);
+  for (auto& gc : cases)
+    pack_cache_insert(s, gc.ops,
+                      std::make_shared<PackedGemm>(pack_gemm(s, gc.ops)));
+  EXPECT_EQ(pack_cache_entries(), 2u);
+  EXPECT_LE(pack_cache_bytes(), 2 * one);
+  EXPECT_EQ(pack_cache_lookup(s, cases[0].ops), nullptr);  // evicted
+  EXPECT_NE(pack_cache_lookup(s, cases[1].ops), nullptr);
+  EXPECT_NE(pack_cache_lookup(s, cases[2].ops), nullptr);
+
+  // An entry alone above the budget is rejected outright.
+  invalidate_pack_cache();
+  ScopedPackArenaBudget tiny(one - 1);
+  pack_cache_insert(s, cases[0].ops,
+                    std::make_shared<PackedGemm>(pack_gemm(s, cases[0].ops)));
+  EXPECT_EQ(pack_cache_entries(), 0u);
+}
+
+// End-to-end through the executor: a cached second run must produce exactly
+// the bytes of an uncached run.
+TEST(PackCache, ExecutorResultsBitExactWithCacheEnabled) {
+  const TilingStrategy& s = batched_strategy_by_id(5);
+  const GemmDims d{150, 130, 70};
+  GemmCase cached_case(d, 20);
+  {
+    ScopedPackCache scope;
+    run_single_gemm(s, cached_case.ops, 1.25f, 0.5f);  // miss + insert
+    Rng rng(99);
+    fill_random(cached_case.c, rng);
+    Matrixf c_copy = cached_case.c;
+    run_single_gemm(s, cached_case.ops, 1.25f, 0.5f);  // hit
+    GemmCase uncached_case(d, 20);
+    {
+      Rng rng2(99);
+      fill_random(uncached_case.c, rng2);
+    }
+    ScopedPackCache off(false);
+    run_single_gemm(s, uncached_case.ops, 1.25f, 0.5f);
+    expect_bitwise_equal(cached_case.c, uncached_case.c, "cached-vs-fresh");
+  }
+}
+
+// Mutating operands between executor calls with an explicit invalidate in
+// between yields the same results as never caching.
+TEST(PackCache, MutateInvalidateRerunMatchesUncached) {
+  const TilingStrategy& s = batched_strategy_by_id(5);
+  const GemmDims d{96, 96, 48};
+  GemmCase gc(d, 21);
+  GemmCase reference(d, 21);
+  {
+    ScopedPackCache scope;
+    run_single_gemm(s, gc.ops, 1.0f, 0.0f);
+    Rng rng(7);
+    fill_random(gc.a, rng);
+    invalidate_pack_cache();
+    run_single_gemm(s, gc.ops, 1.0f, 0.0f);
+  }
+  {
+    Rng rng(7);
+    fill_random(reference.a, rng);
+  }
+  run_single_gemm(s, reference.ops, 1.0f, 0.0f);
+  expect_bitwise_equal(gc.c, reference.c, "mutate-invalidate-rerun");
+}
+
+// ------------------------------------------- per-GEMM admission cap ------
+// A batch where one GEMM exceeds the per-GEMM cap: that GEMM runs generic,
+// the others still pack — and the mix is bit-exact vs all-generic.
+TEST(PackGemmBudget, MixedAdmissionSplitsPathsBitExact) {
+  const TilingStrategy& s = single_gemm_strategy(TileShape::kLarge);
+  const std::vector<GemmDims> dims = {{64, 64, 32}, {256, 256, 128},
+                                      {48, 80, 24}};
+  // Cap between the small and the large footprints.
+  const std::size_t small_fp = pack_footprint_bytes(s, dims[0]);
+  const std::size_t large_fp = pack_footprint_bytes(s, dims[1]);
+  ASSERT_LT(small_fp, large_fp);
+  const std::size_t cap = (small_fp + large_fp) / 2;
+
+  auto make_batch = [&](std::uint64_t seed) {
+    std::vector<GemmCase> gemms;
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      gemms.emplace_back(dims[i], seed + i);
+    return gemms;
+  };
+
+  auto mixed = make_batch(30);
+  {
+    ScopedPackGemmBudget cap_guard(cap);
+    std::vector<GemmOperands> ops;
+    for (auto& g : mixed) ops.push_back(g.ops);
+    run_vbatch(s, ops, 1.0f, 0.5f);
+  }
+  auto generic = make_batch(30);
+  {
+    ScopedPackArenaBudget budget(0);
+    std::vector<GemmOperands> ops;
+    for (auto& g : generic) ops.push_back(g.ops);
+    run_vbatch(s, ops, 1.0f, 0.5f);
+  }
+  for (std::size_t i = 0; i < mixed.size(); ++i)
+    expect_bitwise_equal(mixed[i].c, generic[i].c,
+                         "mixed-admission/gemm" + std::to_string(i));
+}
+
+TEST(PackGemmBudget, ZeroCapDisablesPackingEntirely) {
+  const TilingStrategy& s = batched_strategy_by_id(5);
+  GemmCase packed_case({64, 64, 32}, 31);
+  GemmCase capped_case({64, 64, 32}, 31);
+  run_single_gemm(s, packed_case.ops, 1.0f, 0.0f);
+  {
+    ScopedPackGemmBudget cap(0);
+    run_single_gemm(s, capped_case.ops, 1.0f, 0.0f);
+  }
+  expect_bitwise_equal(packed_case.c, capped_case.c, "zero-cap");
+}
+
+#ifdef CTB_TELEMETRY_ENABLED
+
+std::int64_t counter_value(const telemetry::MetricsSnapshot& snap,
+                           const std::string& name) {
+  for (const auto& c : snap.counters)
+    if (c.name == name) return c.value;
+  ADD_FAILURE() << "counter " << name << " missing from snapshot";
+  return -1;
+}
+
+// Counter semantics over a repeated-plan workload: first run all misses,
+// every later run all hits, pack bytes charged once.
+TEST(PackCache, CountersAmortizeRepeatedRuns) {
+  const TilingStrategy& s = batched_strategy_by_id(5);
+  const GemmDims d{128, 128, 64};
+  GemmCase gc(d, 40);
+  telemetry::reset();
+  telemetry::set_enabled(true);
+  {
+    ScopedPackCache scope;
+    for (int iter = 0; iter < 3; ++iter)
+      run_single_gemm(s, gc.ops, 1.0f, 0.0f);
+  }
+  const auto snap = telemetry::snapshot();
+  EXPECT_EQ(counter_value(snap, "exec.pack.cache.miss"), 1);
+  EXPECT_EQ(counter_value(snap, "exec.pack.cache.hit"), 2);
+  EXPECT_EQ(counter_value(snap, "exec.pack.cache.stale"), 0);
+  // ScopedPackCache invalidates on entry and exit.
+  EXPECT_EQ(counter_value(snap, "exec.pack.cache.invalidate"), 2);
+  // Packing bytes amortized: charged for the single miss only.
+  EXPECT_EQ(counter_value(snap, "exec.pack.bytes"),
+            static_cast<std::int64_t>(pack_footprint_bytes(s, d)));
+  telemetry::set_enabled(false);
+  telemetry::reset();
+}
+
+#endif  // CTB_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace ctb

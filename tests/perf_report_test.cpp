@@ -6,6 +6,7 @@
 // so a self-comparison never gates.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <sstream>
@@ -145,6 +146,41 @@ TEST(PerfReportJson, WorkloadOrderIsCanonical) {
   EXPECT_EQ(forward.workloads[2].name, "c");
 }
 
+TEST(PerfReportJson, RejectsSchemaV1Artifacts) {
+  // A complete, well-formed v1 report (no simd_isa field): stale baselines
+  // must be regenerated knowingly, not silently compared.
+  std::istringstream is(
+      "{\"schema_version\": 1, \"tag\": \"old\", \"suite\": \"quick\","
+      " \"repeats\": 5, \"telemetry_compiled_in\": true,"
+      " \"workloads\": []}\n");
+  EXPECT_THROW(perfreport::load_perf_report(is), perfreport::PerfReportError);
+}
+
+TEST(PerfReportJson, SimdIsaFieldRoundTrips) {
+  PerfReport report = make_report({make_workload("w", 10.0, 1, 0)});
+  report.simd_isa = "avx512";
+  std::ostringstream os;
+  perfreport::write_perf_report_json(os, report);
+  EXPECT_NE(os.str().find("\"simd_isa\": \"avx512\""), std::string::npos)
+      << os.str();
+  std::istringstream is(os.str());
+  EXPECT_EQ(perfreport::load_perf_report(is).simd_isa, "avx512");
+}
+
+TEST(PerfReportTaxonomy, AllowlistCarriesSimdAndPackCacheCounters) {
+  const auto& names = perfreport::deterministic_counter_names();
+  for (const char* required :
+       {"exec.pack.cache.evict", "exec.pack.cache.hit",
+        "exec.pack.cache.invalidate", "exec.pack.cache.miss",
+        "exec.pack.cache.stale", "exec.simd.avx2", "exec.simd.avx512",
+        "exec.simd.neon", "exec.simd.scalar"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required;
+  }
+  // The allowlist stays sorted (reports and comparisons walk it in order).
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
 TEST(PerfReportCompare, IdenticalReportsMatch) {
   const PerfReport r = make_report(
       {make_workload("a", 100.0, 10, 2), make_workload("b", 50.0, 4, 4)});
@@ -226,6 +262,48 @@ TEST(PerfReportCompare, MissingWorkloadHardFails) {
   EXPECT_EQ(cmp.workloads[0].cls, DeltaClass::kMissing);
   EXPECT_EQ(cmp.workloads[2].name, "new");
   EXPECT_EQ(cmp.workloads[2].cls, DeltaClass::kMissing);
+}
+
+// exec.simd.* counters are deterministic per ISA but host-dependent, so
+// they gate only when both reports ran the same ISA; every other counter
+// gates regardless.
+TEST(PerfReportCompare, SimdCountersGateOnlyWhenIsasMatch) {
+  auto with_simd = [](std::int64_t avx512_tiles, std::int64_t scalar_tiles) {
+    WorkloadResult w = make_workload("w", 100.0, 12, 0);
+    w.counters.push_back({"exec.simd.avx512", avx512_tiles});
+    w.counters.push_back({"exec.simd.scalar", scalar_tiles});
+    return w;
+  };
+
+  // Different hosts: an avx512 baseline vs a scalar current. The flipped
+  // exec.simd.* split must NOT gate...
+  PerfReport baseline = make_report({with_simd(12, 0)});
+  baseline.simd_isa = "avx512";
+  PerfReport current = make_report({with_simd(0, 12)});
+  current.simd_isa = "scalar";
+  CompareResult cmp = perfreport::compare_reports(baseline, current);
+  EXPECT_FALSE(cmp.hard_fail());
+  EXPECT_FALSE(cmp.simd_isa_matches());
+  EXPECT_EQ(cmp.baseline_simd_isa, "avx512");
+  EXPECT_EQ(cmp.current_simd_isa, "scalar");
+  // ...and the printed summary says why.
+  std::ostringstream os;
+  perfreport::print_comparison(os, cmp);
+  EXPECT_NE(os.str().find("exec.simd."), std::string::npos) << os.str();
+
+  // ...but an ISA-independent counter regression still gates across hosts.
+  PerfReport broken = make_report({with_simd(0, 12)});
+  broken.simd_isa = "scalar";
+  broken.workloads[0].counters[0].value = 99;  // exec.dispatch.generic
+  EXPECT_TRUE(perfreport::compare_reports(baseline, broken).hard_fail());
+
+  // Same ISA on both sides: a changed exec.simd.* split is a real dispatch
+  // regression and hard-fails.
+  PerfReport same_isa = make_report({with_simd(0, 12)});
+  same_isa.simd_isa = "avx512";
+  cmp = perfreport::compare_reports(baseline, same_isa);
+  EXPECT_TRUE(cmp.hard_fail());
+  EXPECT_TRUE(cmp.simd_isa_matches());
 }
 
 TEST(PerfReportCompare, CounterGatingSkippedWithoutTelemetry) {

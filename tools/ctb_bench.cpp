@@ -3,10 +3,13 @@
 //
 //   ctb_bench --suite quick                              # write BENCH_local.json
 //   ctb_bench --suite quick --compare bench/baselines/quick.json
+//   ctb_bench --fold bench/artifacts/                    # GFLOP/s trajectory
 //
 // Exit status: 0 unless --compare finds a deterministic counter regression
 // or a missing workload. Timing deltas are advisory on this host (the
 // reference container's wall clock swings by ±50%) and never gate.
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -15,8 +18,92 @@
 #include "bench/bench_common.hpp"
 #include "telemetry/perf_report.hpp"
 #include "util/cli.hpp"
+#include "util/table.hpp"
 
 namespace {
+
+// --fold <dir>: folds every BENCH_*.json under `dir` into one per-workload
+// GFLOP/s table, one column per artifact in sorted-filename order — name
+// artifacts BENCH_<seq>_<sha>.json and the columns read as the perf
+// trajectory across commits. Artifacts that fail to load (older schema,
+// truncated file) are skipped with a warning rather than aborting the fold,
+// so one stale file does not hide the rest of the history. Timing is
+// advisory on this host; the table is for eyeballing trends, not gating.
+int fold_reports(const std::string& dir, std::ostream& os) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json")
+      paths.push_back(entry.path());
+  }
+  if (ec) {
+    std::cerr << "error: cannot read directory " << dir << ": "
+              << ec.message() << "\n";
+    return 2;
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<ctb::perfreport::PerfReport> reports;
+  std::vector<std::string> columns;
+  for (const auto& path : paths) {
+    std::ifstream is(path);
+    if (!is.good()) {
+      std::cerr << "warning: cannot read " << path.string() << ", skipped\n";
+      continue;
+    }
+    try {
+      reports.push_back(ctb::perfreport::load_perf_report(is));
+    } catch (const ctb::perfreport::PerfReportError& e) {
+      std::cerr << "warning: " << path.string() << ": " << e.what()
+                << ", skipped\n";
+      continue;
+    }
+    // Column label: the embedded tag, disambiguated by the filename stem
+    // when tags repeat (every local run defaults to tag "local").
+    std::string label = reports.back().tag;
+    if (std::count(columns.begin(), columns.end(), label) > 0 ||
+        label.empty())
+      label = path.stem().string();
+    columns.push_back(label);
+  }
+  if (reports.empty()) {
+    std::cerr << "error: no loadable BENCH_*.json artifacts in " << dir
+              << "\n";
+    return 2;
+  }
+
+  // Union of workload names across all artifacts, in sorted order (reports
+  // store workloads sorted, so a plain merge keeps determinism).
+  std::vector<std::string> workloads;
+  for (const auto& r : reports)
+    for (const auto& w : r.workloads) workloads.push_back(w.name);
+  std::sort(workloads.begin(), workloads.end());
+  workloads.erase(std::unique(workloads.begin(), workloads.end()),
+                  workloads.end());
+
+  ctb::TextTable table;
+  std::vector<std::string> header{"workload (GFLOP/s)"};
+  header.insert(header.end(), columns.begin(), columns.end());
+  table.set_header(std::move(header));
+  for (const auto& name : workloads) {
+    std::vector<std::string> row{name};
+    for (const auto& r : reports) {
+      const auto it =
+          std::find_if(r.workloads.begin(), r.workloads.end(),
+                       [&](const auto& w) { return w.name == name; });
+      row.push_back(it != r.workloads.end() && it->timing.median_us > 0.0
+                        ? ctb::TextTable::fmt(it->gflops(), 2)
+                        : std::string("-"));
+    }
+    table.add_row(std::move(row));
+  }
+  os << reports.size() << " artifacts folded from " << dir << "\n";
+  table.print(os);
+  return 0;
+}
 
 int run(int argc, char** argv) {
   ctb::CliFlags flags;
@@ -28,7 +115,13 @@ int run(int argc, char** argv) {
   flags.define("noise-band", "0.5",
                "advisory timing band: ratios within 1+/-band are noise");
   flags.define("list", "false", "list the suite's workloads and exit");
+  flags.define("fold", "",
+               "directory of BENCH_*.json artifacts to fold into a "
+               "per-workload GFLOP/s-over-runs table (no suite is run)");
   flags.parse(argc, argv);
+
+  const std::string fold_dir = flags.get("fold");
+  if (!fold_dir.empty()) return fold_reports(fold_dir, std::cout);
 
   const std::string suite_name = flags.get("suite");
   const std::vector<ctb::bench::BenchWorkload> suite =
