@@ -21,6 +21,7 @@
 #include "dnn/squeezenet.hpp"
 #include "kernels/pack_cache.hpp"
 #include "kernels/simd.hpp"
+#include "service/plan_service.hpp"
 #include "telemetry/perf_report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
@@ -215,6 +216,16 @@ struct BenchWorkload {
   /// packs and every later repeat hits, which is the repeated-plan
   /// amortization the cache exists for.
   bool use_pack_cache = false;
+  /// Replay workloads (> 0): instead of executing `dims`, run this many
+  /// plan-service lookups drawn from `replay_pool` (each entry one batch)
+  /// through a fresh inline-mode PlanService per repeat, measuring
+  /// per-request latency and hit rate. `policy` configures the service's
+  /// full planner; dims/fixed_strategy_id/use_pack_cache are unused.
+  int replay_requests = 0;
+  /// Index skew of the request stream: 1 = uniform over the pool, 2 =
+  /// quadratic hot-set bias (front of the pool dominates).
+  int replay_skew = 1;
+  std::vector<std::vector<GemmDims>> replay_pool;
 };
 
 namespace detail {
@@ -309,10 +320,62 @@ inline std::vector<BenchWorkload> perf_full_suite() {
   return out;
 }
 
+/// The replay suite: request streams of mixed-shape lookups through the
+/// plan service (ROADMAP "plan service for production traffic"). Three
+/// regimes: a hot working set every request re-hits, a mixed stream over a
+/// medium pool with a hot-biased skew, and a churn stream whose pool is
+/// larger than its request budget (mostly cold misses). Pools and request
+/// order are seeded deterministically, and the service runs in inline mode
+/// (deadline 0, no worker thread), so every service.*/cache.* counter in
+/// the report is a bit-deterministic function of the suite definition.
+inline std::vector<BenchWorkload> perf_replay_suite() {
+  auto pool_of = [](int distinct, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<GemmDims>> pool;
+    pool.reserve(static_cast<std::size_t>(distinct));
+    for (int i = 0; i < distinct; ++i) {
+      const int batch = static_cast<int>(rng.uniform_int(1, 6));
+      std::vector<GemmDims> dims;
+      dims.reserve(static_cast<std::size_t>(batch));
+      for (int g = 0; g < batch; ++g)
+        dims.push_back(
+            {static_cast<int>(rng.log_uniform_int(8, 256)),
+             static_cast<int>(rng.log_uniform_int(8, 256)),
+             static_cast<int>(rng.log_uniform_int(8, 256))});
+      pool.push_back(std::move(dims));
+    }
+    return pool;
+  };
+  std::vector<BenchWorkload> out;
+  BenchWorkload hot;
+  hot.name = "replay/hot";
+  hot.policy = BatchingPolicy::kThresholdOnly;
+  hot.replay_requests = 2048;
+  hot.replay_skew = 1;
+  hot.replay_pool = pool_of(16, 0x5EBB1EULL);
+  out.push_back(std::move(hot));
+  BenchWorkload mixed;
+  mixed.name = "replay/mixed";
+  mixed.policy = BatchingPolicy::kThresholdOnly;
+  mixed.replay_requests = 1536;
+  mixed.replay_skew = 2;
+  mixed.replay_pool = pool_of(96, 0x3A17EDULL);
+  out.push_back(std::move(mixed));
+  BenchWorkload churn;
+  churn.name = "replay/churn";
+  churn.policy = BatchingPolicy::kThresholdOnly;
+  churn.replay_requests = 768;
+  churn.replay_skew = 1;
+  churn.replay_pool = pool_of(384, 0xC402ULL);
+  out.push_back(std::move(churn));
+  return out;
+}
+
 /// Suite lookup by name; empty vector for an unknown suite.
 inline std::vector<BenchWorkload> perf_suite(const std::string& name) {
   if (name == "quick") return perf_quick_suite();
   if (name == "full") return perf_full_suite();
+  if (name == "replay") return perf_replay_suite();
   return {};
 }
 
@@ -406,6 +469,68 @@ inline perfreport::WorkloadResult run_perf_workload(const BenchWorkload& w,
   return out;
 }
 
+/// Executes one replay workload: `replay_requests` plan-service lookups per
+/// repeat, each repeat against a fresh inline-mode service (deadline 0, no
+/// worker thread) so hit/miss counters are identical across repeats and
+/// hosts. Per-request wall latency feeds the advisory "lookup" percentiles;
+/// the whole-replay wall time is the workload timing sample. No GEMM is
+/// executed — this measures the serving front door, not the kernels.
+inline perfreport::WorkloadResult run_replay_workload(const BenchWorkload& w,
+                                                      int repeats) {
+  using clock = std::chrono::steady_clock;
+  perfreport::WorkloadResult out;
+  out.name = w.name;
+  out.repeats = repeats;
+  out.flops = 0;  // lookups only; no useful GEMM FLOPs
+
+  const telemetry::MetricsSnapshot before = telemetry::snapshot();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  std::vector<double> lookup_us;
+  lookup_us.reserve(static_cast<std::size_t>(repeats) *
+                    static_cast<std::size_t>(w.replay_requests));
+  for (int r = 0; r < repeats; ++r) {
+    service::PlanServiceConfig cfg;
+    cfg.planner.policy = w.policy;
+    cfg.deadline_us = 0;
+    service::PlanService svc(cfg);
+    // Same seed every repeat: the request sequence (and therefore every
+    // deterministic counter) is a function of the workload alone.
+    Rng rng(detail::workload_seed(w.name));
+    const std::size_t pool = w.replay_pool.size();
+    const auto t0 = clock::now();
+    for (int q = 0; q < w.replay_requests; ++q) {
+      std::size_t idx;
+      if (w.replay_skew >= 2) {
+        // Quadratic hot-set bias via integer arithmetic only (bit-exact on
+        // any host): u^2 over a 2^20 grid, mapped onto the pool.
+        const std::uint64_t grid = std::uint64_t{1} << 20;
+        const std::uint64_t u = static_cast<std::uint64_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(grid) - 1));
+        idx = static_cast<std::size_t>(((u * u) >> 20) * pool >> 20);
+      } else {
+        idx = rng.pick_index(pool);
+      }
+      const auto l0 = clock::now();
+      const service::ServedPlan served = svc.get(w.replay_pool[idx]);
+      lookup_us.push_back(
+          std::chrono::duration<double, std::micro>(clock::now() - l0)
+              .count());
+      (void)served;
+    }
+    samples.push_back(
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count());
+  }
+  const telemetry::MetricsSnapshot after = telemetry::snapshot();
+
+  out.timing = perfreport::TimingStats::from_samples(std::move(samples));
+  out.lookup = perfreport::LatencyStats::from_samples(std::move(lookup_us));
+  if (after.compiled_in)
+    perfreport::harvest_deterministic_metrics(telemetry::delta(before, after),
+                                              out);
+  return out;
+}
+
 /// Runs a whole suite into a PerfReport. Telemetry is enabled for the run
 /// (and restored afterwards); per-workload counters come from snapshot
 /// deltas, so no global reset is needed and pre-existing counter state is
@@ -423,14 +548,35 @@ inline perfreport::PerfReport run_perf_suite(
   const bool was_enabled = telemetry::snapshot().enabled;
   telemetry::set_enabled(true);
   for (const BenchWorkload& w : workloads) {
-    report.workloads.push_back(run_perf_workload(w, repeats));
+    report.workloads.push_back(w.replay_requests > 0
+                                   ? run_replay_workload(w, repeats)
+                                   : run_perf_workload(w, repeats));
     if (progress != nullptr) {
       const perfreport::WorkloadResult& r = report.workloads.back();
       char line[160];
-      std::snprintf(line, sizeof(line),
-                    "  %-40s median %10.1f us  iqr %8.1f us  %7.2f GFLOP/s",
-                    r.name.c_str(), r.timing.median_us, r.timing.iqr_us,
-                    r.gflops());
+      if (r.lookup.count > 0) {
+        // Hit rate from the harvested service counters when telemetry is
+        // compiled in; the latency percentiles are always available.
+        std::int64_t hits = 0, misses = 0;
+        for (const auto& c : r.counters) {
+          if (c.name == "service.hit") hits = c.value;
+          if (c.name == "service.miss") misses = c.value;
+        }
+        const double rate = hits + misses > 0
+                                ? 100.0 * static_cast<double>(hits) /
+                                      static_cast<double>(hits + misses)
+                                : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "  %-40s hit%% %5.1f  p50 %8.1f us  p95 %8.1f us  "
+                      "p99 %8.1f us",
+                      r.name.c_str(), rate, r.lookup.p50_us, r.lookup.p95_us,
+                      r.lookup.p99_us);
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "  %-40s median %10.1f us  iqr %8.1f us  %7.2f GFLOP/s",
+                      r.name.c_str(), r.timing.median_us, r.timing.iqr_us,
+                      r.gflops());
+      }
       *progress << line << '\n';
     }
   }

@@ -39,6 +39,13 @@ int default_theta(const GpuArch& arch) {
   return 256;
 }
 
+PlannerConfig degraded_fallback_config(const PlannerConfig& config) {
+  PlannerConfig fallback = config;
+  fallback.policy = BatchingPolicy::kThresholdOnly;
+  fallback.forest = nullptr;
+  return fallback;
+}
+
 BatchedGemmPlanner::BatchedGemmPlanner(PlannerConfig config)
     : config_(config), arch_(gpu_arch(config.gpu)) {
   if (config_.tlp_threshold <= 0)

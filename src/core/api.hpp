@@ -62,6 +62,13 @@ struct PlannerConfig {
   bool fallback_to_reference = false;
 };
 
+/// The configuration the plan service degrades to when the full planner
+/// cannot answer within its deadline: threshold batching needs one linear
+/// pass over the batch (no simulator sweep, no forest), so a fallback plan
+/// is always computable "now". Everything but the selection policy (and the
+/// then-unused forest pointer) is preserved.
+PlannerConfig degraded_fallback_config(const PlannerConfig& config);
+
 /// Everything the planner decided, plus the executable plan.
 struct PlanSummary {
   TilingResult tiling;

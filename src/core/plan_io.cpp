@@ -140,7 +140,7 @@ const PlanSummary& PlanCache::plan(std::span<const GemmDims> dims) {
   if (it != cache_.end()) {
     ++hits_;
     CTB_TEL_COUNT("cache.hit", 1);
-    return it->second;
+    return *it->second;
   }
   // Plan and validate completely before touching the cache or the counters:
   // a planner that throws (or emits a plan that fails validation) must not
@@ -151,7 +151,35 @@ const PlanSummary& PlanCache::plan(std::span<const GemmDims> dims) {
   validate_plan(summary.plan, dims);
   ++misses_;
   CTB_TEL_COUNT("cache.miss", 1);
-  return cache_.emplace(key, std::move(summary)).first->second;
+  return *cache_
+              .emplace(key,
+                       std::make_shared<const PlanSummary>(std::move(summary)))
+              .first->second;
+}
+
+std::shared_ptr<const PlanSummary> PlanCache::lookup(std::uint64_t signature) {
+  auto it = cache_.find(signature);
+  if (it == cache_.end()) {
+    ++misses_;
+    CTB_TEL_COUNT("cache.miss", 1);
+    return nullptr;
+  }
+  ++hits_;
+  CTB_TEL_COUNT("cache.hit", 1);
+  return it->second;
+}
+
+std::shared_ptr<const PlanSummary> PlanCache::peek(
+    std::uint64_t signature) const {
+  auto it = cache_.find(signature);
+  return it == cache_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const PlanSummary> PlanCache::upsert(std::uint64_t signature,
+                                                     PlanSummary summary) {
+  auto stored = std::make_shared<const PlanSummary>(std::move(summary));
+  cache_.insert_or_assign(signature, stored);
+  return stored;
 }
 
 }  // namespace ctb

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -52,7 +53,10 @@ std::uint64_t batch_signature(std::span<const GemmDims> dims,
                               const PlannerConfig& config);
 
 /// Memoizes planner decisions for repeated batch shapes. Not thread-safe;
-/// use one cache per planning thread.
+/// use one cache per planning thread (ctb::service::PlanService wraps one
+/// cache per shard behind a mutex for concurrent serving). Entries are held
+/// through shared_ptr so a plan handed out stays alive even after upsert()
+/// replaces or clear() drops its cache slot.
 class PlanCache {
  public:
   explicit PlanCache(PlannerConfig config = {});
@@ -68,6 +72,22 @@ class PlanCache {
   /// same batch after a transient failure behaves as a fresh miss.
   const PlanSummary& plan(std::span<const GemmDims> dims);
 
+  /// Lookup by precomputed signature, counting a hit or a miss (stats and
+  /// cache.hit/cache.miss telemetry); nullptr on miss. The service layer
+  /// uses this to probe without planning.
+  std::shared_ptr<const PlanSummary> lookup(std::uint64_t signature);
+
+  /// Like lookup but free of side effects — no statistics, no telemetry.
+  /// For internal presence checks that must not distort serving metrics.
+  std::shared_ptr<const PlanSummary> peek(std::uint64_t signature) const;
+
+  /// Inserts or replaces the entry for `signature` and returns the stored
+  /// pointer. Does NOT validate (callers hold already-validated summaries)
+  /// and counts neither hits nor misses; a replaced entry stays alive for
+  /// anyone still executing it. This is the service's upgrade primitive.
+  std::shared_ptr<const PlanSummary> upsert(std::uint64_t signature,
+                                            PlanSummary summary);
+
   /// Cache statistics.
   std::size_t size() const { return cache_.size(); }
   std::int64_t hits() const { return hits_; }
@@ -79,7 +99,8 @@ class PlanCache {
  private:
   BatchedGemmPlanner planner_;
   PlannerFn planner_fn_;
-  std::unordered_map<std::uint64_t, PlanSummary> cache_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const PlanSummary>>
+      cache_;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
 };

@@ -1,0 +1,103 @@
+// ctb::service failpoints — programmatic fault injection at service
+// boundaries (DESIGN.md §10).
+//
+// A failpoint is a named site in the plan service ("service.planner.slow",
+// "service.planner.throw", "service.planner.corrupt",
+// "service.fallback.alloc") that consults a process-wide registry every time
+// it is reached. Tests and chaos drills arm a site with an action (delay,
+// throw, bad_alloc, corrupt) and an optional remaining-fires budget; the
+// site then injects that fault as if the underlying component had failed.
+//
+// Armed either programmatically (set_failpoint / ScopedFailpoint) or through
+// the CTB_FAILPOINTS environment variable, parsed once at first use:
+//
+//   CTB_FAILPOINTS="service.planner.slow=delay:5000:2,service.planner.throw=throw"
+//
+// spec grammar per entry: name=action[:arg[:count]] with action one of
+// off|delay|throw|badalloc|corrupt, arg the action parameter (microseconds
+// for delay), count the number of fires (-1 / absent = unlimited). Entries
+// are separated by ',' or ';'.
+//
+// The whole registry compiles out under -DCTB_FAILPOINTS=OFF: every probe
+// becomes a constant-folded no-op, so production builds carry zero cost and
+// the chaos tests skip themselves via failpoints_compiled_in().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ctb::service {
+
+/// What an armed failpoint injects when its site is reached.
+enum class FailAction {
+  kOff,       ///< disarmed: the site behaves normally
+  kDelay,     ///< stall the site for `arg` microseconds (virtual or real)
+  kThrow,     ///< throw CheckError from the site
+  kBadAlloc,  ///< throw std::bad_alloc from the site
+  kCorrupt,   ///< corrupt the site's product (e.g. truncate an aux array)
+};
+
+const char* to_string(FailAction action);
+
+struct FailpointSpec {
+  FailAction action = FailAction::kOff;
+  std::int64_t arg = 0;  ///< action parameter; microseconds for kDelay
+  int remaining = -1;    ///< fires left before auto-disarm; -1 = unlimited
+};
+
+#ifdef CTB_FAILPOINTS_ENABLED
+
+constexpr bool failpoints_compiled_in() { return true; }
+
+/// Arms (or, with FailAction::kOff, disarms) the named site. Thread-safe.
+void set_failpoint(const std::string& name, FailpointSpec spec);
+
+/// Disarms one site / every site. Hit counts survive clear_failpoint but
+/// reset with clear_failpoints.
+void clear_failpoint(const std::string& name);
+void clear_failpoints();
+
+/// Called by the instrumented site: returns the armed spec (consuming one
+/// fire from a finite budget) or a kOff spec when the site is disarmed or
+/// exhausted. Thread-safe; the first call parses CTB_FAILPOINTS.
+FailpointSpec consume_failpoint(const char* name);
+
+/// Times the named site fired an armed action (diagnostics for chaos tests).
+std::int64_t failpoint_hits(const std::string& name);
+
+/// Parses a CTB_FAILPOINTS-grammar spec string and arms every entry it
+/// names. Returns the number of entries armed; malformed entries are
+/// skipped, never fatal (a typo in an env var must not take the service
+/// down). Exposed for tests; the env var goes through this exact path.
+int load_failpoints_from_string(const std::string& spec);
+
+#else  // !CTB_FAILPOINTS_ENABLED
+
+constexpr bool failpoints_compiled_in() { return false; }
+
+inline void set_failpoint(const std::string&, FailpointSpec) {}
+inline void clear_failpoint(const std::string&) {}
+inline void clear_failpoints() {}
+inline FailpointSpec consume_failpoint(const char*) { return {}; }
+inline std::int64_t failpoint_hits(const std::string&) { return 0; }
+inline int load_failpoints_from_string(const std::string&) { return 0; }
+
+#endif  // CTB_FAILPOINTS_ENABLED
+
+/// RAII arming for tests: arms `name` on construction, disarms on scope
+/// exit. Harmless no-op when failpoints are compiled out.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, FailpointSpec spec)
+      : name_(std::move(name)) {
+    set_failpoint(name_, spec);
+  }
+  ~ScopedFailpoint() { clear_failpoint(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace ctb::service

@@ -53,6 +53,17 @@ TimingStats TimingStats::from_samples(std::vector<double> samples_us) {
 // on every host and thread count. Timing-derived metrics (sim.busy_pct,
 // telemetry.dropped_spans, span durations) are deliberately excluded.
 
+LatencyStats LatencyStats::from_samples(std::vector<double> samples_us) {
+  LatencyStats s;
+  if (samples_us.empty()) return s;
+  std::sort(samples_us.begin(), samples_us.end());
+  s.count = static_cast<std::int64_t>(samples_us.size());
+  s.p50_us = nearest_rank(samples_us, 50.0);
+  s.p95_us = nearest_rank(samples_us, 95.0);
+  s.p99_us = nearest_rank(samples_us, 99.0);
+  return s;
+}
+
 const std::vector<std::string>& deterministic_counter_names() {
   static const std::vector<std::string> kNames = {
       "cache.evict",
@@ -94,6 +105,19 @@ const std::vector<std::string>& deterministic_counter_names() {
       "plan.policy.tiling-only",
       "plan.rf.choice.binary",
       "plan.rf.choice.threshold",
+      // service.* counters are pure functions of the replayed request
+      // sequence (hit/miss mix, state-machine transitions) as long as the
+      // suite runs the service in inline deterministic mode, which the
+      // replay suite does.
+      "service.admitted",
+      "service.deadline_miss",
+      "service.degraded",
+      "service.filter.reject",
+      "service.hit",
+      "service.miss",
+      "service.quarantined",
+      "service.retried",
+      "service.upgraded",
       "tiling.candidates",
       "tiling.fallback_128",
       "tiling.iterations",
@@ -230,7 +254,18 @@ void write_perf_report_json(std::ostream& os, const PerfReport& report) {
     write_us(os, w.timing.min_us);
     os << ", \"max_us\": ";
     write_us(os, w.timing.max_us);
-    os << "},\n      \"counters\": [";
+    os << "}";
+    if (w.lookup.count > 0) {
+      os << ",\n      \"lookup\": {\"count\": " << w.lookup.count
+         << ", \"p50_us\": ";
+      write_us(os, w.lookup.p50_us);
+      os << ", \"p95_us\": ";
+      write_us(os, w.lookup.p95_us);
+      os << ", \"p99_us\": ";
+      write_us(os, w.lookup.p99_us);
+      os << "}";
+    }
+    os << ",\n      \"counters\": [";
     bool first = true;
     for (const auto& c : w.counters) {
       os << (first ? "\n" : ",\n");
@@ -531,6 +566,18 @@ PerfReport load_perf_report(std::istream& is) {
         as_double(require(jt, "min_us", JsonValue::Type::kNumber, "timing"));
     w.timing.max_us =
         as_double(require(jt, "max_us", JsonValue::Type::kNumber, "timing"));
+    if (const JsonValue* jl = jw.find("lookup")) {
+      if (jl->type != JsonValue::Type::kObject)
+        throw PerfReportError("perf report JSON: \"lookup\" must be an object");
+      w.lookup.count = as_int(
+          require(*jl, "count", JsonValue::Type::kNumber, "lookup"), "count");
+      w.lookup.p50_us = as_double(
+          require(*jl, "p50_us", JsonValue::Type::kNumber, "lookup"));
+      w.lookup.p95_us = as_double(
+          require(*jl, "p95_us", JsonValue::Type::kNumber, "lookup"));
+      w.lookup.p99_us = as_double(
+          require(*jl, "p99_us", JsonValue::Type::kNumber, "lookup"));
+    }
     const JsonValue& jc =
         require(jw, "counters", JsonValue::Type::kArray, "workload");
     for (const JsonValue& entry : jc.array) {

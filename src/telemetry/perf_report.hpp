@@ -33,7 +33,11 @@ namespace ctb::perfreport {
 /// reports from other versions (a baseline must be regenerated knowingly).
 /// v2: added the report-level "simd_isa" field and the exec.simd.* /
 /// exec.pack.cache.* counters to the gated allowlist.
-inline constexpr int kSchemaVersion = 2;
+/// v3: added the service.* counters (plan-service state machine) to the
+/// gated allowlist and the optional per-workload "lookup" latency object
+/// (count + p50/p95/p99 µs, advisory — wall-clock, never gated) emitted by
+/// the replay suite.
+inline constexpr int kSchemaVersion = 3;
 
 /// Wall-clock statistics over one workload's k repeats. Median-of-k with
 /// interquartile range: the median resists the reference container's timing
@@ -60,12 +64,27 @@ struct HistogramStat {
   std::int64_t p99 = 0;
 };
 
+/// Per-request lookup-latency percentiles for replay workloads (plan
+/// service front door). Wall-clock, so advisory like TimingStats: recorded
+/// in the artifact, never gated by compare_reports. count == 0 means "not a
+/// replay workload" and the "lookup" object is omitted from the JSON.
+struct LatencyStats {
+  std::int64_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+
+  /// Nearest-rank percentiles of the samples. Empty input -> all zero.
+  static LatencyStats from_samples(std::vector<double> samples_us);
+};
+
 /// One workload's results: timing (advisory) + deterministic counters.
 struct WorkloadResult {
   std::string name;
   std::int64_t flops = 0;  ///< useful FLOPs of ONE repeat (2*m*n*k summed)
   int repeats = 0;
   TimingStats timing;
+  LatencyStats lookup;  ///< replay workloads only (count == 0 otherwise)
   std::vector<telemetry::CounterSample> counters;  // sorted by name
   std::vector<HistogramStat> histograms;           // sorted by name
 

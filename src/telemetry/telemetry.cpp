@@ -57,6 +57,15 @@ constexpr const char* kCoreCounters[] = {
     "exec.simd.avx2",
     "exec.simd.neon",
     "exec.simd.scalar",
+    "service.admitted",
+    "service.hit",
+    "service.miss",
+    "service.filter.reject",
+    "service.degraded",
+    "service.upgraded",
+    "service.retried",
+    "service.quarantined",
+    "service.deadline_miss",
     "sim.kernels",
     "sim.blocks",
     "sim.bubble_blocks",
@@ -64,6 +73,7 @@ constexpr const char* kCoreCounters[] = {
 };
 
 constexpr const char* kCoreHistograms[] = {
+    "service.lookup_us",
     "tiling.tlp",
     "batching.tiles_per_block",
     "batching.sum_k_per_block",

@@ -19,6 +19,8 @@
 #include "core/plan_fuzz.hpp"
 #include "core/plan_io.hpp"
 #include "kernels/functional.hpp"
+#include "service/failpoint.hpp"
+#include "service/plan_service.hpp"
 
 namespace ctb {
 namespace {
@@ -251,6 +253,167 @@ TEST(FaultInjection, StaleDimsRejectedAgainstOperands) {
   Workspace ws(reshaped, 53);
   EXPECT_THROW(run_batched_plan(pc.plan, ws.ops, 1.0f, 0.0f), CheckError);
   EXPECT_TRUE(ws.c_untouched());
+}
+
+// ---------------------------------------------------------------------------
+// Service-level chaos (DESIGN.md §10): the four injected failure classes the
+// plan service must survive. Every class either serves a plan that executes
+// bit-exactly against the naive host oracle, or throws the typed
+// PlanServiceError — never a crash, a wedged service, or corrupt output.
+// CI repeats this suite under ASan+UBSan.
+// ---------------------------------------------------------------------------
+
+using service::FailAction;
+using service::PlanService;
+using service::PlanServiceConfig;
+using service::PlanServiceError;
+using service::ScopedFailpoint;
+using service::ServedPlan;
+using service::ServeState;
+using service::VirtualClock;
+
+/// Executes a served plan and checks C bit-exact against gemm_naive over an
+/// identically seeded workspace. Both sides start from the same sentinel C,
+/// so nonzero beta is exercised too.
+void expect_served_plan_bit_exact(const ServedPlan& served,
+                                  const std::vector<GemmDims>& dims,
+                                  std::uint64_t seed) {
+  ASSERT_TRUE(served.summary != nullptr);
+  validate_plan(served.summary->plan, dims);
+  Workspace ws(dims, seed);
+  run_batched_plan(served.summary->plan, ws.ops, 1.25f, 0.5f);
+  Workspace ref(dims, seed);
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    gemm_naive(ref.a[i], ref.b[i], ref.c[i], 1.25f, 0.5f);
+    EXPECT_EQ(max_abs_diff(ws.c[i], ref.c[i]), 0.0f) << "gemm " << i;
+  }
+}
+
+// Chaos class 1: the planner stalls past the deadline. The service must
+// serve the fallback immediately, and the (late) full plan must upgrade the
+// entry — both plans executing bit-exactly.
+TEST(ServiceChaos, SlowPlannerPastDeadline) {
+  if (!service::failpoints_compiled_in())
+    GTEST_SKIP() << "built with -DCTB_FAILPOINTS=OFF";
+  VirtualClock clock;
+  PlanServiceConfig cfg;
+  cfg.deadline_us = 300;
+  cfg.clock = &clock;
+  PlanService svc(cfg);
+  ScopedFailpoint slow("service.planner.slow",
+                       {FailAction::kDelay, 50'000, -1});
+  const std::vector<GemmDims> dims = {{40, 24, 96}, {64, 64, 64}};
+
+  const ServedPlan degraded = svc.get(dims);
+  EXPECT_EQ(degraded.state, ServeState::kDegraded);
+  expect_served_plan_bit_exact(degraded, dims, 61);
+
+  svc.drain();
+  EXPECT_EQ(svc.stats().upgraded, 1);
+  const ServedPlan upgraded = svc.get(dims);
+  EXPECT_EQ(upgraded.state, ServeState::kHit);
+  expect_served_plan_bit_exact(upgraded, dims, 61);
+}
+
+// Chaos class 2: the planner throws mid-flight. Transient -> retried to a
+// full plan; persistent -> degraded serving, still bit-exact.
+TEST(ServiceChaos, PlannerThrowingMidFlight) {
+  if (!service::failpoints_compiled_in())
+    GTEST_SKIP() << "built with -DCTB_FAILPOINTS=OFF";
+  const std::vector<GemmDims> dims = {{16, 32, 48}, {100, 50, 60}};
+  {
+    PlanServiceConfig cfg;
+    cfg.deadline_us = 0;
+    PlanService svc(cfg);
+    ScopedFailpoint transient("service.planner.throw",
+                              {FailAction::kThrow, 0, 1});
+    const ServedPlan served = svc.get(dims);
+    EXPECT_EQ(served.state, ServeState::kPlanned);
+    EXPECT_EQ(svc.stats().retried, 1);
+    expect_served_plan_bit_exact(served, dims, 67);
+  }
+  {
+    PlanServiceConfig cfg;
+    cfg.deadline_us = 0;
+    PlanService svc(cfg);
+    ScopedFailpoint persistent("service.planner.throw",
+                               {FailAction::kThrow, 0, -1});
+    const ServedPlan served = svc.get(dims);
+    EXPECT_EQ(served.state, ServeState::kDegraded);
+    expect_served_plan_bit_exact(served, dims, 71);
+  }
+}
+
+// Chaos class 3: allocation failure while computing the fallback, with the
+// full planner down too. The only correct outcome is the typed error — and
+// the service must serve normally once the faults lift (no wedged state).
+TEST(ServiceChaos, AllocationFailureDuringFallback) {
+  if (!service::failpoints_compiled_in())
+    GTEST_SKIP() << "built with -DCTB_FAILPOINTS=OFF";
+  PlanServiceConfig cfg;
+  cfg.deadline_us = 0;
+  cfg.max_retries = 0;
+  PlanService svc(cfg);
+  const std::vector<GemmDims> dims = {{64, 64, 32}, {40, 24, 96}};
+  {
+    ScopedFailpoint down("service.planner.throw",
+                         {FailAction::kThrow, 0, -1});
+    ScopedFailpoint oom("service.fallback.alloc",
+                        {FailAction::kBadAlloc, 0, -1});
+    try {
+      (void)svc.get(dims);
+      FAIL() << "expected PlanServiceError";
+    } catch (const PlanServiceError& e) {
+      EXPECT_EQ(e.kind(), PlanServiceError::Kind::kFallbackFailed);
+    }
+    EXPECT_EQ(svc.size(), 0u);  // nothing half-cached
+  }
+  // Faults lifted: the same batch now plans normally on the first try.
+  const ServedPlan served = svc.get(dims);
+  EXPECT_EQ(served.state, ServeState::kPlanned);
+  expect_served_plan_bit_exact(served, dims, 73);
+}
+
+// Chaos class 4: an injected PlannerFn emits structurally corrupt plans.
+// Validation inside the service must reject every one (the corrupt plan is
+// never served), degrade, quarantine after repeats, and recover after
+// release. Runs even when failpoints are compiled out — the injection is a
+// config-level PlannerFn, not a failpoint.
+TEST(ServiceChaos, CorruptPlanFromInjectedPlannerFn) {
+  PlanServiceConfig cfg;
+  cfg.deadline_us = 0;
+  cfg.max_retries = 0;
+  cfg.quarantine_threshold = 2;
+  auto corrupt_calls = std::make_shared<std::atomic<int>>(2);
+  const BatchedGemmPlanner planner(cfg.planner);
+  cfg.planner_fn = [&planner,
+                    corrupt_calls](std::span<const GemmDims> d) {
+    PlanSummary summary = planner.plan(d);
+    if (corrupt_calls->fetch_sub(1) > 0 &&
+        !summary.plan.gemm_of_tile.empty())
+      summary.plan.gemm_of_tile.pop_back();
+    return summary;
+  };
+  PlanService svc(cfg);
+  const std::vector<GemmDims> dims = {{16, 32, 48}, {64, 64, 64},
+                                      {40, 24, 96}};
+
+  // Corrupt plan rejected -> degraded fallback, which executes bit-exactly.
+  const ServedPlan degraded = svc.get(dims);
+  EXPECT_EQ(degraded.state, ServeState::kDegraded);
+  expect_served_plan_bit_exact(degraded, dims, 79);
+
+  // Second corrupt episode crosses the quarantine threshold.
+  EXPECT_EQ(svc.get(dims).state, ServeState::kDegraded);
+  EXPECT_TRUE(svc.is_quarantined(dims));
+  EXPECT_EQ(svc.get(dims).state, ServeState::kQuarantined);
+
+  // Planner healed + quarantine lifted -> the entry upgrades and the full
+  // plan is bit-exact too.
+  EXPECT_EQ(svc.release_quarantined(), 1u);
+  const ServedPlan upgraded = svc.get(dims);
+  EXPECT_EQ(upgraded.state, ServeState::kUpgraded);
+  expect_served_plan_bit_exact(upgraded, dims, 83);
 }
 
 }  // namespace

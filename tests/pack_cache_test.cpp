@@ -5,6 +5,8 @@
 // bytes a fresh repack would.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "kernels/microkernel.hpp"
 #include "kernels/pack_cache.hpp"
 #include "kernels/packing.hpp"
+#include "service/plan_service.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ctb {
@@ -263,6 +266,49 @@ TEST(PackGemmBudget, MixedAdmissionSplitsPathsBitExact) {
   for (std::size_t i = 0; i < mixed.size(); ++i)
     expect_bitwise_equal(mixed[i].c, generic[i].c,
                          "mixed-admission/gemm" + std::to_string(i));
+}
+
+// A plan-service upgrade (degraded entry replaced by the full plan) must
+// invalidate the process-wide pack cache: panels packed while executing the
+// degraded plan would otherwise survive into a world where the service hands
+// out a differently-tiled plan for the same batch.
+TEST(PackCache, PlanServiceUpgradeInvalidatesPackCache) {
+  service::VirtualClock clock;
+  service::PlanServiceConfig cfg;
+  cfg.deadline_us = 500;
+  cfg.clock = &clock;
+  const BatchedGemmPlanner slow_planner(cfg.planner);
+  // The worker blocks on `release` so the upgrade cannot land before the
+  // test has populated the pack cache under the degraded plan.
+  auto release = std::make_shared<std::atomic<bool>>(false);
+  cfg.planner_fn = [&slow_planner, &clock,
+                    release](std::span<const GemmDims> dims) {
+    clock.advance(10'000);  // full planning always blows the deadline
+    while (!release->load())
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    return slow_planner.plan(dims);
+  };
+  service::PlanService svc(cfg);
+  const std::vector<GemmDims> dims = {{64, 64, 32}};
+
+  ScopedPackCache scope;
+  const service::ServedPlan degraded = svc.get(dims);
+  ASSERT_EQ(degraded.state, service::ServeState::kDegraded);
+  // Populate the pack cache while the degraded plan is what's being served.
+  const TilingStrategy& s = batched_strategy_by_id(5);
+  GemmCase gc(dims[0], 60);
+  run_single_gemm(s, gc.ops, 1.0f, 0.0f);  // miss + insert
+  ASSERT_EQ(pack_cache_entries(), 1u);
+  const std::uint64_t pack_gen = pack_cache_generation();
+
+  // The background upgrade replaces the degraded entry — and must drop the
+  // panels packed under it.
+  release->store(true);
+  svc.drain();
+  ASSERT_EQ(svc.stats().upgraded, 1);
+  EXPECT_GT(pack_cache_generation(), pack_gen);
+  EXPECT_EQ(pack_cache_entries(), 0u);
+  EXPECT_EQ(pack_cache_bytes(), 0u);
 }
 
 TEST(PackGemmBudget, ZeroCapDisablesPackingEntirely) {

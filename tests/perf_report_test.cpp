@@ -23,6 +23,7 @@ namespace {
 using perfreport::CompareOptions;
 using perfreport::CompareResult;
 using perfreport::DeltaClass;
+using perfreport::LatencyStats;
 using perfreport::PerfReport;
 using perfreport::TimingStats;
 using perfreport::WorkloadResult;
@@ -179,6 +180,56 @@ TEST(PerfReportTaxonomy, AllowlistCarriesSimdAndPackCacheCounters) {
   }
   // The allowlist stays sorted (reports and comparisons walk it in order).
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(PerfReportTaxonomy, AllowlistCarriesServiceCounters) {
+  const auto& names = perfreport::deterministic_counter_names();
+  for (const char* required :
+       {"service.admitted", "service.deadline_miss", "service.degraded",
+        "service.filter.reject", "service.hit", "service.miss",
+        "service.quarantined", "service.retried", "service.upgraded"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required;
+  }
+}
+
+TEST(LatencyStatsTest, NearestRankPercentiles) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(static_cast<double>(i));
+  const LatencyStats s = LatencyStats::from_samples(std::move(samples));
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.p50_us, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95_us, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 99.0);
+
+  const LatencyStats empty = LatencyStats::from_samples({});
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_DOUBLE_EQ(empty.p50_us, 0.0);
+}
+
+TEST(PerfReportJson, LookupLatencyRoundTripsAndIsOmittedWhenEmpty) {
+  PerfReport report = make_report(
+      {make_workload("replay/x", 10.0, 1, 0), make_workload("plain", 5.0, 1, 0)});
+  report.workloads[1].lookup =
+      LatencyStats{2048, 1.5, 12.25, 80.0};  // "replay/x" after sorting
+  std::ostringstream os;
+  perfreport::write_perf_report_json(os, report);
+  EXPECT_NE(os.str().find("\"lookup\""), std::string::npos) << os.str();
+
+  std::istringstream is(os.str());
+  const PerfReport loaded = perfreport::load_perf_report(is);
+  ASSERT_EQ(loaded.workloads.size(), 2u);
+  EXPECT_EQ(loaded.workloads[0].name, "plain");
+  EXPECT_EQ(loaded.workloads[0].lookup.count, 0);  // omitted -> default
+  EXPECT_EQ(loaded.workloads[1].lookup.count, 2048);
+  EXPECT_DOUBLE_EQ(loaded.workloads[1].lookup.p50_us, 1.5);
+  EXPECT_DOUBLE_EQ(loaded.workloads[1].lookup.p95_us, 12.25);
+  EXPECT_DOUBLE_EQ(loaded.workloads[1].lookup.p99_us, 80.0);
+
+  // Round trip is byte-identical (canonical serialization).
+  std::ostringstream second;
+  perfreport::write_perf_report_json(second, loaded);
+  EXPECT_EQ(os.str(), second.str());
 }
 
 TEST(PerfReportCompare, IdenticalReportsMatch) {

@@ -8,12 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "core/api.hpp"
+#include "core/plan_io.hpp"
 #include "core/rf_policy.hpp"
 #include "kernels/functional.hpp"
+#include "service/plan_service.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -227,6 +230,70 @@ TEST(PlanProperty, RandomForest) {
 
 TEST(PlanProperty, TilingOnly) {
   run_policy_property(BatchingPolicy::kTilingOnly);
+}
+
+// Degraded-then-upgraded serving through the plan service: for random cases,
+// the instantly-served fallback plan AND the upgraded full plan must both
+// satisfy every structural property and execute bit-identically to
+// reference_gemm. This is the acceptance property of DESIGN.md §10 — a
+// deadline miss may cost plan quality, never correctness.
+TEST(PlanProperty, ServiceDegradedThenUpgradedBitExact) {
+  service::VirtualClock clock;
+  service::PlanServiceConfig cfg;
+  cfg.deadline_us = 250;
+  cfg.clock = &clock;
+  const BatchedGemmPlanner real_planner(cfg.planner);
+  cfg.planner_fn = [&](std::span<const GemmDims> dims) {
+    clock.advance(5'000);  // every full planning misses the deadline
+    return real_planner.plan(dims);
+  };
+  service::PlanService svc(cfg);
+  ScopedParallelThreads guard(2);
+
+  Rng rng(0xDE6BADEULL);
+  std::set<std::uint64_t> seen;
+  for (int iter = 0; iter < kCasesPerPolicy; ++iter) {
+    const PropertyCase pc = random_case(rng);
+    // Distinct signatures only: a repeat would hit the (already upgraded)
+    // entry and skip the degraded phase this test is about.
+    if (!seen.insert(batch_signature(pc.dims, cfg.planner)).second) continue;
+    const std::string what = "service iter=" + std::to_string(iter);
+
+    const service::ServedPlan degraded = svc.get(pc.dims);
+    ASSERT_TRUE(degraded.summary != nullptr) << what;
+    ASSERT_EQ(degraded.state, service::ServeState::kDegraded) << what;
+    check_plan_properties(degraded.summary->plan, pc.dims, what + " degraded");
+    {
+      CaseStorage plan_run = materialize(pc);
+      run_batched_plan(degraded.summary->plan, plan_run.ops, pc.alpha,
+                       pc.beta);
+      CaseStorage ref_run = materialize(pc);
+      for (std::size_t i = 0; i < ref_run.ops.size(); ++i)
+        reference_gemm(ref_run.ops[i], pc.alpha, pc.beta);
+      for (std::size_t i = 0; i < pc.dims.size(); ++i)
+        expect_bitwise_equal(ref_run.c[i], plan_run.c[i],
+                             what + " degraded gemm " + std::to_string(i));
+    }
+
+    svc.drain();  // let the background upgrade land
+    const service::ServedPlan upgraded = svc.get(pc.dims);
+    ASSERT_TRUE(upgraded.summary != nullptr) << what;
+    ASSERT_EQ(upgraded.state, service::ServeState::kHit) << what;
+    check_plan_properties(upgraded.summary->plan, pc.dims, what + " upgraded");
+    {
+      CaseStorage plan_run = materialize(pc);
+      run_batched_plan(upgraded.summary->plan, plan_run.ops, pc.alpha,
+                       pc.beta);
+      CaseStorage ref_run = materialize(pc);
+      for (std::size_t i = 0; i < ref_run.ops.size(); ++i)
+        reference_gemm(ref_run.ops[i], pc.alpha, pc.beta);
+      for (std::size_t i = 0; i < pc.dims.size(); ++i)
+        expect_bitwise_equal(ref_run.c[i], plan_run.c[i],
+                             what + " upgraded gemm " + std::to_string(i));
+    }
+  }
+  EXPECT_EQ(svc.stats().upgraded,
+            static_cast<std::int64_t>(seen.size()));
 }
 
 }  // namespace

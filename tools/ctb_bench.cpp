@@ -107,7 +107,7 @@ int fold_reports(const std::string& dir, std::ostream& os) {
 
 int run(int argc, char** argv) {
   ctb::CliFlags flags;
-  flags.define("suite", "quick", "workload suite: quick | full");
+  flags.define("suite", "quick", "workload suite: quick | full | replay");
   flags.define("repeats", "5", "timing repeats per workload (median-of-k)");
   flags.define("tag", "local", "run label embedded in the report");
   flags.define("out", "", "output path (default BENCH_<tag>.json)");
@@ -128,7 +128,7 @@ int run(int argc, char** argv) {
       ctb::bench::perf_suite(suite_name);
   if (suite.empty()) {
     std::cerr << "error: unknown suite '" << suite_name
-              << "' (available: quick, full)\n";
+              << "' (available: quick, full, replay)\n";
     return 2;
   }
 
