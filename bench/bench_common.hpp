@@ -216,6 +216,9 @@ struct BenchWorkload {
   /// packs and every later repeat hits, which is the repeated-plan
   /// amortization the cache exists for.
   bool use_pack_cache = false;
+  /// Planner split-K mode for planner-policy workloads (kForce/kOff form
+  /// the paired A/B below; kAuto is the production default).
+  SplitKMode splitk = SplitKMode::kAuto;
   /// Replay workloads (> 0): instead of executing `dims`, run this many
   /// plan-service lookups drawn from `replay_pool` (each entry one batch)
   /// through a fresh inline-mode PlanService per repeat, measuring
@@ -243,11 +246,12 @@ inline void add_workload(std::vector<BenchWorkload>& out, BenchWorkload w) {
 
 }  // namespace detail
 
-/// The quick suite (~21 workloads, a few seconds on the 1-core reference
+/// The quick suite (~23 workloads, a few seconds on the 1-core reference
 /// container): four fig8/fig9 sweep cells spanning the grid corners, three
 /// GoogLeNet inception stages and two SqueezeNet expand fans (the paper's
-/// Section-7.3 DNN batches, auto-offline policy), plus one pinned workload
-/// per Table-2 batched strategy so every specialized microkernel is covered.
+/// Section-7.3 DNN batches, auto-offline policy), one pinned workload per
+/// Table-2 batched strategy so every specialized microkernel is covered,
+/// the cached A/B pair, and a tall-skinny split-K A/B pair.
 inline std::vector<BenchWorkload> perf_quick_suite() {
   std::vector<BenchWorkload> out;
   for (const SweepCell& c : {SweepCell{128, 4, 64}, SweepCell{128, 16, 256},
@@ -289,6 +293,23 @@ inline std::vector<BenchWorkload> perf_quick_suite() {
     detail::add_workload(out, {"cached/sweep/mn128/b16/k256",
                                equal_case(16, 128, 256),
                                BatchingPolicy::kThresholdOnly, -1, true});
+  }
+  // Paired A/B for the split-K axis: the same tall-skinny batch (few C
+  // tiles, deep K — far too little TLP to fill the simulated machine)
+  // planned with split-K forced off vs forced on. The report pair pins the
+  // scheduling effect: the split variant shows more exec.blocks and
+  // nonzero exec.splitk.* at bit-identical exec.flops.
+  {
+    BenchWorkload unsplit;
+    unsplit.name = "splitk/tall-skinny/unsplit";
+    unsplit.dims = {{512, 64, 1024}, {384, 64, 768}};
+    unsplit.policy = BatchingPolicy::kThresholdOnly;
+    unsplit.splitk = SplitKMode::kOff;
+    BenchWorkload split = unsplit;
+    split.name = "splitk/tall-skinny/split";
+    split.splitk = SplitKMode::kForce;
+    detail::add_workload(out, std::move(unsplit));
+    detail::add_workload(out, std::move(split));
   }
   return out;
 }
@@ -456,6 +477,7 @@ inline perfreport::WorkloadResult run_perf_workload(const BenchWorkload& w,
     } else {
       PlannerConfig config;
       config.policy = w.policy;
+      config.splitk = w.splitk;
       PlanCache cache(config);
       for (int r = 0; r < repeats; ++r) timed_execute(cache.plan(w.dims).plan);
     }

@@ -27,6 +27,18 @@ const char* to_string(BatchingPolicy policy) {
   return "?";
 }
 
+const char* to_string(SplitKMode mode) {
+  switch (mode) {
+    case SplitKMode::kAuto:
+      return "auto";
+    case SplitKMode::kOff:
+      return "off";
+    case SplitKMode::kForce:
+      return "force";
+  }
+  return "?";
+}
+
 long long default_tlp_threshold(const GpuArch& arch) {
   // 0.4 * thread capacity; equals the paper's 65536 on the V100 preset
   // (0.4 * 80 SMs * 2048 threads).
@@ -43,6 +55,9 @@ PlannerConfig degraded_fallback_config(const PlannerConfig& config) {
   PlannerConfig fallback = config;
   fallback.policy = BatchingPolicy::kThresholdOnly;
   fallback.forest = nullptr;
+  // Split-K candidates need a simulator sweep per slice count — exactly the
+  // kind of work a deadline-bounded fallback cannot afford.
+  fallback.splitk = SplitKMode::kOff;
   return fallback;
 }
 
@@ -112,12 +127,61 @@ PlanSummary BatchedGemmPlanner::plan(std::span<const GemmDims> dims) const {
       CTB_DEBUG("auto-offline: threshold=" << t_thr << "us binary=" << t_bin
                                            << "us -> "
                                            << to_string(summary.heuristic));
+      consider_splitk(summary, tiles, threads, batching_config, dims);
       return summary;
     }
   }
   summary.plan = batch_tiles(summary.heuristic, tiles, threads,
                              batching_config);
+  consider_splitk(summary, tiles, threads, batching_config, dims);
   return summary;
+}
+
+void BatchedGemmPlanner::consider_splitk(
+    PlanSummary& summary, std::span<const Tile> tiles, int threads,
+    const BatchingConfig& batching_config,
+    std::span<const GemmDims> dims) const {
+  if (config_.splitk == SplitKMode::kOff || config_.max_splitk < 2) return;
+  // TLP-scarcity trigger: a plan already launching at least half the TLP
+  // threshold's worth of threads fills the machine, so extra split-K blocks
+  // would only add fix-up reduction traffic. Mirrors the batching engine's
+  // own "merge only while TLP exceeds half the threshold" guard.
+  const long long launched =
+      static_cast<long long>(summary.plan.num_blocks()) *
+      summary.plan.block_threads;
+  if (config_.splitk == SplitKMode::kAuto &&
+      launched >= config_.tlp_threshold / 2)
+    return;
+  CTB_TEL_SPAN("plan.splitk.consider");
+  const double unsplit_us =
+      time_plan(arch_, summary.plan, dims, config_.precision).time_us;
+  BatchPlan best_split;
+  double best_split_us = 0.0;
+  std::size_t last_size = tiles.size();
+  for (int slices = 2; slices <= config_.max_splitk; slices *= 2) {
+    const std::vector<Tile> split = split_tiles_k(tiles, slices);
+    // Sizes stop growing once every tile is down to one BK step per slice;
+    // nothing new to evaluate past that point.
+    if (split.size() == last_size) break;
+    last_size = split.size();
+    BatchPlan candidate =
+        batch_tiles(summary.heuristic, split, threads, batching_config);
+    CTB_TEL_COUNT("plan.splitk.considered", 1);
+    const double t =
+        time_plan(arch_, candidate, dims, config_.precision).time_us;
+    if (best_split.num_tiles() == 0 || t < best_split_us) {
+      best_split = std::move(candidate);
+      best_split_us = t;
+    }
+  }
+  if (best_split.num_tiles() == 0) return;  // K loops too short to split
+  if (config_.splitk != SplitKMode::kForce && best_split_us >= unsplit_us)
+    return;
+  CTB_TEL_COUNT("plan.splitk.chosen", 1);
+  CTB_DEBUG("split-K: unsplit=" << unsplit_us << "us split=" << best_split_us
+                                << "us (" << best_split.num_tiles()
+                                << " tiles) -> split");
+  summary.plan = std::move(best_split);
 }
 
 TimedResult time_plan(const GpuArch& arch, const BatchPlan& plan,

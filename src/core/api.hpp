@@ -35,6 +35,19 @@ enum class BatchingPolicy {
 
 const char* to_string(BatchingPolicy policy);
 
+/// Split-K planning mode — the third scheduling axis (DESIGN.md §11).
+enum class SplitKMode {
+  kAuto,   ///< consider split-K only when the unsplit plan is TLP-scarce
+           ///< (launched threads < tlp_threshold / 2) and keep it when the
+           ///< simulator says it wins
+  kOff,    ///< never split (the degraded serving configuration: no extra
+           ///< simulator sweep on the fallback path)
+  kForce,  ///< skip the scarcity trigger and keep the fastest *split*
+           ///< candidate whenever the batch's K extents allow one
+};
+
+const char* to_string(SplitKMode mode);
+
 /// TLP threshold for an architecture: 65536 on V100 (paper), scaled for
 /// other GPUs by their thread capacity (0.4 * SMs * threads-per-SM, which
 /// reproduces 65536 exactly on the V100 preset).
@@ -54,6 +67,15 @@ struct PlannerConfig {
   /// Execution precision (kFp16 = tensor-core semantics; planning itself is
   /// precision-independent, the strategy tables are the paper's FP32 suite).
   Precision precision = Precision::kFp32;
+  /// Split-K scheduling axis: when a batch's tiles cannot fill the machine,
+  /// each tile's K loop may be partitioned into BK-aligned slices executed
+  /// as extra blocks with a deterministic carried-chain fix-up reduction
+  /// (bit-identical to the unsplit plan — see run_batched_plan). Candidate
+  /// split plans are sim-compared against the unsplit plan via time_plan.
+  SplitKMode splitk = SplitKMode::kAuto;
+  /// Upper bound on K slices per tile; candidates sweep powers of two
+  /// (2, 4, ..., max_splitk).
+  int max_splitk = 8;
   /// When set, batched_gemm executes through try_execute_plan: a plan that
   /// fails validation degrades to the bit-exact reference GEMM path instead
   /// of throwing. Off by default — a planner bug should be loud in
@@ -88,6 +110,14 @@ class BatchedGemmPlanner {
   const GpuArch& arch() const { return arch_; }
 
  private:
+  /// Split-K candidate generation: when enabled and triggered, sweeps
+  /// power-of-two slice counts over the enumerated tiles, batches each
+  /// candidate with the already-chosen heuristic, and replaces summary.plan
+  /// when the simulator prefers a split plan (always, under kForce).
+  void consider_splitk(PlanSummary& summary, std::span<const Tile> tiles,
+                       int threads, const BatchingConfig& batching_config,
+                       std::span<const GemmDims> dims) const;
+
   PlannerConfig config_;
   GpuArch arch_;
 };

@@ -1,6 +1,7 @@
 #include "core/batch_plan.hpp"
 
 #include <algorithm>
+#include <array>
 #include <set>
 #include <sstream>
 
@@ -20,7 +21,8 @@ std::vector<Tile> enumerate_tiles(
     const int tx_count = (dims[g].n + s.bx - 1) / s.bx;
     for (int ty = 0; ty < ty_count; ++ty) {
       for (int tx = 0; tx < tx_count; ++tx) {
-        tiles.push_back(Tile{static_cast<int>(g), ty, tx, dims[g].k, &s});
+        tiles.push_back(
+            Tile{static_cast<int>(g), ty, tx, dims[g].k, 0, 0, &s});
       }
     }
   }
@@ -33,6 +35,9 @@ BatchPlan build_plan(std::span<const std::vector<Tile>> blocks,
   plan.block_threads = block_threads;
   plan.tile_offsets.reserve(blocks.size() + 1);
   plan.tile_offsets.push_back(0);
+  bool any_split = false;
+  for (const auto& block : blocks)
+    for (const Tile& t : block) any_split = any_split || t.k_end != 0;
   for (const auto& block : blocks) {
     for (const Tile& t : block) {
       CTB_CHECK(t.strategy != nullptr);
@@ -44,6 +49,10 @@ BatchPlan build_plan(std::span<const std::vector<Tile>> blocks,
       plan.strategy_of_tile.push_back(t.strategy->id);
       plan.y_coord.push_back(t.ty);
       plan.x_coord.push_back(t.tx);
+      if (any_split) {
+        plan.k_begin.push_back(t.k_end != 0 ? t.k_begin : 0);
+        plan.k_end.push_back(t.k_end != 0 ? t.k_end : t.k);
+      }
       plan.smem_bytes = std::max(plan.smem_bytes, t.strategy->smem_bytes());
       plan.regs_per_thread =
           std::max(plan.regs_per_thread, t.strategy->regs_per_thread());
@@ -59,6 +68,38 @@ BatchPlan build_plan(std::span<const std::vector<Tile>> blocks,
     }
   }
   return plan;
+}
+
+std::vector<Tile> split_tiles_k(std::span<const Tile> tiles, int slices) {
+  if (slices <= 1) return {tiles.begin(), tiles.end()};
+  std::vector<Tile> out;
+  out.reserve(tiles.size() * static_cast<std::size_t>(slices));
+  for (const Tile& t : tiles) {
+    CTB_CHECK(t.strategy != nullptr);
+    CTB_CHECK_MSG(t.k_end == 0, "split_tiles_k over an already-split tile");
+    const int bk = t.strategy->bk;
+    const int nsteps = (t.k + bk - 1) / bk;
+    const int n = std::min(slices, nsteps);
+    if (n <= 1) {
+      out.push_back(t);
+      continue;
+    }
+    // Distribute K steps as evenly as possible; earlier slices take the
+    // extra step so the ragged K tail always lands in the last slice.
+    const int q = nsteps / n;
+    const int r = nsteps % n;
+    int step = 0;
+    for (int s = 0; s < n; ++s) {
+      const int take = q + (s < r ? 1 : 0);
+      Tile slice = t;
+      slice.k_begin = step * bk;
+      slice.k_end = std::min((step + take) * bk, t.k);
+      slice.k = slice.k_end - slice.k_begin;
+      out.push_back(slice);
+      step += take;
+    }
+  }
+  return out;
 }
 
 namespace {
@@ -135,6 +176,32 @@ void validate_plan_structure(const BatchPlan& plan) {
                 "plan register footprint "
                     << plan.regs_per_thread << " outside [" << needed_regs
                     << ", " << kMaxPlanRegsPerThread << "]");
+
+  // Split-K aux arrays: either absent entirely or complete, every range
+  // non-empty with a BK-aligned start (K-independent invariants; range ends
+  // are checked against the batch dims in validate_plan).
+  CTB_CHECK_MSG(plan.k_begin.size() == plan.k_end.size(),
+                "K-range arrays disagree: " << plan.k_begin.size()
+                                            << " begins vs "
+                                            << plan.k_end.size() << " ends");
+  if (plan.has_split()) {
+    CTB_CHECK_MSG(static_cast<int>(plan.k_begin.size()) == plan.num_tiles(),
+                  "K-range arrays hold " << plan.k_begin.size()
+                                         << " entries for "
+                                         << plan.num_tiles() << " tiles");
+    for (int t = 0; t < plan.num_tiles(); ++t) {
+      const int kb = plan.k_begin[static_cast<std::size_t>(t)];
+      const int ke = plan.k_end[static_cast<std::size_t>(t)];
+      CTB_CHECK_MSG(kb >= 0, "tile " << t << " has negative k_begin " << kb);
+      CTB_CHECK_MSG(ke > kb, "tile " << t << " has empty K range [" << kb
+                                     << "," << ke << ")");
+      const TilingStrategy& s = batched_strategy_by_id(
+          plan.strategy_of_tile[static_cast<std::size_t>(t)]);
+      CTB_CHECK_MSG(kb % s.bk == 0,
+                    "tile " << t << " k_begin " << kb
+                            << " not aligned to BK=" << s.bk);
+    }
+  }
 }
 
 void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims) {
@@ -161,23 +228,90 @@ void validate_plan(const BatchPlan& plan, std::span<const GemmDims> dims) {
     CTB_CHECK_MSG(ty >= 0 && ty < ty_count && tx >= 0 && tx < tx_count,
                   "tile (" << ty << "," << tx << ") out of range for GEMM "
                            << g);
+    if (plan.has_split()) {
+      const int ke = plan.k_end[static_cast<std::size_t>(t)];
+      CTB_CHECK_MSG(ke <= d.k, "tile " << t << " K range ends at " << ke
+                                       << " past K=" << d.k << " of GEMM "
+                                       << g);
+      CTB_CHECK_MSG(ke == d.k || ke % s.bk == 0,
+                    "tile " << t << " interior K boundary " << ke
+                            << " not aligned to BK=" << s.bk);
+    }
     seen[static_cast<std::size_t>(g)].push_back({ty, tx});
+  }
+  if (!plan.has_split()) {
+    for (std::size_t g = 0; g < dims.size(); ++g) {
+      CTB_CHECK_MSG(gemm_strategy[g] >= 0, "GEMM " << g << " has no tiles");
+      auto& tiles = seen[g];
+      std::sort(tiles.begin(), tiles.end());
+      const auto dup = std::adjacent_find(tiles.begin(), tiles.end());
+      CTB_CHECK_MSG(dup == tiles.end(),
+                    "tile (" << (dup == tiles.end() ? 0 : dup->first) << ","
+                             << (dup == tiles.end() ? 0 : dup->second)
+                             << ") of GEMM " << g << " assigned twice");
+      const TilingStrategy& s = batched_strategy_by_id(gemm_strategy[g]);
+      const std::size_t expected =
+          static_cast<std::size_t>(s.tiles_for(dims[g].m, dims[g].n));
+      CTB_CHECK_MSG(tiles.size() == expected,
+                    "GEMM " << g << " covered by " << tiles.size()
+                            << " tiles, expected " << expected);
+    }
+    return;
+  }
+
+  // Split-K coverage: the slices of each (GEMM, ty, tx) coordinate must
+  // form an exact, gap-free, non-overlapping ascending partition of [0, K).
+  // Sorting by (coord, k_begin) makes every violation a local adjacency
+  // check: overlap and gap both show up as next.k_begin != prev.k_end.
+  std::vector<std::vector<std::array<int, 4>>> slices(dims.size());
+  for (int t = 0; t < plan.num_tiles(); ++t) {
+    const std::size_t g =
+        static_cast<std::size_t>(plan.gemm_of_tile[static_cast<std::size_t>(t)]);
+    slices[g].push_back({plan.y_coord[static_cast<std::size_t>(t)],
+                         plan.x_coord[static_cast<std::size_t>(t)],
+                         plan.k_begin[static_cast<std::size_t>(t)],
+                         plan.k_end[static_cast<std::size_t>(t)]});
   }
   for (std::size_t g = 0; g < dims.size(); ++g) {
     CTB_CHECK_MSG(gemm_strategy[g] >= 0, "GEMM " << g << " has no tiles");
-    auto& tiles = seen[g];
-    std::sort(tiles.begin(), tiles.end());
-    const auto dup = std::adjacent_find(tiles.begin(), tiles.end());
-    CTB_CHECK_MSG(dup == tiles.end(),
-                  "tile (" << (dup == tiles.end() ? 0 : dup->first) << ","
-                           << (dup == tiles.end() ? 0 : dup->second)
-                           << ") of GEMM " << g << " assigned twice");
+    auto& sl = slices[g];
+    std::sort(sl.begin(), sl.end());
+    const int K = dims[g].k;
+    std::size_t coords = 0;
+    for (std::size_t i = 0; i < sl.size(); ++i) {
+      const bool first_of_coord =
+          i == 0 || sl[i][0] != sl[i - 1][0] || sl[i][1] != sl[i - 1][1];
+      if (first_of_coord) {
+        ++coords;
+        CTB_CHECK_MSG(sl[i][2] == 0, "tile (" << sl[i][0] << "," << sl[i][1]
+                                              << ") of GEMM " << g
+                                              << " K coverage starts at "
+                                              << sl[i][2] << ", not 0");
+        if (i > 0)
+          CTB_CHECK_MSG(sl[i - 1][3] == K,
+                        "tile (" << sl[i - 1][0] << "," << sl[i - 1][1]
+                                 << ") of GEMM " << g
+                                 << " K coverage ends at " << sl[i - 1][3]
+                                 << ", not K=" << K);
+      } else {
+        CTB_CHECK_MSG(sl[i][2] == sl[i - 1][3],
+                      "tile (" << sl[i][0] << "," << sl[i][1] << ") of GEMM "
+                               << g << " K ranges "
+                               << (sl[i][2] < sl[i - 1][3] ? "overlap"
+                                                           : "leave a gap")
+                               << " at k=" << sl[i][2]);
+      }
+    }
+    CTB_CHECK_MSG(sl.empty() || sl.back()[3] == K,
+                  "tile (" << sl.back()[0] << "," << sl.back()[1]
+                           << ") of GEMM " << g << " K coverage ends at "
+                           << sl.back()[3] << ", not K=" << K);
     const TilingStrategy& s = batched_strategy_by_id(gemm_strategy[g]);
     const std::size_t expected =
         static_cast<std::size_t>(s.tiles_for(dims[g].m, dims[g].n));
-    CTB_CHECK_MSG(tiles.size() == expected,
-                  "GEMM " << g << " covered by " << tiles.size()
-                          << " tiles, expected " << expected);
+    CTB_CHECK_MSG(coords == expected,
+                  "GEMM " << g << " covered by " << coords
+                          << " tile coordinates, expected " << expected);
   }
 }
 
@@ -204,6 +338,12 @@ std::string to_string(const BatchPlan& plan) {
   for (int v : plan.y_coord) os << v << ' ';
   os << "\n  X_Coord:  ";
   for (int v : plan.x_coord) os << v << ' ';
+  if (plan.has_split()) {
+    os << "\n  K_Begin:  ";
+    for (int v : plan.k_begin) os << v << ' ';
+    os << "\n  K_End:    ";
+    for (int v : plan.k_end) os << v << ' ';
+  }
   os << '\n';
   return os.str();
 }

@@ -21,7 +21,10 @@ const std::vector<PlanFault>& all_plan_faults() {
       PlanFault::kOffsetsBackMismatch,  PlanFault::kThreadVariantMismatch,
       PlanFault::kBlockThreadsInvalid,  PlanFault::kOffsetsOverflow,
       PlanFault::kCoordOverflow,        PlanFault::kSmemOverflow,
-      PlanFault::kRegsOverflow,
+      PlanFault::kRegsOverflow,         PlanFault::kSplitOverlap,
+      PlanFault::kSplitGap,             PlanFault::kSplitEndPastK,
+      PlanFault::kSplitZeroLength,      PlanFault::kSplitUnaligned,
+      PlanFault::kSplitTruncated,
   };
   return faults;
 }
@@ -54,6 +57,12 @@ const char* to_string(PlanFault fault) {
     case PlanFault::kCoordOverflow: return "coord-overflow";
     case PlanFault::kSmemOverflow: return "smem-overflow";
     case PlanFault::kRegsOverflow: return "regs-overflow";
+    case PlanFault::kSplitOverlap: return "split-overlap";
+    case PlanFault::kSplitGap: return "split-gap";
+    case PlanFault::kSplitEndPastK: return "split-end-past-k";
+    case PlanFault::kSplitZeroLength: return "split-zero-length";
+    case PlanFault::kSplitUnaligned: return "split-unaligned";
+    case PlanFault::kSplitTruncated: return "split-truncated";
   }
   return "?";
 }
@@ -116,6 +125,10 @@ std::vector<FaultedPlan> inject_plan_fault(const BatchPlan& plan,
         p.strategy_of_tile.push_back(p.strategy_of_tile[st(t)]);
         p.y_coord.push_back(p.y_coord[st(t)]);
         p.x_coord.push_back(p.x_coord[st(t)]);
+        if (p.has_split()) {
+          p.k_begin.push_back(p.k_begin[st(t)]);
+          p.k_end.push_back(p.k_end[st(t)]);
+        }
         p.tile_offsets.back() += 1;
         add(std::move(p), "appended a duplicate of the last tile");
       }
@@ -305,6 +318,85 @@ std::vector<FaultedPlan> inject_plan_fault(const BatchPlan& plan,
       add(std::move(q), "register footprint set negative");
       break;
     }
+    case PlanFault::kSplitOverlap:
+      // Pull a fix-up slice's start back one BK step: it now overlaps the
+      // preceding slice of the same coordinate while staying BK-aligned and
+      // non-empty, so only the partition check can catch it.
+      for (int t = 0; plan.has_split() && t < n; ++t) {
+        const int bk = batched_strategy_by_id(plan.strategy_of_tile[st(t)]).bk;
+        if (plan.k_begin[st(t)] >= bk) {
+          BatchPlan p = plan;
+          p.k_begin[st(t)] -= bk;
+          add(std::move(p), "slice " + std::to_string(t) +
+                                " start pulled back one BK step (overlap)");
+          break;
+        }
+      }
+      break;
+    case PlanFault::kSplitGap:
+      // Push a fix-up slice's start forward one BK step, leaving a hole in
+      // the coordinate's K coverage (the range stays non-empty).
+      for (int t = 0; plan.has_split() && t < n; ++t) {
+        const int bk = batched_strategy_by_id(plan.strategy_of_tile[st(t)]).bk;
+        if (plan.k_begin[st(t)] > 0 &&
+            plan.k_begin[st(t)] + bk < plan.k_end[st(t)]) {
+          BatchPlan p = plan;
+          p.k_begin[st(t)] += bk;
+          add(std::move(p), "slice " + std::to_string(t) +
+                                " start pushed forward one BK step (gap)");
+          break;
+        }
+      }
+      break;
+    case PlanFault::kSplitEndPastK:
+      if (plan.has_split() && n > 0) {
+        // The final slice of the last tile coordinate ends at K; one more
+        // BK step runs past the GEMM's K extent.
+        const int t = n - 1;
+        const int bk = batched_strategy_by_id(plan.strategy_of_tile[st(t)]).bk;
+        BatchPlan p = plan;
+        p.k_end[st(t)] += bk;
+        add(std::move(p), "last slice extended one BK step past K");
+        BatchPlan q = plan;
+        q.k_end[st(t)] = INT_MAX - 1;
+        add(std::move(q), "last slice end set near INT_MAX");
+      }
+      break;
+    case PlanFault::kSplitZeroLength:
+      // Collapse a fix-up entry (k_begin > 0) to a zero-length range: the
+      // tile still appears in the reduction chain but covers nothing.
+      for (int t = 0; plan.has_split() && t < n; ++t) {
+        if (plan.k_begin[st(t)] > 0) {
+          BatchPlan p = plan;
+          p.k_end[st(t)] = p.k_begin[st(t)];
+          add(std::move(p), "fix-up slice " + std::to_string(t) +
+                                " collapsed to a zero-length range");
+          break;
+        }
+      }
+      break;
+    case PlanFault::kSplitUnaligned:
+      for (int t = 0; plan.has_split() && t < n; ++t) {
+        if (plan.k_begin[st(t)] > 0) {
+          BatchPlan p = plan;
+          p.k_begin[st(t)] += 1;
+          add(std::move(p), "slice " + std::to_string(t) +
+                                " start knocked off the BK grid");
+          break;
+        }
+      }
+      break;
+    case PlanFault::kSplitTruncated:
+      if (plan.has_split() && n > 0) {
+        BatchPlan p = plan;
+        p.k_begin.pop_back();
+        p.k_end.pop_back();
+        add(std::move(p), "dropped the last K range");
+        BatchPlan q = plan;
+        q.k_end.pop_back();
+        add(std::move(q), "dropped the last K-range end only");
+      }
+      break;
   }
   return out;
 }

@@ -52,6 +52,14 @@ enum class PlanFault : int {
   kCoordOverflow,
   kSmemOverflow,
   kRegsOverflow,
+  // Split-K K-range corruption (apply to split plans only: every class
+  // returns no variants for a plan without the K-range aux arrays).
+  kSplitOverlap,     ///< adjacent slices of one tile overlap by one BK step.
+  kSplitGap,         ///< coverage of one tile's K extent leaves a hole.
+  kSplitEndPastK,    ///< k_end runs past the owning GEMM's K (+ INT_MAX).
+  kSplitZeroLength,  ///< a fix-up entry (k_begin > 0) with an empty range.
+  kSplitUnaligned,   ///< k_begin knocked off the BK grid.
+  kSplitTruncated,   ///< K-range arrays shorter than the tile count.
 };
 
 /// All corruption classes, enumeration order.

@@ -12,7 +12,11 @@
 namespace ctb {
 
 namespace {
-constexpr const char* kMagic = "ctb-batchplan-v1";
+// v1 carries the five aux arrays of Fig. 6; v2 appends the split-K K-range
+// pair. Unsplit plans are still written as v1 so their serialized form is
+// byte-identical to every pre-split-K release.
+constexpr const char* kMagicV1 = "ctb-batchplan-v1";
+constexpr const char* kMagicV2 = "ctb-batchplan-v2";
 constexpr const char* kMagicPrefix = "ctb-batchplan-";
 // Cap on declared element counts, applied before any allocation: a plan
 // with 2^26 tiles would be hundreds of MiB of text, far beyond any real
@@ -57,7 +61,7 @@ std::vector<int> read_array(std::istream& is, const char* name) {
 }  // namespace
 
 void save_plan(std::ostream& os, const BatchPlan& plan) {
-  os << kMagic << '\n';
+  os << (plan.has_split() ? kMagicV2 : kMagicV1) << '\n';
   os << plan.block_threads << ' ' << plan.smem_bytes << ' '
      << plan.regs_per_thread << '\n';
   write_array(os, "tile", plan.tile_offsets);
@@ -65,12 +69,16 @@ void save_plan(std::ostream& os, const BatchPlan& plan) {
   write_array(os, "strategy", plan.strategy_of_tile);
   write_array(os, "y", plan.y_coord);
   write_array(os, "x", plan.x_coord);
+  if (plan.has_split()) {
+    write_array(os, "kbegin", plan.k_begin);
+    write_array(os, "kend", plan.k_end);
+  }
 }
 
 BatchPlan load_plan(std::istream& is) {
   std::string magic;
   if (!(is >> magic)) throw PlanIoError("empty stream", "header");
-  if (magic != kMagic) {
+  if (magic != kMagicV1 && magic != kMagicV2) {
     if (magic.rfind(kMagicPrefix, 0) == 0)
       throw PlanIoError("unsupported plan version '" + magic + "'",
                         "header");
@@ -88,6 +96,12 @@ BatchPlan load_plan(std::istream& is) {
   plan.strategy_of_tile = read_array(is, "strategy");
   plan.y_coord = read_array(is, "y");
   plan.x_coord = read_array(is, "x");
+  if (magic == kMagicV2) {
+    plan.k_begin = read_array(is, "kbegin");
+    plan.k_end = read_array(is, "kend");
+    if (plan.k_begin.empty())
+      throw PlanIoError("v2 plan without K ranges", "kbegin");
+  }
   std::string rest;
   if (is >> rest)
     throw PlanIoError("trailing garbage '" + rest + "'", "end of stream");
@@ -111,6 +125,8 @@ std::uint64_t batch_signature(std::span<const GemmDims> dims,
   mix(static_cast<std::uint64_t>(config.policy));
   mix(static_cast<std::uint64_t>(config.tlp_threshold));
   mix(static_cast<std::uint64_t>(config.theta));
+  mix(static_cast<std::uint64_t>(config.splitk));
+  mix(static_cast<std::uint64_t>(config.max_splitk));
   for (const auto& d : dims) {
     mix(static_cast<std::uint64_t>(d.m));
     mix(static_cast<std::uint64_t>(d.n));

@@ -10,14 +10,19 @@ namespace ctb {
 
 std::vector<double> batching_features(std::span<const GemmDims> dims) {
   CTB_CHECK(!dims.empty());
-  double m = 0, n = 0, k = 0;
+  double m = 0, n = 0, k = 0, tiles = 0;
   for (const auto& d : dims) {
     m += d.m;
     n += d.n;
     k += d.k;
+    // C-tile count under the large 64x64 shape: the TLP-scarcity proxy the
+    // split-K axis keys on. Low-tile-count batches behave differently under
+    // both batching heuristics, and mean M/N alone cannot distinguish one
+    // huge GEMM from many small ones.
+    tiles += static_cast<double>(((d.m + 63) / 64)) * ((d.n + 63) / 64);
   }
   const double b = static_cast<double>(dims.size());
-  return {m / b, n / b, k / b, b};
+  return {m / b, n / b, k / b, b, tiles};
 }
 
 std::vector<GemmDims> random_batch(Rng& rng, const CaseRanges& r) {

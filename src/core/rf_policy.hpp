@@ -1,7 +1,9 @@
 // Random-forest batching policy (paper Section 5).
 //
-// The classifier picks between threshold and binary batching from four
-// features: mean M, mean N, mean K, and batch size B. Training samples are
+// The classifier picks between threshold and binary batching from five
+// features: the paper's {mean M, mean N, mean K, batch size B} plus the
+// split-K era's TLP-scarcity proxy (total 64x64 C-tile count across the
+// batch). Training samples are
 // random batched-GEMM cases labelled by the oracle — both heuristics run
 // through the simulator and the faster one wins (the paper labels with
 // hardware timings; the simulator plays that role here, see DESIGN.md).
@@ -19,7 +21,9 @@
 
 namespace ctb {
 
-/// The paper's feature vector: {mean M, mean N, mean K, batch size}.
+/// The paper's feature vector {mean M, mean N, mean K, batch size}, plus a
+/// fifth feature: the batch's total C-tile count under the large 64x64
+/// shape (the planner's TLP-scarcity proxy).
 std::vector<double> batching_features(std::span<const GemmDims> dims);
 
 /// Size ranges for random batched-GEMM cases (used for RF training and for

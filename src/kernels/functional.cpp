@@ -1,6 +1,8 @@
 #include "kernels/functional.hpp"
 
 #include <algorithm>
+#include <array>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -148,6 +150,191 @@ void count_dispatch(const PackedDispatch& d, long long tiles) {
   return total;
 }
 
+// ----------------------------------------------------------- split-K ----
+//
+// A split tile executes only the K range [k_lo, k_hi) of its coordinate.
+// Bit-exactness with the unsplit path demands that every C element still
+// accumulate as ONE ascending (k0, p) chain, and float addition is not
+// associative, so zero-based per-slice partials cannot be recombined.
+// Instead the chain is *carried*: the k_begin == 0 slice accumulates from
+// zero into a row-major BY x BX workspace (the exact prefix value of the
+// unsplit chain — float store/reload is bit-preserving), and the fix-up
+// reduction walks the remaining slices in ascending k order, continuing
+// the same accumulator, before applying the standard alpha/beta epilogue.
+// The reduction tree is thus the unique order-preserving (left-spine)
+// tree; no atomics, one deterministic owner per C tile.
+
+/// One K-slice of a tile's K loop, [k_lo, k_hi).
+struct KSlice {
+  int k_lo = 0;
+  int k_hi = 0;
+};
+
+/// Even BK-aligned partition of [0, K) into up to `splitk` slices (the
+/// in-executor analogue of split_tiles_k's per-tile split).
+std::vector<KSlice> k_slices(int K, int bk, int splitk) {
+  const int nsteps = (K + bk - 1) / bk;
+  const int n = std::min(splitk, nsteps);
+  if (n <= 1) return {{0, K}};
+  std::vector<KSlice> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const int q = nsteps / n;
+  const int r = nsteps % n;
+  int step = 0;
+  for (int s = 0; s < n; ++s) {
+    const int take = q + (s < r ? 1 : 0);
+    out.push_back({step * bk, std::min((step + take) * bk, K)});
+    step += take;
+  }
+  return out;
+}
+
+/// Generic staged accumulation of K range [k_lo, k_hi) of tile (ty, tx)
+/// into a row-major BY x BX accumulator. Identical arithmetic to
+/// execute_tile's main loop — same staged values, same per-element
+/// ascending (k0, p) chain — only the accumulator layout is canonical
+/// row-major so slices can hand the chain across workers.
+void accumulate_tile_generic(const TilingStrategy& s, const GemmOperands& g,
+                             int ty, int tx, int k_lo, int k_hi, bool first,
+                             float* acc) {
+  const int row0 = ty * s.by;
+  const int col0 = tx * s.bx;
+  if (first) std::fill_n(acc, s.by * s.bx, 0.0f);
+  static thread_local SharedTiles shared;
+  for (int k0 = k_lo; k0 < k_hi; k0 += s.bk) {
+    shared.stage(s, g, row0, col0, k0);
+    for (int t = 0; t < s.threads; ++t) {
+      const SubTileOrigin o = thread_sub_tile(s, t);
+      CTB_DCHECK(s.sub_x <= kMaxSubX);
+      if (s.sub_x == 1) {
+        const float* sbcol = &shared.b[o.col];
+        for (int i = 0; i < s.sub_y; ++i) {
+          const float* sa = &shared.a[(o.row + i) * s.bk];
+          float sum = acc[(o.row + i) * s.bx + o.col];
+          for (int p = 0; p < s.bk; ++p) sum += sa[p] * sbcol[p * s.bx];
+          acc[(o.row + i) * s.bx + o.col] = sum;
+        }
+        continue;
+      }
+      for (int i = 0; i < s.sub_y; ++i) {
+        const float* sa = &shared.a[(o.row + i) * s.bk];
+        float* arow = &acc[(o.row + i) * s.bx + o.col];
+        float row[kMaxSubX];
+        for (int j = 0; j < s.sub_x; ++j) row[j] = arow[j];
+        for (int p = 0; p < s.bk; ++p) {
+          const float av = sa[p];
+          const float* sb = &shared.b[p * s.bx + o.col];
+          for (int j = 0; j < s.sub_x; ++j) row[j] += av * sb[j];
+        }
+        for (int j = 0; j < s.sub_x; ++j) arow[j] = row[j];
+      }
+    }
+  }
+}
+
+/// Scalar packed-panel accumulation of panel steps [step_lo, step_hi) —
+/// the runtime-bound twin of packed_microkernel's interior loop: per C
+/// element the adds arrive in ascending (step, p) order over the same
+/// packed values, so the bits match the compile-time kernels exactly.
+void accumulate_tile_packed_scalar(const PackedGemm& pk,
+                                   const TilingStrategy& s, int ty, int tx,
+                                   int step_lo, int step_hi, bool first,
+                                   float* acc) {
+  if (first) std::fill_n(acc, s.by * s.bx, 0.0f);
+  const float* pa = pk.a_panel(ty);
+  const float* pb = pk.b_panel(tx);
+  for (int step = step_lo; step < step_hi; ++step) {
+    const float* sa_blk = pa + static_cast<std::size_t>(step) * (s.by * s.bk);
+    const float* sb_blk = pb + static_cast<std::size_t>(step) * (s.bk * s.bx);
+    for (int i = 0; i < s.by; ++i) {
+      float* arow = acc + static_cast<std::size_t>(i) * s.bx;
+      for (int p = 0; p < s.bk; ++p) {
+        const float av = sa_blk[i * s.bk + p];
+        const float* sb = sb_blk + p * s.bx;
+        for (int j = 0; j < s.bx; ++j) arow[j] += av * sb[j];
+      }
+    }
+  }
+}
+
+/// Accumulates K range [k_lo, k_hi) of tile (ty, tx) into `acc` through
+/// the GEMM's dispatched path: SIMD tile loop (overwrite for the first
+/// slice, accumulate-in continuation after), the scalar packed loop, or
+/// the generic staged kernel. All paths produce bit-identical chains, so
+/// a slice sequence ending at K equals one unsplit pass exactly.
+void accumulate_tile_range(const TilingStrategy& s, const GemmOperands& g,
+                           const PackedDispatch& d, int ty, int tx, int k_lo,
+                           int k_hi, bool first, float* acc) {
+  if (d.specialized()) {
+    const PackedGemm& pk = *d.pack;
+    const int step_lo = k_lo / s.bk;
+    const int step_hi = k_hi >= g.dims.k ? pk.nsteps : k_hi / s.bk;
+    if (d.kernel.isa != SimdIsa::kScalar) {
+      const SimdTileLoopFn loop =
+          first ? simd_tile_loop(d.kernel.isa, s.by, s.bx, s.bk)
+                : simd_tile_loop_acc(d.kernel.isa, s.by, s.bx, s.bk);
+      if (loop != nullptr) {
+        loop(pk.a_panel(ty) +
+                 static_cast<std::size_t>(step_lo) * (s.by * s.bk),
+             pk.b_panel(tx) +
+                 static_cast<std::size_t>(step_lo) * (s.bk * s.bx),
+             step_hi - step_lo, acc);
+        return;
+      }
+    }
+    accumulate_tile_packed_scalar(pk, s, ty, tx, step_lo, step_hi, first,
+                                  acc);
+    return;
+  }
+  accumulate_tile_generic(s, g, ty, tx, k_lo, k_hi, first, acc);
+}
+
+/// Runtime-bound twin of store_tile_rowmajor (microkernel.hpp): the
+/// alpha/beta epilogue over a row-major accumulator with edge guards,
+/// beta == 0 short-circuit, and fp16 rounding — the identical per-element
+/// expression every other executor path applies.
+void store_tile_rowmajor_rt(const TilingStrategy& s, const GemmOperands& g,
+                            int ty, int tx, float alpha, float beta,
+                            const float* acc) {
+  const auto& d = g.dims;
+  const int row0 = ty * s.by;
+  const int col0 = tx * s.bx;
+  const bool fp16 = g.precision == Precision::kFp16;
+  for (int i = 0; i < s.by; ++i) {
+    const int gi = row0 + i;
+    if (gi >= d.m) break;
+    const float* arow = acc + static_cast<std::size_t>(i) * s.bx;
+    for (int j = 0; j < s.bx; ++j) {
+      const int gj = col0 + j;
+      if (gj >= d.n) break;
+      float* cell = &g.c[static_cast<std::size_t>(gi) * d.n + gj];
+      if (fp16) {
+        const float prior = beta == 0.0f ? 0.0f : beta * round_to_half(*cell);
+        *cell = round_to_half(alpha * arow[j] + prior);
+      } else {
+        const float prior = beta == 0.0f ? 0.0f : beta * *cell;
+        *cell = alpha * arow[j] + prior;
+      }
+    }
+  }
+}
+
+/// Executes one C tile as a chain of K slices through a thread-local
+/// workspace: the degenerate single-owner form of the fix-up reduction
+/// used by the single-GEMM and vbatch split-K paths.
+void execute_tile_sliced(const TilingStrategy& s, const GemmOperands& g,
+                         const PackedDispatch& d, int ty, int tx,
+                         std::span<const KSlice> slices, float alpha,
+                         float beta) {
+  static thread_local float acc[kMaxBy * kMaxBx];
+  bool first = true;
+  for (const KSlice& sl : slices) {
+    accumulate_tile_range(s, g, d, ty, tx, sl.k_lo, sl.k_hi, first, acc);
+    first = false;
+  }
+  store_tile_rowmajor_rt(s, g, ty, tx, alpha, beta, acc);
+}
+
 }  // namespace
 
 void execute_tile(const TilingStrategy& s, const GemmOperands& g, int ty,
@@ -271,6 +458,33 @@ void run_single_gemm(const TilingStrategy& s, const GemmOperands& g,
   });
 }
 
+void run_single_gemm(const TilingStrategy& s, const GemmOperands& g,
+                     float alpha, float beta, int splitk) {
+  const auto slices = k_slices(g.dims.k, s.bk, splitk);
+  if (slices.size() <= 1) {
+    run_single_gemm(s, g, alpha, beta);
+    return;
+  }
+  const int ty_count = (g.dims.m + s.by - 1) / s.by;
+  const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
+  const long long tiles = static_cast<long long>(ty_count) * tx_count;
+  CTB_TEL_COUNT("exec.flops", 2LL * g.dims.m * g.dims.n * g.dims.k);
+  CTB_TEL_COUNT("exec.splitk.tiles",
+                tiles * static_cast<long long>(slices.size()));
+  CTB_TEL_COUNT("exec.splitk.groups", tiles);
+
+  std::size_t used = 0;
+  PackedDispatch d = pack_decision(s, g, used);
+  materialize_pack(s, g, d);
+  publish_pack(s, g, d);
+  count_dispatch(d, tiles);
+  parallel_for(tiles, [&](long long block) {
+    execute_tile_sliced(s, g, d, static_cast<int>(block / tx_count),
+                        static_cast<int>(block % tx_count), slices, alpha,
+                        beta);
+  });
+}
+
 void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
                 float alpha, float beta) {
   // Grid X/Y sized by the largest GEMM (paper Fig. 3a); smaller GEMMs leave
@@ -318,6 +532,60 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
     if (ty >= ty_count || tx >= tx_count) return;  // bubble block
     const PackedDispatch& d = packs[z];
     if (d.specialized())
+      d.kernel.fn(g, *d.pack, ty, tx, alpha, beta);
+    else
+      execute_tile(s, g, ty, tx, alpha, beta);
+  });
+}
+
+void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
+                float alpha, float beta, int splitk) {
+  if (splitk <= 1) {
+    run_vbatch(s, batch, alpha, beta);
+    return;
+  }
+  int max_ty = 0, max_tx = 0;
+  for (const auto& g : batch) {
+    max_ty = std::max(max_ty, (g.dims.m + s.by - 1) / s.by);
+    max_tx = std::max(max_tx, (g.dims.n + s.bx - 1) / s.bx);
+  }
+  CTB_TEL_COUNT("exec.flops", flops_of(batch));
+
+  std::vector<PackedDispatch> packs(batch.size());
+  std::size_t used = 0;
+  for (std::size_t z = 0; z < batch.size(); ++z)
+    packs[z] = pack_decision(s, batch[z], used);
+  parallel_for(static_cast<long long>(batch.size()), [&](long long z) {
+    materialize_pack(s, batch[static_cast<std::size_t>(z)],
+                     packs[static_cast<std::size_t>(z)]);
+  });
+  std::vector<std::vector<KSlice>> slices(batch.size());
+  for (std::size_t z = 0; z < batch.size(); ++z) {
+    publish_pack(s, batch[z], packs[z]);
+    const long long tiles = s.tiles_for(batch[z].dims.m, batch[z].dims.n);
+    count_dispatch(packs[z], tiles);
+    slices[z] = k_slices(batch[z].dims.k, s.bk, splitk);
+    if (slices[z].size() > 1) {
+      CTB_TEL_COUNT("exec.splitk.tiles",
+                    tiles * static_cast<long long>(slices[z].size()));
+      CTB_TEL_COUNT("exec.splitk.groups", tiles);
+    }
+  }
+
+  const long long zdiv = static_cast<long long>(max_ty) * max_tx;
+  const long long grid = static_cast<long long>(batch.size()) * zdiv;
+  parallel_for(grid, [&](long long block) {
+    const std::size_t z = static_cast<std::size_t>(block / zdiv);
+    const int ty = static_cast<int>(block / max_tx % max_ty);
+    const int tx = static_cast<int>(block % max_tx);
+    const auto& g = batch[z];
+    const int ty_count = (g.dims.m + s.by - 1) / s.by;
+    const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
+    if (ty >= ty_count || tx >= tx_count) return;  // bubble block
+    const PackedDispatch& d = packs[z];
+    if (slices[z].size() > 1)
+      execute_tile_sliced(s, g, d, ty, tx, slices[z], alpha, beta);
+    else if (d.specialized())
       d.kernel.fn(g, *d.pack, ty, tx, alpha, beta);
     else
       execute_tile(s, g, ty, tx, alpha, beta);
@@ -433,11 +701,68 @@ void run_batched_plan(const BatchPlan& plan,
     }
   }
 
+  // Split-K discovery: a tile whose K range does not cover its GEMM's full
+  // K extent belongs to a fix-up group keyed (gemm, ty, tx). Each group
+  // gets one row-major BY x BX accumulator in a shared workspace arena;
+  // groups are enumerated in key order and slices within a group in
+  // ascending k_begin order, so ownership and arithmetic order are
+  // deterministic regardless of thread count.
+  struct SplitGroup {
+    int gemm = 0, ty = 0, tx = 0;
+    std::size_t acc_offset = 0;
+    std::vector<int> fixup;  ///< non-first slices, ascending k_begin.
+  };
+  std::vector<int> group_of_tile;  // -1 = full-K tile, executes as always
+  std::vector<SplitGroup> groups;
+  std::vector<float> workspace;
+  if (plan.has_split()) {
+    group_of_tile.assign(static_cast<std::size_t>(plan.num_tiles()), -1);
+    std::map<std::array<int, 3>, std::vector<int>> keyed;
+    for (int t = 0; t < plan.num_tiles(); ++t) {
+      const int g = plan.gemm_of_tile[static_cast<std::size_t>(t)];
+      const auto [kb, ke] = plan.tile_k_range(t, batch[static_cast<std::size_t>(g)].dims.k);
+      if (kb == 0 && ke == batch[static_cast<std::size_t>(g)].dims.k)
+        continue;
+      keyed[{g, plan.y_coord[static_cast<std::size_t>(t)],
+             plan.x_coord[static_cast<std::size_t>(t)]}]
+          .push_back(t);
+    }
+    std::size_t arena = 0;
+    long long split_tiles = 0;
+    for (auto& [key, tiles] : keyed) {
+      std::sort(tiles.begin(), tiles.end(), [&](int a, int b) {
+        return plan.k_begin[static_cast<std::size_t>(a)] <
+               plan.k_begin[static_cast<std::size_t>(b)];
+      });
+      split_tiles += static_cast<long long>(tiles.size());
+      SplitGroup grp;
+      grp.gemm = key[0];
+      grp.ty = key[1];
+      grp.tx = key[2];
+      grp.acc_offset = arena;
+      const TilingStrategy& s = batched_strategy_by_id(
+          plan.strategy_of_tile[static_cast<std::size_t>(tiles.front())]);
+      arena += static_cast<std::size_t>(s.by) * s.bx;
+      for (int i = 0; i < static_cast<int>(tiles.size()); ++i) {
+        group_of_tile[static_cast<std::size_t>(tiles[static_cast<std::size_t>(i)])] =
+            static_cast<int>(groups.size());
+        if (i > 0) grp.fixup.push_back(tiles[static_cast<std::size_t>(i)]);
+      }
+      groups.push_back(std::move(grp));
+    }
+    workspace.resize(arena);
+    CTB_TEL_COUNT("exec.splitk.tiles", split_tiles);
+    CTB_TEL_COUNT("exec.splitk.groups", groups.size());
+  }
+
   // Fig. 7: each block walks its tile range from the aux arrays. Blocks run
   // concurrently — validate_plan guarantees complete single coverage, so no
   // two blocks touch the same C tile — while each block's tile chain stays
   // serial, exactly like persistent thread blocks on the device. Per-block
-  // spans land in parallel_for-safe thread-local buffers.
+  // spans land in parallel_for-safe thread-local buffers. Split tiles with
+  // k_begin == 0 seed their group's workspace accumulator (one writer per
+  // group in this pass); later slices are deferred to the fix-up reduction
+  // below, past the parallel_for join.
   parallel_for(plan.num_blocks(), [&](long long b) {
     CTB_TEL_SPAN("exec.block");
     const auto [begin, end] = plan.block_tiles(static_cast<int>(b));
@@ -449,6 +774,19 @@ void run_batched_plan(const BatchPlan& plan,
       const int ty = plan.y_coord[static_cast<std::size_t>(t)];
       const int tx = plan.x_coord[static_cast<std::size_t>(t)];
       const PackedDispatch& d = packs[static_cast<std::size_t>(g)];
+      if (!group_of_tile.empty() &&
+          group_of_tile[static_cast<std::size_t>(t)] >= 0) {
+        const int kb = plan.k_begin[static_cast<std::size_t>(t)];
+        if (kb != 0) continue;  // fix-up entry: reduced after the join
+        const SplitGroup& grp = groups[static_cast<std::size_t>(
+            group_of_tile[static_cast<std::size_t>(t)])];
+        accumulate_tile_range(batched_strategy_by_id(sid),
+                              batch[static_cast<std::size_t>(g)], d, ty, tx,
+                              kb, plan.k_end[static_cast<std::size_t>(t)],
+                              /*first=*/true,
+                              workspace.data() + grp.acc_offset);
+        continue;
+      }
       if (d.specialized() &&
           sid == strategy_of_gemm[static_cast<std::size_t>(g)]) {
         d.kernel.fn(batch[static_cast<std::size_t>(g)], *d.pack, ty, tx,
@@ -460,6 +798,32 @@ void run_batched_plan(const BatchPlan& plan,
       }
     }
   });
+
+  // Deterministic fix-up reduction: one owner per split group continues the
+  // carried chain through the remaining slices in ascending k order (the
+  // left-spine tree — the unique order preserving unsplit bit-identity) and
+  // applies the epilogue. The parallel_for join above makes every seeded
+  // accumulator visible; groups write disjoint C tiles, so no atomics.
+  if (!groups.empty()) {
+    CTB_TEL_SPAN("exec.splitk.reduce");
+    parallel_for(static_cast<long long>(groups.size()), [&](long long i) {
+      const SplitGroup& grp = groups[static_cast<std::size_t>(i)];
+      const auto gz = static_cast<std::size_t>(grp.gemm);
+      float* acc = workspace.data() + grp.acc_offset;
+      for (int t : grp.fixup) {
+        const TilingStrategy& s = batched_strategy_by_id(
+            plan.strategy_of_tile[static_cast<std::size_t>(t)]);
+        accumulate_tile_range(s, batch[gz], packs[gz], grp.ty, grp.tx,
+                              plan.k_begin[static_cast<std::size_t>(t)],
+                              plan.k_end[static_cast<std::size_t>(t)],
+                              /*first=*/false, acc);
+      }
+      const TilingStrategy& s =
+          batched_strategy_by_id(strategy_of_gemm[gz]);
+      store_tile_rowmajor_rt(s, batch[gz], grp.ty, grp.tx, alpha, beta,
+                             acc);
+    });
+  }
 }
 
 GemmOperands operands(const Matrixf& a, const Matrixf& b, Matrixf& c) {

@@ -82,10 +82,25 @@ void execute_tile(const TilingStrategy& strategy, const GemmOperands& g,
 void run_single_gemm(const TilingStrategy& strategy, const GemmOperands& g,
                      float alpha, float beta);
 
+/// Split-K single GEMM: each C tile's K loop is partitioned into up to
+/// `splitk` BK-aligned slices executed as a carried chain through a
+/// workspace accumulator (the deterministic fix-up reduction — see
+/// run_batched_plan), so C is bitwise identical to the unsplit call at any
+/// thread count and SIMD ISA. `splitk <= 1` (or a single-step K loop)
+/// degrades to the unsplit path.
+void run_single_gemm(const TilingStrategy& strategy, const GemmOperands& g,
+                     float alpha, float beta, int splitk);
+
 /// MAGMA vbatch: one uniform strategy, grid sized by the largest GEMM's tile
 /// count, gridDim.z = batch; out-of-range (bubble) blocks return immediately.
 void run_vbatch(const TilingStrategy& strategy,
                 std::span<const GemmOperands> batch, float alpha, float beta);
+
+/// Split-K vbatch: per-GEMM K slicing with the same carried-chain fix-up
+/// reduction and bit-exactness guarantee as the split-K single-GEMM path.
+void run_vbatch(const TilingStrategy& strategy,
+                std::span<const GemmOperands> batch, float alpha, float beta,
+                int splitk);
 
 /// Audits the operand array alone: every GEMM has valid dims, an A pointer,
 /// a B pointer or gather, and a C pointer. Throws CheckError naming the

@@ -81,7 +81,9 @@ SimdIsa parse_simd_isa(const char* name) {
   return SimdIsa::kScalar;
 }
 
-SimdTileLoopFn simd_tile_loop(SimdIsa isa, int by, int bx, int bk) {
+namespace {
+
+const SimdLoopEntry* find_simd_loop(SimdIsa isa, int by, int bx, int bk) {
   int count = 0;
   const SimdLoopEntry* table = nullptr;
   switch (isa) {
@@ -99,9 +101,21 @@ SimdTileLoopFn simd_tile_loop(SimdIsa isa, int by, int bx, int bk) {
   }
   for (int i = 0; i < count; ++i) {
     if (table[i].by == by && table[i].bx == bx && table[i].bk == bk)
-      return table[i].fn;
+      return &table[i];
   }
   return nullptr;
+}
+
+}  // namespace
+
+SimdTileLoopFn simd_tile_loop(SimdIsa isa, int by, int bx, int bk) {
+  const SimdLoopEntry* e = find_simd_loop(isa, by, bx, bk);
+  return e == nullptr ? nullptr : e->fn;
+}
+
+SimdTileLoopFn simd_tile_loop_acc(SimdIsa isa, int by, int bx, int bk) {
+  const SimdLoopEntry* e = find_simd_loop(isa, by, bx, bk);
+  return e == nullptr ? nullptr : e->fn_acc;
 }
 
 }  // namespace ctb

@@ -40,15 +40,23 @@ enum class SimdIsa { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
 /// accumulator (`acc[i * BX + j]`), fully overwriting it (every element is
 /// the sum-from-zero, so callers need not clear the scratch). The caller
 /// applies the alpha/beta epilogue; the loop touches nothing else.
+///
+/// Each table entry also carries an accumulate-in variant with the same
+/// signature (`fn_acc`): instead of starting from zero it loads the vector
+/// accumulators from `acc` and continues the chain — the split-K fix-up
+/// reduction continues a tile's ascending (k0, p) chain across K slices
+/// through it. Pass `a_panel`/`b_panel` pre-offset to the slice's first
+/// step and `nsteps` = the slice's step count.
 using SimdTileLoopFn = void (*)(const float* a_panel, const float* b_panel,
                                 int nsteps, float* acc);
 
-/// One geometry's tile loop in a per-ISA table. BK is 8 for every suite
+/// One geometry's tile loops in a per-ISA table. BK is 8 for every suite
 /// entry (paper §4.2.2); it is part of the key anyway so a future suite
 /// cannot silently match the wrong kernel.
 struct SimdLoopEntry {
   int by, bx, bk;
   SimdTileLoopFn fn;
+  SimdTileLoopFn fn_acc;
 };
 
 namespace simd_detail {
@@ -87,6 +95,10 @@ SimdIsa parse_simd_isa(const char* name);
 /// or isa == kScalar, which by design has no entries here — scalar tiles run
 /// the compile-time microkernels).
 SimdTileLoopFn simd_tile_loop(SimdIsa isa, int by, int bx, int bk);
+
+/// The accumulate-in (chain-continuation) variant of simd_tile_loop; same
+/// availability: non-null exactly when simd_tile_loop is.
+SimdTileLoopFn simd_tile_loop_acc(SimdIsa isa, int by, int bx, int bk);
 
 /// RAII ISA override for tests and benchmarks.
 class ScopedSimdIsa {

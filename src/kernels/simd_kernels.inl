@@ -59,7 +59,13 @@ inline VecF splat(float x) {
 /// Table-1/2 geometry except BX == kLanes). Every geometry has BY % 8 == 0
 /// except 16x16 at kRowBlock 8 — 16 % 8 == 0, so the static_assert holds
 /// throughout.
-template <int BY, int BX, int BK>
+/// `Accumulate` selects the chain-continuation variant: the register block
+/// initializes from `acc` (an exact reload of previously stored vectors —
+/// float round-trips through memory are bit-preserving) instead of zero, so
+/// the split-K fix-up reduction extends each element's ascending (k0, p)
+/// chain across K slices without any rounding difference vs one unsplit
+/// pass.
+template <int BY, int BX, int BK, bool Accumulate>
 void simd_tile_loop(const float* a_panel, const float* b_panel, int nsteps,
                     float* acc) {
   static_assert(BX % kLanes == 0, "BX must be a whole number of vectors");
@@ -72,7 +78,11 @@ void simd_tile_loop(const float* a_panel, const float* b_panel, int nsteps,
     for (int v0 = 0; v0 < kVecCols; v0 += kColBlock) {
       VecF r[kRowBlock][kColBlock];
       for (int i = 0; i < kRowBlock; ++i)
-        for (int c = 0; c < kColBlock; ++c) r[i][c] = splat(0.0f);
+        for (int c = 0; c < kColBlock; ++c)
+          r[i][c] = Accumulate
+                        ? loadu(acc + static_cast<std::size_t>(i0 + i) * BX +
+                                v0 * kLanes + c * kLanes)
+                        : splat(0.0f);
       for (int step = 0; step < nsteps; ++step) {
         const float* a_blk = a_panel +
                              static_cast<std::size_t>(step) * (BY * BK) +
@@ -108,12 +118,18 @@ void simd_tile_loop(const float* a_panel, const float* b_panel, int nsteps,
 /// The six distinct (BY, BX) tile geometries covering all 15 Table-1/2
 /// entries (BK is 8 throughout). Shared by every per-ISA table.
 constexpr ctb::SimdLoopEntry kSimdLoops[] = {
-    {16, 16, 8, &simd_tile_loop<16, 16, 8>},
-    {32, 32, 8, &simd_tile_loop<32, 32, 8>},
-    {64, 64, 8, &simd_tile_loop<64, 64, 8>},
-    {128, 64, 8, &simd_tile_loop<128, 64, 8>},
-    {64, 128, 8, &simd_tile_loop<64, 128, 8>},
-    {128, 128, 8, &simd_tile_loop<128, 128, 8>},
+    {16, 16, 8, &simd_tile_loop<16, 16, 8, false>,
+     &simd_tile_loop<16, 16, 8, true>},
+    {32, 32, 8, &simd_tile_loop<32, 32, 8, false>,
+     &simd_tile_loop<32, 32, 8, true>},
+    {64, 64, 8, &simd_tile_loop<64, 64, 8, false>,
+     &simd_tile_loop<64, 64, 8, true>},
+    {128, 64, 8, &simd_tile_loop<128, 64, 8, false>,
+     &simd_tile_loop<128, 64, 8, true>},
+    {64, 128, 8, &simd_tile_loop<64, 128, 8, false>,
+     &simd_tile_loop<64, 128, 8, true>},
+    {128, 128, 8, &simd_tile_loop<128, 128, 8, false>,
+     &simd_tile_loop<128, 128, 8, true>},
 };
 
 constexpr int kSimdLoopCount =

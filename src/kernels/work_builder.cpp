@@ -9,14 +9,24 @@ namespace ctb {
 
 TileWork make_tile_work(const TilingStrategy& s, const GemmDims& d, int ty,
                         int tx, Precision precision) {
+  return make_tile_work(s, d, ty, tx, precision, 0, d.k);
+}
+
+TileWork make_tile_work(const TilingStrategy& s, const GemmDims& d, int ty,
+                        int tx, Precision precision, int k_begin, int k_end) {
   CTB_CHECK(d.valid());
+  CTB_CHECK_MSG(0 <= k_begin && k_begin < k_end && k_end <= d.k,
+                "K range [" << k_begin << "," << k_end << ") outside [0,"
+                            << d.k << ")");
   const int mc = std::min(s.by, d.m - ty * s.by);
   const int nc = std::min(s.bx, d.n - tx * s.bx);
   CTB_CHECK_MSG(mc > 0 && nc > 0, "tile outside GEMM");
   const int elem = precision == Precision::kFp16 ? 2 : 4;
 
   TileWork w;
-  w.iters = (d.k + s.bk - 1) / s.bk;
+  // Main-loop iterations cover only this tile's K slice (BK-aligned start,
+  // ragged tail ceiling) — for a full tile this is ceil(K / BK) as before.
+  w.iters = (k_end + s.bk - 1) / s.bk - k_begin / s.bk;
   w.fmas_per_thread_iter = s.fmas_per_thread_iter();
   // Guarded loads touch only the in-range rows/cols of the A and B tiles.
   w.bytes_per_iter = static_cast<std::int64_t>(mc * s.bk + s.bk * nc) * elem;
@@ -31,7 +41,7 @@ TileWork make_tile_work(const TilingStrategy& s, const GemmDims& d, int ty,
       elem);
   w.epilogue_bytes = static_cast<std::int64_t>(mc) * nc * elem;
   w.epilogue_flops = 2LL * mc * nc;  // alpha scale + beta accumulate
-  w.flops = 2LL * mc * nc * d.k;
+  w.flops = 2LL * mc * nc * (k_end - k_begin);
   return w;
 }
 
@@ -50,7 +60,9 @@ BlockWork block_for_tiles(std::span<const Tile> tiles,
   for (const Tile& t : tiles) {
     const GemmDims& d = batch[static_cast<std::size_t>(t.gemm)];
     const TilingStrategy& s = *t.strategy;
-    b.tiles.push_back(make_tile_work(s, d, t.ty, t.tx, precision));
+    const int k_end = t.k_end != 0 ? t.k_end : d.k;
+    b.tiles.push_back(
+        make_tile_work(s, d, t.ty, t.tx, precision, t.k_begin, k_end));
     const int mc = std::min(s.by, d.m - t.ty * s.by);
     const int nc = std::min(s.bx, d.n - t.tx * s.bx);
     active = std::max(active, active_threads_for_tile(s, mc, nc));
@@ -68,7 +80,7 @@ KernelWork work_single_gemm(const GemmDims& d, const TilingStrategy& s) {
   kernel.blocks.reserve(static_cast<std::size_t>(ty_count) * tx_count);
   for (int ty = 0; ty < ty_count; ++ty) {
     for (int tx = 0; tx < tx_count; ++tx) {
-      const Tile tile{0, ty, tx, d.k, &s};
+      const Tile tile{0, ty, tx, d.k, 0, 0, &s};
       kernel.blocks.push_back(block_for_tiles(
           std::span<const Tile>(&tile, 1), std::span<const GemmDims>(&d, 1),
           s.threads, s.smem_bytes(), s.regs_per_thread()));
@@ -106,7 +118,7 @@ KernelWork work_vbatch(std::span<const GemmDims> batch,
           kernel.blocks.push_back(std::move(bubble));
           continue;
         }
-        const Tile tile{static_cast<int>(z), ty, tx, d.k, &s};
+        const Tile tile{static_cast<int>(z), ty, tx, d.k, 0, 0, &s};
         BlockWork blk = block_for_tiles(
             std::span<const Tile>(&tile, 1), batch, s.threads,
             s.smem_bytes(), s.regs_per_thread());
@@ -132,9 +144,11 @@ KernelWork work_from_plan(const BatchPlan& plan,
       const int g = plan.gemm_of_tile[static_cast<std::size_t>(t)];
       const TilingStrategy& s = batched_strategy_by_id(
           plan.strategy_of_tile[static_cast<std::size_t>(t)]);
+      const auto [kb, ke] =
+          plan.tile_k_range(t, batch[static_cast<std::size_t>(g)].k);
       tiles.push_back(Tile{g, plan.y_coord[static_cast<std::size_t>(t)],
                            plan.x_coord[static_cast<std::size_t>(t)],
-                           batch[static_cast<std::size_t>(g)].k, &s});
+                           ke - kb, kb, ke, &s});
     }
     kernel.blocks.push_back(block_for_tiles(tiles, batch, plan.block_threads,
                                             plan.smem_bytes,

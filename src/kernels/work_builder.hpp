@@ -20,6 +20,16 @@ TileWork make_tile_work(const TilingStrategy& strategy, const GemmDims& dims,
                         int ty, int tx,
                         Precision precision = Precision::kFp32);
 
+/// Split-K variant: the tile executes only the K range [k_begin, k_end) —
+/// its main-loop iterations and flops scale to the slice, while the
+/// epilogue traffic stays whole-tile (a partial tile reads/writes the
+/// fix-up workspace accumulator instead of C; same BY x BX footprint).
+/// This is how the occupancy/timing model sees split-K's extra blocks
+/// carry proportionally less work each.
+TileWork make_tile_work(const TilingStrategy& strategy, const GemmDims& dims,
+                        int ty, int tx, Precision precision, int k_begin,
+                        int k_end);
+
 /// Fig. 2 kernel: one block per tile, block size = strategy.threads.
 KernelWork work_single_gemm(const GemmDims& dims,
                             const TilingStrategy& strategy);

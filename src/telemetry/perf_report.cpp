@@ -91,6 +91,10 @@ const std::vector<std::string>& deterministic_counter_names() {
       "exec.simd.avx512",
       "exec.simd.neon",
       "exec.simd.scalar",
+      // exec.splitk.* count partial-K tiles and their fix-up reduction
+      // groups; both are decided by the plan alone, never by thread count.
+      "exec.splitk.groups",
+      "exec.splitk.tiles",
       "exec.tiles",
       "plan.auto.binary_wins",
       "plan.auto.threshold_wins",
@@ -105,6 +109,10 @@ const std::vector<std::string>& deterministic_counter_names() {
       "plan.policy.tiling-only",
       "plan.rf.choice.binary",
       "plan.rf.choice.threshold",
+      // plan.splitk.* are driven by the deterministic simulator comparison
+      // in consider_splitk, so the candidate/chosen counts replay exactly.
+      "plan.splitk.chosen",
+      "plan.splitk.considered",
       // service.* counters are pure functions of the replayed request
       // sequence (hit/miss mix, state-machine transitions) as long as the
       // suite runs the service in inline deterministic mode, which the

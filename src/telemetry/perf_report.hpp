@@ -37,7 +37,11 @@ namespace ctb::perfreport {
 /// gated allowlist and the optional per-workload "lookup" latency object
 /// (count + p50/p95/p99 µs, advisory — wall-clock, never gated) emitted by
 /// the replay suite.
-inline constexpr int kSchemaVersion = 3;
+/// v4: added the split-K counters (exec.splitk.* and plan.splitk.*) to the
+/// gated allowlist; both the executor-side slice accounting and the
+/// planner's candidate sweep are pure functions of the workload, so they
+/// compare exactly across hosts.
+inline constexpr int kSchemaVersion = 4;
 
 /// Wall-clock statistics over one workload's k repeats. Median-of-k with
 /// interquartile range: the median resists the reference container's timing

@@ -57,6 +57,10 @@ constexpr const char* kCoreCounters[] = {
     "exec.simd.avx2",
     "exec.simd.neon",
     "exec.simd.scalar",
+    "exec.splitk.tiles",
+    "exec.splitk.groups",
+    "plan.splitk.considered",
+    "plan.splitk.chosen",
     "service.admitted",
     "service.hit",
     "service.miss",

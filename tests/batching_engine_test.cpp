@@ -304,9 +304,9 @@ TEST(ValidatePlan, DetectsThreadStructureViolation) {
 }
 
 TEST(BuildPlan, RejectsMixedThreadVariants) {
-  Tile t1{0, 0, 0, 8, &batched_strategy(TileShape::kSmall,
+  Tile t1{0, 0, 0, 8, 0, 0, &batched_strategy(TileShape::kSmall,
                                         ThreadVariant::k256)};
-  Tile t2{1, 0, 0, 8, &batched_strategy(TileShape::kSmall,
+  Tile t2{1, 0, 0, 8, 0, 0, &batched_strategy(TileShape::kSmall,
                                         ThreadVariant::k128)};
   const std::vector<std::vector<Tile>> blocks = {{t1}, {t2}};
   EXPECT_THROW(build_plan(blocks, 256), CheckError);
@@ -316,8 +316,8 @@ TEST(BuildPlan, FootprintIsMaxOverStrategies) {
   const auto& small = batched_strategy(TileShape::kSmall,
                                        ThreadVariant::k256);
   const auto& huge = batched_strategy(TileShape::kHuge, ThreadVariant::k256);
-  Tile t1{0, 0, 0, 8, &small};
-  Tile t2{1, 0, 0, 8, &huge};
+  Tile t1{0, 0, 0, 8, 0, 0, &small};
+  Tile t2{1, 0, 0, 8, 0, 0, &huge};
   const std::vector<std::vector<Tile>> blocks = {{t1}, {t2}};
   const BatchPlan plan = build_plan(blocks, 256);
   EXPECT_EQ(plan.smem_bytes, huge.smem_bytes());

@@ -87,6 +87,10 @@ TEST(Exhaustive, OptimumNeverWorseThanHeuristics) {
         BatchingPolicy::kTilingOnly}) {
     PlannerConfig config;
     config.policy = policy;
+    // The exhaustive search enumerates whole-tile partitions only; keep
+    // the heuristics in the same plan space, or auto split-K beats the
+    // "optimum" on this deliberately TLP-starved batch.
+    config.splitk = SplitKMode::kOff;
     const BatchedGemmPlanner planner(config);
     const double heuristic =
         time_plan(arch, planner.plan(dims).plan, dims).time_us;

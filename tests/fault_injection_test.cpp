@@ -11,6 +11,7 @@
 // plans and stays bit-identical to execute_plan on healthy ones.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -58,6 +59,28 @@ const std::vector<PlanCase>& plan_cases() {
       validate_plan(pc.plan, pc.dims);  // fixtures start healthy
       out.push_back(std::move(pc));
     };
+    // Split-K fixtures are hand-built (enumerate -> split -> pack into
+    // blocks) so the split fault classes have K-range arrays to corrupt.
+    auto add_split = [&](std::string name, std::vector<GemmDims> dims,
+                         int slices, std::size_t tiles_per_block) {
+      const TilingStrategy& s =
+          batched_strategy(TileShape::kMedium, ThreadVariant::k256);
+      const std::vector<const TilingStrategy*> strategies(dims.size(), &s);
+      const std::vector<Tile> tiles = enumerate_tiles(dims, strategies);
+      const std::vector<Tile> split = split_tiles_k(tiles, slices);
+      std::vector<std::vector<Tile>> blocks;
+      for (std::size_t i = 0; i < split.size(); i += tiles_per_block) {
+        const std::size_t hi = std::min(i + tiles_per_block, split.size());
+        blocks.emplace_back(split.begin() + static_cast<std::ptrdiff_t>(i),
+                            split.begin() + static_cast<std::ptrdiff_t>(hi));
+      }
+      PlanCase pc;
+      pc.name = std::move(name);
+      pc.dims = std::move(dims);
+      pc.plan = build_plan(blocks, s.threads);
+      validate_plan(pc.plan, pc.dims);  // fixtures start healthy
+      out.push_back(std::move(pc));
+    };
     const std::vector<GemmDims> ragged = {
         {16, 32, 48}, {64, 64, 64}, {40, 24, 96}, {100, 50, 60}};
     add("ragged-threshold", ragged, BatchingPolicy::kThresholdOnly);
@@ -68,6 +91,9 @@ const std::vector<PlanCase>& plan_cases() {
     add("single-auto", {{96, 80, 64}}, BatchingPolicy::kAutoOffline);
     add("many-threshold", std::vector<GemmDims>(24, GemmDims{64, 64, 32}),
         BatchingPolicy::kThresholdOnly);
+    add_split("splitk-ragged", {{64, 64, 96}, {40, 24, 100}}, 3, 2);
+    add_split("splitk-uniform",
+              std::vector<GemmDims>(4, GemmDims{32, 32, 64}), 2, 3);
     return out;
   }();
   return cases;

@@ -359,6 +359,65 @@ TEST(PackCache, CountersAmortizeRepeatedRuns) {
   telemetry::reset();
 }
 
+// Split-K slices of one GEMM share its packed panels: a split plan packs
+// (and charges exec.pack.bytes for) each GEMM exactly once, not once per
+// K-slice, and a repeated run hits the cross-call cache once per GEMM. The
+// split execution itself must stay bit-exact against the unsplit plan.
+TEST(PackCache, SplitKSlicesSharePackedPanels) {
+  const TilingStrategy& s = batched_strategy_by_id(5);  // large/256
+  const std::vector<GemmDims> dims = {{64, 64, 256}, {64, 128, 192}};
+  const std::vector<const TilingStrategy*> strategies(dims.size(), &s);
+  const std::vector<Tile> tiles = enumerate_tiles(dims, strategies);
+  const std::vector<Tile> split = split_tiles_k(tiles, 4);
+  ASSERT_GT(split.size(), tiles.size());
+  auto one_tile_blocks = [](const std::vector<Tile>& ts) {
+    std::vector<std::vector<Tile>> blocks;
+    for (const Tile& t : ts) blocks.push_back({t});
+    return blocks;
+  };
+  const BatchPlan split_plan = build_plan(one_tile_blocks(split), s.threads);
+  const BatchPlan unsplit_plan = build_plan(one_tile_blocks(tiles), s.threads);
+  ASSERT_TRUE(split_plan.has_split());
+
+  auto make_batch = [&](std::uint64_t seed) {
+    std::vector<GemmCase> gemms;
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      gemms.emplace_back(dims[i], seed + i);
+    return gemms;
+  };
+  auto split_case = make_batch(80);
+  std::vector<GemmOperands> split_ops;
+  for (auto& g : split_case) split_ops.push_back(g.ops);
+
+  telemetry::reset();
+  telemetry::set_enabled(true);
+  {
+    ScopedPackCache scope;
+    run_batched_plan(split_plan, split_ops, 1.0f, 0.5f);  // one miss per GEMM
+    run_batched_plan(split_plan, split_ops, 1.0f, 0.5f);  // one hit per GEMM
+  }
+  const auto snap = telemetry::snapshot();
+  EXPECT_EQ(counter_value(snap, "exec.pack.cache.miss"), 2);
+  EXPECT_EQ(counter_value(snap, "exec.pack.cache.hit"), 2);
+  // Pack bytes charged once per GEMM — never once per K-slice.
+  EXPECT_EQ(counter_value(snap, "exec.pack.bytes"),
+            static_cast<std::int64_t>(pack_footprint_bytes(s, dims[0]) +
+                                      pack_footprint_bytes(s, dims[1])));
+  telemetry::set_enabled(false);
+  telemetry::reset();
+
+  // Same seeds through the unsplit plan (cache off): two runs with the same
+  // beta chain must produce bitwise-identical C either way.
+  auto unsplit_case = make_batch(80);
+  std::vector<GemmOperands> unsplit_ops;
+  for (auto& g : unsplit_case) unsplit_ops.push_back(g.ops);
+  run_batched_plan(unsplit_plan, unsplit_ops, 1.0f, 0.5f);
+  run_batched_plan(unsplit_plan, unsplit_ops, 1.0f, 0.5f);
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    expect_bitwise_equal(split_case[i].c, unsplit_case[i].c,
+                         "splitk-vs-unsplit/gemm" + std::to_string(i));
+}
+
 #endif  // CTB_TELEMETRY_ENABLED
 
 }  // namespace

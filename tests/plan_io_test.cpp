@@ -171,12 +171,27 @@ TEST(PlanCache, ClearResets) {
 // ------------------------------------------------- hardened load_plan --
 
 TEST(PlanIo, RejectsUnsupportedVersion) {
-  std::stringstream ss("ctb-batchplan-v2\n256 16384 84\ntile 1 0\n");
+  std::stringstream ss("ctb-batchplan-v3\n256 16384 84\ntile 1 0\n");
   try {
     load_plan(ss);
     FAIL() << "expected PlanIoError";
   } catch (const PlanIoError& e) {
     EXPECT_NE(std::string(e.what()).find("unsupported plan version"),
+              std::string::npos);
+  }
+}
+
+TEST(PlanIo, V2HeaderIsAcceptedButNeedsKRanges) {
+  // v2 is a known version: the failure must come from the missing K-range
+  // arrays, not from the header.
+  std::stringstream ss(
+      "ctb-batchplan-v2\n256 16384 84\n"
+      "tile 2 0 1\ngemm 1 0\nstrategy 1 1\ny 1 0\nx 1 0\n");
+  try {
+    load_plan(ss);
+    FAIL() << "expected PlanIoError";
+  } catch (const PlanIoError& e) {
+    EXPECT_EQ(std::string(e.what()).find("unsupported plan version"),
               std::string::npos);
   }
 }

@@ -7,8 +7,10 @@
 // shared validator cannot mask a bug in the planner.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -108,7 +110,12 @@ CaseStorage materialize(const PropertyCase& pc) {
 /// Independent re-derivation of the plan invariants (deliberately not
 /// validate_plan): aux arrays agree on the tile count, CSR offsets are sane,
 /// each GEMM uses one strategy whose thread variant matches the unified
-/// block size, and the (ty, tx) multiset per GEMM is exactly its tile grid.
+/// block size, and the per-GEMM coverage is exact. For unsplit plans every
+/// (ty, tx) of the tile grid appears exactly once; for split-K plans the
+/// check generalizes — the K ranges recorded for each coordinate must form
+/// an exact, gap-free, non-overlapping ascending partition of [0, K) with
+/// BK-aligned interior boundaries (a duplicated full-K tile fails this too:
+/// its second [0, K) range cannot chain after the first).
 void check_plan_properties(const BatchPlan& plan,
                            std::span<const GemmDims> dims,
                            const std::string& what) {
@@ -117,6 +124,12 @@ void check_plan_properties(const BatchPlan& plan,
   ASSERT_EQ(plan.strategy_of_tile.size(), tiles);
   ASSERT_EQ(plan.y_coord.size(), tiles);
   ASSERT_EQ(plan.x_coord.size(), tiles);
+  if (plan.has_split()) {
+    ASSERT_EQ(plan.k_begin.size(), tiles);
+    ASSERT_EQ(plan.k_end.size(), tiles);
+  } else {
+    ASSERT_TRUE(plan.k_end.empty());
+  }
   ASSERT_TRUE(plan.block_threads == 128 || plan.block_threads == 256);
   ASSERT_FALSE(plan.tile_offsets.empty());
   ASSERT_EQ(plan.tile_offsets.front(), 0);
@@ -125,7 +138,9 @@ void check_plan_properties(const BatchPlan& plan,
   ASSERT_EQ(static_cast<std::size_t>(plan.tile_offsets.back()), tiles);
 
   std::vector<int> strategy_of_gemm(dims.size(), -1);
-  std::vector<std::map<std::pair<int, int>, int>> covered(dims.size());
+  // Per GEMM, per coordinate: every K range claimed for it, in plan order.
+  std::vector<std::map<std::pair<int, int>, std::vector<std::pair<int, int>>>>
+      covered(dims.size());
   int max_smem = 0;
   for (std::size_t t = 0; t < tiles; ++t) {
     const int g = plan.gemm_of_tile[t];
@@ -145,7 +160,8 @@ void check_plan_properties(const BatchPlan& plan,
     ASSERT_LT(plan.y_coord[t], ty_count) << "tile " << t << " gemm " << g;
     ASSERT_GE(plan.x_coord[t], 0);
     ASSERT_LT(plan.x_coord[t], tx_count) << "tile " << t << " gemm " << g;
-    covered[g][{plan.y_coord[t], plan.x_coord[t]}]++;
+    covered[g][{plan.y_coord[t], plan.x_coord[t]}].push_back(
+        plan.tile_k_range(static_cast<int>(t), dims[g].k));
   }
   for (std::size_t g = 0; g < dims.size(); ++g) {
     ASSERT_GE(strategy_of_gemm[g], 0) << "gemm " << g << " has no tiles";
@@ -153,9 +169,25 @@ void check_plan_properties(const BatchPlan& plan,
     ASSERT_EQ(static_cast<long long>(covered[g].size()),
               s.tiles_for(dims[g].m, dims[g].n))
         << "gemm " << g;
-    for (const auto& [coord, count] : covered[g])
-      ASSERT_EQ(count, 1) << "gemm " << g << " tile (" << coord.first << ","
-                          << coord.second << ") covered " << count << " times";
+    const int K = dims[g].k;
+    for (auto& [coord, ranges] : covered[g]) {
+      const std::string where = "gemm " + std::to_string(g) + " tile (" +
+                                std::to_string(coord.first) + "," +
+                                std::to_string(coord.second) + ")";
+      std::sort(ranges.begin(), ranges.end());
+      int expect_begin = 0;
+      for (const auto& [kb, ke] : ranges) {
+        ASSERT_EQ(kb, expect_begin)
+            << where << " K ranges leave a gap or overlap at " << kb;
+        ASSERT_LT(kb, ke) << where << " empty K range";
+        ASSERT_LE(ke, K) << where << " K range past K";
+        if (ke != K)
+          ASSERT_EQ(ke % s.bk, 0) << where << " interior boundary " << ke
+                                  << " not BK-aligned";
+        expect_begin = ke;
+      }
+      ASSERT_EQ(expect_begin, K) << where << " K ranges stop short of K";
+    }
   }
   ASSERT_GE(plan.smem_bytes, max_smem);
 }
@@ -230,6 +262,90 @@ TEST(PlanProperty, RandomForest) {
 
 TEST(PlanProperty, TilingOnly) {
   run_policy_property(BatchingPolicy::kTilingOnly);
+}
+
+// Split-K generators: seeded random batches planned under SplitKMode::kForce
+// so K-splitting actually happens whenever a K loop has at least two BK
+// steps. Every plan must pass the generalized coverage checker above (exact,
+// gap-free, non-overlapping K partitions) and execute bit-identically to
+// reference_gemm.
+TEST(PlanProperty, ForcedSplitKPartitionsAndBitExact) {
+  PlannerConfig config;
+  config.splitk = SplitKMode::kForce;
+  const BatchedGemmPlanner planner(config);
+  ScopedParallelThreads guard(2);
+
+  Rng rng(0x5B117C0DEULL);
+  int split_plans = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    const PropertyCase pc = random_case(rng);
+    const std::string what = "forced-splitk iter=" + std::to_string(iter);
+    const PlanSummary summary = planner.plan(pc.dims);
+    check_plan_properties(summary.plan, pc.dims, what);
+    ASSERT_NO_THROW(validate_plan(summary.plan, pc.dims)) << what;
+    if (summary.plan.has_split()) ++split_plans;
+
+    CaseStorage plan_run = materialize(pc);
+    run_batched_plan(summary.plan, plan_run.ops, pc.alpha, pc.beta);
+    CaseStorage ref_run = materialize(pc);
+    for (std::size_t i = 0; i < ref_run.ops.size(); ++i)
+      reference_gemm(ref_run.ops[i], pc.alpha, pc.beta);
+    for (std::size_t i = 0; i < pc.dims.size(); ++i)
+      expect_bitwise_equal(ref_run.c[i], plan_run.c[i],
+                           what + " gemm " + std::to_string(i));
+  }
+  // The generator's K distribution reaches 2+ BK steps often; if forcing
+  // stopped producing split plans the axis is silently dead.
+  EXPECT_GT(split_plans, 20);
+}
+
+// Adversarial split plans the planner would never emit: slices shuffled out
+// of K order and packed into random blocks, so the executor's fix-up
+// reduction must reconstruct each tile's ascending chain from the aux
+// arrays alone. Coverage checker + validate_plan + bit-exactness throughout.
+TEST(PlanProperty, ShuffledHandBuiltSplitPlansBitExact) {
+  const TilingStrategy& s =
+      batched_strategy(TileShape::kMedium, ThreadVariant::k256);
+  ScopedParallelThreads guard(2);
+
+  Rng rng(0xA11CE5EEDULL);
+  int split_plans = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const PropertyCase pc = random_case(rng);
+    const std::string what = "shuffled-splitk iter=" + std::to_string(iter);
+    const int slices = 2 + static_cast<int>(rng.uniform_int(0, 6));
+    const std::vector<const TilingStrategy*> strategies(pc.dims.size(), &s);
+    const std::vector<Tile> tiles = enumerate_tiles(pc.dims, strategies);
+    std::vector<Tile> split = split_tiles_k(tiles, slices);
+    // Fisher-Yates shuffle driven by the case's own seed stream.
+    for (std::size_t i = split.size(); i > 1; --i)
+      std::swap(split[i - 1],
+                split[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<int>(i) - 1))]);
+    std::vector<std::vector<Tile>> blocks;
+    for (std::size_t i = 0; i < split.size();) {
+      const std::size_t take = std::min(
+          split.size() - i,
+          static_cast<std::size_t>(1 + rng.uniform_int(0, 3)));
+      blocks.emplace_back(split.begin() + static_cast<std::ptrdiff_t>(i),
+                          split.begin() + static_cast<std::ptrdiff_t>(i + take));
+      i += take;
+    }
+    const BatchPlan plan = build_plan(blocks, s.threads);
+    check_plan_properties(plan, pc.dims, what);
+    ASSERT_NO_THROW(validate_plan(plan, pc.dims)) << what;
+    if (plan.has_split()) ++split_plans;
+
+    CaseStorage plan_run = materialize(pc);
+    run_batched_plan(plan, plan_run.ops, pc.alpha, pc.beta);
+    CaseStorage ref_run = materialize(pc);
+    for (std::size_t i = 0; i < ref_run.ops.size(); ++i)
+      reference_gemm(ref_run.ops[i], pc.alpha, pc.beta);
+    for (std::size_t i = 0; i < pc.dims.size(); ++i)
+      expect_bitwise_equal(ref_run.c[i], plan_run.c[i],
+                           what + " gemm " + std::to_string(i));
+  }
+  EXPECT_GT(split_plans, 10);
 }
 
 // Degraded-then-upgraded serving through the plan service: for random cases,

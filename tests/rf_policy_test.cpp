@@ -6,15 +6,25 @@
 namespace ctb {
 namespace {
 
-TEST(BatchingFeatures, PaperFeatureVector) {
-  // Features are {mean M, mean N, mean K, B}.
+TEST(BatchingFeatures, PaperFeatureVectorPlusTileCount) {
+  // Features are {mean M, mean N, mean K, B, total 64x64 C tiles}.
   const std::vector<GemmDims> dims = {{16, 32, 128}, {64, 64, 64}};
   const auto f = batching_features(dims);
-  ASSERT_EQ(f.size(), 4u);
+  ASSERT_EQ(f.size(), 5u);
   EXPECT_DOUBLE_EQ(f[0], 40.0);
   EXPECT_DOUBLE_EQ(f[1], 48.0);
   EXPECT_DOUBLE_EQ(f[2], 96.0);
   EXPECT_DOUBLE_EQ(f[3], 2.0);
+  EXPECT_DOUBLE_EQ(f[4], 2.0);  // one 64x64 tile each
+}
+
+TEST(BatchingFeatures, TileCountSeparatesOneBigFromManySmall) {
+  // Same mean M/N/K and batch size cannot happen here, but the tile count
+  // must still separate a tall-skinny giant from a uniform grid of tiles.
+  const std::vector<GemmDims> tall = {{2048, 64, 512}};
+  const std::vector<GemmDims> square = {{512, 512, 512}};
+  EXPECT_DOUBLE_EQ(batching_features(tall)[4], 32.0);
+  EXPECT_DOUBLE_EQ(batching_features(square)[4], 64.0);
 }
 
 TEST(RandomBatch, RespectsRanges) {
@@ -84,7 +94,7 @@ TEST(GenerateDataset, ShapeAndDeterminism) {
   const Dataset d1 = generate_batching_dataset(config);
   const Dataset d2 = generate_batching_dataset(config);
   ASSERT_EQ(d1.samples.size(), 24u);
-  EXPECT_EQ(d1.num_features, 4);
+  EXPECT_EQ(d1.num_features, 5);
   EXPECT_EQ(d1.num_classes, 2);
   for (std::size_t i = 0; i < d1.samples.size(); ++i) {
     EXPECT_EQ(d1.samples[i].label, d2.samples[i].label);

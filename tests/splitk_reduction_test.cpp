@@ -1,0 +1,391 @@
+// Determinism of the split-K fix-up reduction (DESIGN.md §11).
+//
+// Split-K partitions a tile's K loop into BK-aligned slices executed as
+// separate blocks; the fix-up pass then continues each tile's single
+// ascending (k0, p) accumulation chain through the slices in K order (a
+// carried chain — the left-spine of the reduction tree), so the result is
+// BITWISE identical to the unsplit execution. This test pins that contract
+// where it can break: under parallel_for at 1/2/4/8 threads, across all
+// three executors, fp32 and fp16, N/T transpose variants, the gather
+// (implicit-GEMM) path, and every SIMD ISA reachable on the host.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "dnn/implicit_gemm.hpp"
+#include "kernels/functional.hpp"
+#include "kernels/simd.hpp"
+#include "util/parallel.hpp"
+
+namespace ctb {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kSliceCounts[] = {2, 3, 8};
+
+Matrixf rand_mat(int r, int c, Rng& rng) {
+  Matrixf m(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+  fill_random(m, rng);
+  return m;
+}
+
+void expect_bitwise_equal(const Matrixf& unsplit, const Matrixf& split,
+                          const std::string& what) {
+  ASSERT_EQ(unsplit.rows(), split.rows());
+  ASSERT_EQ(unsplit.cols(), split.cols());
+  const auto u = unsplit.flat();
+  const auto s = split.flat();
+  for (std::size_t i = 0; i < u.size(); ++i)
+    ASSERT_EQ(u[i], s[i]) << what << " diverges at flat index " << i;
+}
+
+struct BatchCase {
+  std::vector<Matrixf> a, b, c;
+  std::vector<GemmOperands> ops;
+};
+
+BatchCase make_batch(std::span<const GemmDims> dims, std::uint64_t seed,
+                     Precision precision = Precision::kFp32) {
+  BatchCase bc;
+  Rng rng(seed);
+  for (const auto& d : dims) {
+    bc.a.push_back(rand_mat(d.m, d.k, rng));
+    bc.b.push_back(rand_mat(d.k, d.n, rng));
+    bc.c.push_back(rand_mat(d.m, d.n, rng));
+  }
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    bc.ops.push_back(operands(bc.a[i], bc.b[i], bc.c[i]));
+    bc.ops.back().precision = precision;
+  }
+  return bc;
+}
+
+/// Hand-built plans over one uniform strategy: every tile in its own block,
+/// optionally split into `slices` K ranges. Deterministic and independent of
+/// the planner, so the executor contract is tested in isolation.
+BatchPlan uniform_plan(std::span<const GemmDims> dims,
+                       const TilingStrategy& s, int slices) {
+  const std::vector<const TilingStrategy*> strategies(dims.size(), &s);
+  std::vector<Tile> tiles = enumerate_tiles(dims, strategies);
+  if (slices > 1) tiles = split_tiles_k(tiles, slices);
+  std::vector<std::vector<Tile>> blocks;
+  for (const Tile& t : tiles) blocks.push_back({t});
+  return build_plan(blocks, s.threads);
+}
+
+// ---------------------------------------------------------- single GEMM --
+
+TEST(SplitKSingleGemm, ThreadAndSliceSweepBitExact) {
+  const auto& s = batched_strategy(TileShape::kMedium, ThreadVariant::k256);
+  // Ragged in every dimension; K % BK != 0 puts the zero-padded tail step
+  // inside the last slice.
+  const std::vector<GemmDims> dims = {{70, 45, 77}};
+  auto reference = make_batch(dims, 42);
+  {
+    ScopedParallelThreads guard(1);
+    run_single_gemm(s, reference.ops[0], 1.5f, -0.5f);
+  }
+  for (int slices : kSliceCounts) {
+    for (int threads : kThreadCounts) {
+      auto split = make_batch(dims, 42);
+      ScopedParallelThreads guard(threads);
+      run_single_gemm(s, split.ops[0], 1.5f, -0.5f, slices);
+      expect_bitwise_equal(reference.c[0], split.c[0],
+                           "single splitk=" + std::to_string(slices) +
+                               " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+class SplitKAllStrategies : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitKAllStrategies, SingleGemmBitExact) {
+  const TilingStrategy& s = batched_strategy_by_id(GetParam());
+  const std::vector<GemmDims> dims = {
+      {2 * s.by + 3, s.bx + 5, 6 * s.bk + 3}};
+  auto reference = make_batch(dims, 51);
+  {
+    ScopedParallelThreads guard(1);
+    run_single_gemm(s, reference.ops[0], 1.0f, 0.25f);
+  }
+  auto split = make_batch(dims, 51);
+  {
+    ScopedParallelThreads guard(4);
+    run_single_gemm(s, split.ops[0], 1.0f, 0.25f, 4);
+  }
+  expect_bitwise_equal(reference.c[0], split.c[0],
+                       "all-strategies " + s.name());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ids, SplitKAllStrategies, ::testing::Range(0, 12));
+
+TEST(SplitKSingleGemm, Fp16BitExact) {
+  const auto& s = batched_strategy(TileShape::kLarge, ThreadVariant::k128);
+  const std::vector<GemmDims> dims = {{90, 130, 100}};
+  auto reference = make_batch(dims, 99, Precision::kFp16);
+  {
+    ScopedParallelThreads guard(1);
+    run_single_gemm(s, reference.ops[0], 1.0f, 0.5f);
+  }
+  for (int threads : kThreadCounts) {
+    auto split = make_batch(dims, 99, Precision::kFp16);
+    ScopedParallelThreads guard(threads);
+    run_single_gemm(s, split.ops[0], 1.0f, 0.5f, 4);
+    expect_bitwise_equal(reference.c[0], split.c[0],
+                         "fp16 threads=" + std::to_string(threads));
+  }
+}
+
+TEST(SplitKSingleGemm, TransposeVariantsBitExact) {
+  const auto& s = batched_strategy(TileShape::kMedium, ThreadVariant::k256);
+  const int m = 70, n = 45, k = 100;
+  for (const Op op_a : {Op::kN, Op::kT}) {
+    for (const Op op_b : {Op::kN, Op::kT}) {
+      const int ar = op_a == Op::kN ? m : k;
+      const int ac = op_a == Op::kN ? k : m;
+      const int br = op_b == Op::kN ? k : n;
+      const int bc = op_b == Op::kN ? n : k;
+      struct TCase {
+        Matrixf a, b, c;
+      };
+      auto make = [&] {
+        Rng rng(77);
+        return TCase{rand_mat(ar, ac, rng), rand_mat(br, bc, rng),
+                     rand_mat(m, n, rng)};
+      };
+      TCase reference = make();
+      {
+        ScopedParallelThreads guard(1);
+        run_single_gemm(
+            s, operands(reference.a, reference.b, reference.c, op_a, op_b),
+            1.0f, 0.25f);
+      }
+      for (int threads : kThreadCounts) {
+        TCase split = make();
+        ScopedParallelThreads guard(threads);
+        run_single_gemm(s,
+                        operands(split.a, split.b, split.c, op_a, op_b),
+                        1.0f, 0.25f, 4);
+        expect_bitwise_equal(reference.c, split.c,
+                             std::string("transpose op_a=") +
+                                 (op_a == Op::kT ? "T" : "N") + " op_b=" +
+                                 (op_b == Op::kT ? "T" : "N") + " threads=" +
+                                 std::to_string(threads));
+      }
+    }
+  }
+}
+
+// The gather (implicit-GEMM) path: B is a callable, so slicing must offset
+// the gather coordinates, not a pointer.
+TEST(SplitKSingleGemm, GatherPathBitExact) {
+  ConvShape shape;
+  shape.name = "splitk_conv";
+  shape.in_c = 7;
+  shape.out_c = 33;
+  shape.kernel = 3;
+  shape.stride = 1;
+  shape.pad = 1;
+  shape.in_h = 9;
+  shape.in_w = 10;
+  Rng rng(31);
+  const Tensor4 input = [&] {
+    Tensor4 t(2, shape.in_c, shape.in_h, shape.in_w);
+    fill_random(t, rng);
+    return t;
+  }();
+  const Matrixf filters = random_filters(shape, rng);
+  const GemmDims d = shape.gemm_dims(input.n());
+  const auto& s = batched_strategy(TileShape::kSmall, ThreadVariant::k128);
+
+  Matrixf reference_out(static_cast<std::size_t>(d.m),
+                        static_cast<std::size_t>(d.n));
+  {
+    ScopedParallelThreads guard(1);
+    run_single_gemm(
+        s, implicit_conv_operands(shape, input, filters, reference_out),
+        1.0f, 0.0f);
+  }
+  for (int threads : kThreadCounts) {
+    Matrixf split_out(static_cast<std::size_t>(d.m),
+                      static_cast<std::size_t>(d.n));
+    ScopedParallelThreads guard(threads);
+    run_single_gemm(s,
+                    implicit_conv_operands(shape, input, filters, split_out),
+                    1.0f, 0.0f, 3);
+    expect_bitwise_equal(reference_out, split_out,
+                         "gather threads=" + std::to_string(threads));
+  }
+}
+
+// --------------------------------------------------------------- vbatch --
+
+TEST(SplitKVbatch, MixedSizesBitExact) {
+  const auto& s = single_gemm_strategy(TileShape::kMedium);
+  // Includes K=3 (a single BK step: must degrade to unsplit) and ragged Ks.
+  const std::vector<GemmDims> dims = {
+      {33, 65, 19}, {128, 128, 64}, {100, 40, 77}, {16, 16, 3}};
+  auto reference = make_batch(dims, 123);
+  {
+    ScopedParallelThreads guard(1);
+    run_vbatch(s, reference.ops, 1.25f, 0.5f);
+  }
+  for (int threads : kThreadCounts) {
+    auto split = make_batch(dims, 123);
+    ScopedParallelThreads guard(threads);
+    run_vbatch(s, split.ops, 1.25f, 0.5f, 4);
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      expect_bitwise_equal(reference.c[i], split.c[i],
+                           "vbatch gemm " + std::to_string(i) + " threads=" +
+                               std::to_string(threads));
+  }
+}
+
+// --------------------------------------------------------- batched plan --
+
+TEST(SplitKBatchedPlan, HandBuiltPlanBitExact) {
+  const auto& s = batched_strategy(TileShape::kMedium, ThreadVariant::k256);
+  const std::vector<GemmDims> dims = {{70, 45, 77}, {64, 64, 160}, {33, 33, 24}};
+  const BatchPlan unsplit = uniform_plan(dims, s, 1);
+  const BatchPlan split = uniform_plan(dims, s, 4);
+  ASSERT_TRUE(split.has_split());
+  ASSERT_GT(split.num_blocks(), unsplit.num_blocks());
+  validate_plan(split, dims);
+
+  for (const Precision precision : {Precision::kFp32, Precision::kFp16}) {
+    auto reference = make_batch(dims, 7, precision);
+    {
+      ScopedParallelThreads guard(1);
+      run_batched_plan(unsplit, reference.ops, 2.0f, -1.0f);
+    }
+    for (int threads : kThreadCounts) {
+      auto split_case = make_batch(dims, 7, precision);
+      ScopedParallelThreads guard(threads);
+      run_batched_plan(split, split_case.ops, 2.0f, -1.0f);
+      for (std::size_t i = 0; i < dims.size(); ++i)
+        expect_bitwise_equal(
+            reference.c[i], split_case.c[i],
+            std::string("plan ") +
+                (precision == Precision::kFp16 ? "fp16" : "fp32") + " gemm " +
+                std::to_string(i) + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+// The planner's split-K axis end to end: kForce produces a split plan for a
+// TLP-scarce tall-skinny batch with strictly more blocks, and executing it
+// matches the kOff plan bitwise at every thread count.
+TEST(SplitKBatchedPlan, PlannerForcedSplitBitExact) {
+  const std::vector<GemmDims> dims = {{512, 64, 1024}, {384, 64, 768}};
+  PlannerConfig off;
+  off.splitk = SplitKMode::kOff;
+  const PlanSummary unsplit = BatchedGemmPlanner(off).plan(dims);
+  ASSERT_FALSE(unsplit.plan.has_split());
+
+  PlannerConfig force;
+  force.splitk = SplitKMode::kForce;
+  const PlanSummary split = BatchedGemmPlanner(force).plan(dims);
+  ASSERT_TRUE(split.plan.has_split());
+  validate_plan(split.plan, dims);
+  EXPECT_GT(split.plan.num_blocks(), unsplit.plan.num_blocks());
+
+  auto reference = make_batch(dims, 91);
+  {
+    ScopedParallelThreads guard(1);
+    run_batched_plan(unsplit.plan, reference.ops, 1.0f, 0.5f);
+  }
+  for (int threads : kThreadCounts) {
+    auto split_case = make_batch(dims, 91);
+    ScopedParallelThreads guard(threads);
+    run_batched_plan(split.plan, split_case.ops, 1.0f, 0.5f);
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      expect_bitwise_equal(reference.c[i], split_case.c[i],
+                           "planner-force gemm " + std::to_string(i) +
+                               " threads=" + std::to_string(threads));
+  }
+}
+
+// The auto trigger: a TLP-scarce tall-skinny batch may split (and did, on
+// the quick-suite workload this mirrors), a machine-filling batch must not.
+TEST(SplitKBatchedPlan, AutoTriggerRespectsTlpScarcity) {
+  PlannerConfig config;  // kAuto
+  const std::vector<GemmDims> plenty(64, GemmDims{256, 256, 64});
+  const PlanSummary filled = BatchedGemmPlanner(config).plan(plenty);
+  EXPECT_FALSE(filled.plan.has_split());
+  // A scarce batch stays correct whether or not the simulator picks split.
+  const std::vector<GemmDims> scarce = {{512, 64, 1024}};
+  const PlanSummary summary = BatchedGemmPlanner(config).plan(scarce);
+  validate_plan(summary.plan, scarce);
+  auto reference = make_batch(scarce, 17);
+  {
+    ScopedParallelThreads guard(1);
+    reference_gemm(reference.ops[0], 1.0f, 0.0f);
+  }
+  auto planned = make_batch(scarce, 17);
+  {
+    ScopedParallelThreads guard(4);
+    run_batched_plan(summary.plan, planned.ops, 1.0f, 0.0f);
+  }
+  expect_bitwise_equal(reference.c[0], planned.c[0], "auto-trigger");
+}
+
+// ------------------------------------------------------------ SIMD ISAs --
+
+TEST(SplitKSimd, IsaSweepBitExact) {
+  const auto& s = batched_strategy(TileShape::kMedium, ThreadVariant::k256);
+  const std::vector<GemmDims> dims = {{70, 45, 96}, {64, 64, 160}};
+  const BatchPlan unsplit = uniform_plan(dims, s, 1);
+  const BatchPlan split = uniform_plan(dims, s, 4);
+
+  // Sweep every ISA up to the host's capability: requesting more clamps, so
+  // each scope below genuinely dispatches a different kernel table.
+  std::vector<SimdIsa> isas = {SimdIsa::kScalar};
+  for (SimdIsa isa : {SimdIsa::kNeon, SimdIsa::kAvx2, SimdIsa::kAvx512})
+    if (static_cast<int>(isa) <= static_cast<int>(detected_simd_isa()))
+      isas.push_back(isa);
+
+  for (SimdIsa isa : isas) {
+    ScopedSimdIsa isa_guard(isa);
+    auto reference = make_batch(dims, 29);
+    {
+      ScopedParallelThreads guard(1);
+      run_batched_plan(unsplit, reference.ops, 1.5f, 0.25f);
+    }
+    for (int threads : kThreadCounts) {
+      auto split_case = make_batch(dims, 29);
+      ScopedParallelThreads guard(threads);
+      run_batched_plan(split, split_case.ops, 1.5f, 0.25f);
+      for (std::size_t i = 0; i < dims.size(); ++i)
+        expect_bitwise_equal(
+            reference.c[i], split_case.c[i],
+            std::string("isa=") + simd_isa_name(isa) + " gemm " +
+                std::to_string(i) + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+// Cross-ISA: the split result under the host's best ISA equals the scalar
+// unsplit result — the strongest form of the contract, composing the SIMD
+// determinism guarantee (DESIGN.md §6) with the fix-up reduction's.
+TEST(SplitKSimd, BestIsaSplitMatchesScalarUnsplit) {
+  const auto& s = batched_strategy(TileShape::kLarge, ThreadVariant::k256);
+  const std::vector<GemmDims> dims = {{130, 70, 200}};
+  auto reference = make_batch(dims, 67);
+  {
+    ScopedSimdIsa isa_guard(SimdIsa::kScalar);
+    ScopedParallelThreads guard(1);
+    run_single_gemm(s, reference.ops[0], 1.0f, 0.0f);
+  }
+  auto split = make_batch(dims, 67);
+  {
+    ScopedSimdIsa isa_guard(detected_simd_isa());
+    ScopedParallelThreads guard(8);
+    run_single_gemm(s, split.ops[0], 1.0f, 0.0f, 8);
+  }
+  expect_bitwise_equal(reference.c[0], split.c[0], "best-isa-vs-scalar");
+}
+
+}  // namespace
+}  // namespace ctb
