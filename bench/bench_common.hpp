@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <optional>
 #include <ostream>
@@ -229,6 +230,14 @@ struct BenchWorkload {
   /// quadratic hot-set bias (front of the pool dominates).
   int replay_skew = 1;
   std::vector<std::vector<GemmDims>> replay_pool;
+  /// Fused-epilogue A/B pair: kFused runs every GEMM with a bias+ReLU
+  /// chain applied inside the tile store; kUnfused runs the plain GEMM
+  /// then the same chain as two separate elementwise passes over each C.
+  /// Both sides execute identical GEMM FLOPs (exec.flops matches exactly);
+  /// the fused side strictly reduces exec.c.passes and is the only one to
+  /// count exec.epilogue.fused — the pair pins the fusion win in counters.
+  enum class EpilogueMode { kNone, kFused, kUnfused };
+  EpilogueMode epilogue_mode = EpilogueMode::kNone;
 };
 
 namespace detail {
@@ -310,6 +319,23 @@ inline std::vector<BenchWorkload> perf_quick_suite() {
     split.splitk = SplitKMode::kForce;
     detail::add_workload(out, std::move(unsplit));
     detail::add_workload(out, std::move(split));
+  }
+  // Paired A/B for fused epilogues: the same batch with a bias+ReLU chain
+  // per GEMM, once fused into the tile store and once as separate passes.
+  // exec.flops is identical; the fused side's exec.c.passes collapses from
+  // 3 per GEMM per repeat (store + bias + relu) to 1 and exec.epilogue.*
+  // turn nonzero — the C-traffic reduction the aux-array epilogue buys.
+  {
+    BenchWorkload unfused;
+    unfused.name = "epilogue/bias-relu/unfused";
+    unfused.dims = equal_case(8, 128, 128);
+    unfused.policy = BatchingPolicy::kThresholdOnly;
+    unfused.epilogue_mode = BenchWorkload::EpilogueMode::kUnfused;
+    BenchWorkload fused = unfused;
+    fused.name = "epilogue/bias-relu/fused";
+    fused.epilogue_mode = BenchWorkload::EpilogueMode::kFused;
+    detail::add_workload(out, std::move(unfused));
+    detail::add_workload(out, std::move(fused));
   }
   return out;
 }
@@ -448,12 +474,58 @@ inline perfreport::WorkloadResult run_perf_workload(const BenchWorkload& w,
     ops[i].c = c[i].data();
   }
 
+  // Epilogue A/B workloads carry one bias vector per GEMM (deterministic
+  // from the workload seed; generated after a/b so plain workloads' operand
+  // contents are untouched). The fused side attaches the chain to the
+  // operands and the plan; the unfused side applies the identical chain as
+  // separate passes inside the timed region below.
+  std::vector<std::vector<float>> biases;
+  std::vector<int> epilogues;
+  if (w.epilogue_mode != BenchWorkload::EpilogueMode::kNone) {
+    biases.resize(w.dims.size());
+    for (std::size_t i = 0; i < w.dims.size(); ++i) {
+      biases[i].resize(static_cast<std::size_t>(w.dims[i].m));
+      for (float& x : biases[i])
+        x = static_cast<float>(rng.uniform_int(-64, 64)) / 16.0f;
+    }
+    if (w.epilogue_mode == BenchWorkload::EpilogueMode::kFused) {
+      int spec = 0;
+      spec = epilogue_push(spec, EpilogueOp::kBias);
+      spec = epilogue_push(spec, EpilogueOp::kRelu);
+      epilogues.assign(w.dims.size(), spec);
+      for (std::size_t i = 0; i < w.dims.size(); ++i) {
+        ops[i].epilogue = spec;
+        ops[i].epilogue_args.bias = biases[i].data();
+        ops[i].epilogue_args.bias_len = w.dims[i].m;
+      }
+    }
+  }
+
   const telemetry::MetricsSnapshot before = telemetry::snapshot();
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(repeats));
   auto timed_execute = [&](const BatchPlan& plan) {
     const auto t0 = clock::now();
     execute_plan(plan, ops, 1.0f, 0.0f);
+    if (w.epilogue_mode == BenchWorkload::EpilogueMode::kUnfused) {
+      // The chain the fused variant folds into its stores, as the two
+      // extra full sweeps over each C it eliminates (same elementwise
+      // definitions, so both variants' outputs are bitwise identical).
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const GemmDims& d = w.dims[i];
+        float* cp = c[i].data();
+        CTB_TEL_COUNT("exec.c.passes", 1);
+        for (int row = 0; row < d.m; ++row)
+          for (int col = 0; col < d.n; ++col)
+            cp[static_cast<std::size_t>(row) * d.n + col] +=
+                biases[i][static_cast<std::size_t>(row)];
+        CTB_TEL_COUNT("exec.c.passes", 1);
+        const std::size_t elems =
+            static_cast<std::size_t>(d.m) * static_cast<std::size_t>(d.n);
+        for (std::size_t e = 0; e < elems; ++e)
+          cp[e] = cp[e] > 0.0f ? cp[e] : 0.0f;
+      }
+    }
     samples.push_back(
         std::chrono::duration<double, std::micro>(clock::now() - t0).count());
   };
@@ -479,7 +551,8 @@ inline perfreport::WorkloadResult run_perf_workload(const BenchWorkload& w,
       config.policy = w.policy;
       config.splitk = w.splitk;
       PlanCache cache(config);
-      for (int r = 0; r < repeats; ++r) timed_execute(cache.plan(w.dims).plan);
+      for (int r = 0; r < repeats; ++r)
+        timed_execute(cache.plan(w.dims, epilogues).plan);
     }
   }
   const telemetry::MetricsSnapshot after = telemetry::snapshot();
@@ -565,6 +638,7 @@ inline perfreport::PerfReport run_perf_suite(
   report.suite = suite;
   report.tag = tag;
   report.repeats = repeats;
+  report.created_unix = static_cast<std::int64_t>(std::time(nullptr));
   report.telemetry_compiled_in = telemetry::snapshot().compiled_in;
   report.simd_isa = simd_isa_name(active_simd_isa());
   const bool was_enabled = telemetry::snapshot().enabled;

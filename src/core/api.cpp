@@ -137,6 +137,26 @@ PlanSummary BatchedGemmPlanner::plan(std::span<const GemmDims> dims) const {
   return summary;
 }
 
+PlanSummary BatchedGemmPlanner::plan(std::span<const GemmDims> dims,
+                                     std::span<const int> epilogues) const {
+  // Normalize so "no chain anywhere" plans identically to the plain form.
+  bool any_epilogue = false;
+  for (int e : epilogues) any_epilogue = any_epilogue || e != 0;
+  if (!any_epilogue) epilogues = {};
+  CTB_CHECK_MSG(epilogues.empty() || epilogues.size() == dims.size(),
+                "epilogue stream holds " << epilogues.size()
+                                         << " entries for " << dims.size()
+                                         << " GEMMs");
+  for (std::size_t i = 0; i < epilogues.size(); ++i)
+    CTB_CHECK_MSG(epilogue_packed_valid(epilogues[i]),
+                  "GEMM " << i << " has malformed epilogue spec "
+                          << epilogues[i]);
+  PlanSummary summary = plan(dims);
+  if (!epilogues.empty())
+    summary.plan.epilogue_of_gemm.assign(epilogues.begin(), epilogues.end());
+  return summary;
+}
+
 void BatchedGemmPlanner::consider_splitk(
     PlanSummary& summary, std::span<const Tile> tiles, int threads,
     const BatchingConfig& batching_config,
@@ -244,12 +264,16 @@ BatchedGemmResult batched_gemm(std::span<const GemmEntry> entries,
 
   std::vector<GemmDims> dims(entries.size());
   std::vector<GemmOperands> ops(entries.size());
+  std::vector<int> epilogues(entries.size(), 0);
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const GemmEntry& e = entries[i];
     CTB_CHECK_MSG(e.a != nullptr && e.b != nullptr && e.c != nullptr,
                   "GEMM " << i << " has a null operand matrix");
     ops[i] = operands(*e.a, *e.b, *e.c, e.op_a, e.op_b);
     ops[i].precision = config.precision;
+    ops[i].epilogue = e.epilogue;
+    ops[i].epilogue_args = e.epilogue_args;
+    epilogues[i] = e.epilogue;
     dims[i] = ops[i].dims;
     CTB_CHECK_MSG(dims[i].valid(), "GEMM " << i << " has degenerate dims "
                                            << dims[i].m << 'x' << dims[i].n
@@ -258,7 +282,7 @@ BatchedGemmResult batched_gemm(std::span<const GemmEntry> entries,
 
   const BatchedGemmPlanner planner(config);
   BatchedGemmResult result;
-  result.summary = planner.plan(dims);
+  result.summary = planner.plan(dims, epilogues);
   if (config.fallback_to_reference) {
     result.execution =
         try_execute_plan(result.summary.plan, ops, alpha, beta);

@@ -106,6 +106,14 @@ class BatchedGemmPlanner {
   /// policy. The returned plan passes validate_plan().
   PlanSummary plan(std::span<const GemmDims> dims) const;
 
+  /// Like plan(dims) but the returned plan carries per-GEMM fused-epilogue
+  /// specs (parallel to `dims`; empty or all-zero means none, and yields a
+  /// plan identical to the two-arg form). Tiling, batching, and split-K
+  /// decisions are epilogue-independent — the chain only changes the tile
+  /// store — so epilogues ride along as a sixth aux array.
+  PlanSummary plan(std::span<const GemmDims> dims,
+                   std::span<const int> epilogues) const;
+
   const PlannerConfig& config() const { return config_; }
   const GpuArch& arch() const { return arch_; }
 
@@ -188,6 +196,12 @@ struct GemmEntry {
   Matrixf* c = nullptr;
   Op op_a = Op::kN;
   Op op_b = Op::kN;
+  /// Fused epilogue chain applied inside the tile store (core/epilogue.hpp);
+  /// 0 means plain GEMM. Operands for the chain's ops live in
+  /// `epilogue_args` and must satisfy audit_operands (present, correctly
+  /// sized, perms bijective). beta must be 0 when the chain permutes.
+  int epilogue = 0;
+  EpilogueArgs epilogue_args;
 };
 
 /// Transpose-aware batched GEMM; each entry may use its own op pair.

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dnn/im2col.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 
 namespace ctb {
@@ -65,7 +66,12 @@ Tensor4 conv_forward_gemm(const ConvShape& s, const Tensor4& input,
 }
 
 void relu_inplace(Tensor4& t) {
-  for (float& x : t.flat()) x = std::max(x, 0.0f);
+  // Same elementwise definition as the fused kRelu epilogue (maps -0.0 and
+  // NaN to +0.0), so an unfused GEMM + relu_inplace pass is bitwise
+  // identical to the fused tile-store path. One extra read-modify-write
+  // sweep over C — the pass the fused dispatch eliminates.
+  CTB_TEL_COUNT("exec.c.passes", 1);
+  for (float& x : t.flat()) x = x > 0.0f ? x : 0.0f;
 }
 
 Tensor4 max_pool(const Tensor4& input, int window, int stride, int pad) {
@@ -102,6 +108,7 @@ Tensor4 max_pool(const Tensor4& input, int window, int stride, int pad) {
 void add_bias_inplace(Tensor4& t, std::span<const float> bias) {
   CTB_CHECK_MSG(static_cast<int>(bias.size()) == t.c(),
                 "bias size must equal channel count");
+  CTB_TEL_COUNT("exec.c.passes", 1);
   for (int n = 0; n < t.n(); ++n)
     for (int c = 0; c < t.c(); ++c)
       for (int y = 0; y < t.h(); ++y)

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "baselines/baselines.hpp"
+#include "dnn/grouped.hpp"
 #include "dnn/im2col.hpp"
 #include "util/assert.hpp"
 
@@ -114,8 +115,9 @@ Tensor4 inception_forward_reference(const InceptionModule& m,
 
 namespace {
 
-/// Runs one dependency stage — im2col each conv, batch the GEMMs through the
-/// planner, reshape the outputs back to tensors.
+/// Runs one dependency stage as a grouped fused dispatch: one planned
+/// batched GEMM with the ReLU applied inside the tile store (no separate
+/// activation pass over the outputs).
 std::vector<Tensor4> run_stage_batched(
     const std::vector<const ConvShape*>& convs,
     const std::vector<const Tensor4*>& inputs,
@@ -123,30 +125,14 @@ std::vector<Tensor4> run_stage_batched(
     const PlannerConfig& config) {
   CTB_CHECK(convs.size() == inputs.size() &&
             inputs.size() == weights.size());
-  std::vector<Matrixf> cols(convs.size());
-  std::vector<Matrixf> outs(convs.size());
-  std::vector<const Matrixf*> a(convs.size());
-  std::vector<const Matrixf*> b(convs.size());
-  std::vector<Matrixf*> c(convs.size());
+  std::vector<GroupedConv> group(convs.size());
   for (std::size_t i = 0; i < convs.size(); ++i) {
-    cols[i] = im2col(*convs[i], *inputs[i]);
-    const GemmDims d = convs[i]->gemm_dims(inputs[i]->n());
-    outs[i] = Matrixf(static_cast<std::size_t>(d.m),
-                      static_cast<std::size_t>(d.n));
-    a[i] = weights[i];
-    b[i] = &cols[i];
-    c[i] = &outs[i];
+    group[i].shape = convs[i];
+    group[i].input = inputs[i];
+    group[i].filters = weights[i];
+    group[i].relu = true;
   }
-  batched_gemm(a, b, c, 1.0f, 0.0f, config);
-
-  std::vector<Tensor4> tensors;
-  tensors.reserve(convs.size());
-  for (std::size_t i = 0; i < convs.size(); ++i) {
-    tensors.push_back(
-        col2im_output(*convs[i], inputs[i]->n(), outs[i]));
-    relu_inplace(tensors.back());
-  }
-  return tensors;
+  return grouped_conv_forward(group, config);
 }
 
 }  // namespace

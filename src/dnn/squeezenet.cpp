@@ -3,6 +3,7 @@
 #include <array>
 
 #include "baselines/baselines.hpp"
+#include "dnn/grouped.hpp"
 #include "dnn/im2col.hpp"
 #include "util/assert.hpp"
 
@@ -76,40 +77,19 @@ Tensor4 fire_forward_reference(const FireModule& m, const Tensor4& input,
 Tensor4 fire_forward_batched(const FireModule& m, const Tensor4& input,
                              const FireWeights& w,
                              const PlannerConfig& config) {
-  // Squeeze: a single GEMM (nothing to batch with at module granularity).
-  const Matrixf squeeze_cols = im2col(m.squeeze, input);
-  const GemmDims ds = m.squeeze.gemm_dims(input.n());
-  Matrixf squeeze_out(static_cast<std::size_t>(ds.m),
-                      static_cast<std::size_t>(ds.n));
-  {
-    const std::vector<const Matrixf*> a = {&w.squeeze};
-    const std::vector<const Matrixf*> b = {&squeeze_cols};
-    std::vector<Matrixf*> c = {&squeeze_out};
-    batched_gemm(a, b, c, 1.0f, 0.0f, config);
-  }
-  Tensor4 squeezed = col2im_output(m.squeeze, input.n(), squeeze_out);
-  relu_inplace(squeezed);
+  // Squeeze: a single GEMM (nothing to batch with at module granularity),
+  // with the ReLU fused into the tile store.
+  std::vector<Tensor4> squeezed = grouped_conv_forward(
+      std::vector<GroupedConv>{{&m.squeeze, &input, &w.squeeze, {}, true}},
+      config);
 
-  // Expand: the two branch GEMMs as one batched plan.
-  const Matrixf cols1 = im2col(m.expand1x1, squeezed);
-  const Matrixf cols3 = im2col(m.expand3x3, squeezed);
-  const GemmDims d1 = m.expand1x1.gemm_dims(input.n());
-  const GemmDims d3 = m.expand3x3.gemm_dims(input.n());
-  Matrixf out1(static_cast<std::size_t>(d1.m),
-               static_cast<std::size_t>(d1.n));
-  Matrixf out3(static_cast<std::size_t>(d3.m),
-               static_cast<std::size_t>(d3.n));
-  {
-    const std::vector<const Matrixf*> a = {&w.expand1, &w.expand3};
-    const std::vector<const Matrixf*> b = {&cols1, &cols3};
-    std::vector<Matrixf*> c = {&out1, &out3};
-    batched_gemm(a, b, c, 1.0f, 0.0f, config);
-  }
-  Tensor4 e1 = col2im_output(m.expand1x1, input.n(), out1);
-  Tensor4 e3 = col2im_output(m.expand3x3, input.n(), out3);
-  relu_inplace(e1);
-  relu_inplace(e3);
-  const std::array<const Tensor4*, 2> parts = {&e1, &e3};
+  // Expand: the two branch GEMMs as one fused grouped dispatch.
+  const std::vector<GroupedConv> expand = {
+      {&m.expand1x1, &squeezed[0], &w.expand1, {}, true},
+      {&m.expand3x3, &squeezed[0], &w.expand3, {}, true},
+  };
+  std::vector<Tensor4> e = grouped_conv_forward(expand, config);
+  const std::array<const Tensor4*, 2> parts = {&e[0], &e[1]};
   return concat_channels(parts);
 }
 

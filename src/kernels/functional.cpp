@@ -289,10 +289,53 @@ void accumulate_tile_range(const TilingStrategy& s, const GemmOperands& g,
   accumulate_tile_generic(s, g, ty, tx, k_lo, k_hi, first, acc);
 }
 
+// ---------------------------------------------------- fused epilogue ----
+
+/// Scalar application of the value-op chain to one element's base value at
+/// logical (gi, gj). fp16 rounds after every value op — the fused chain
+/// emulates a sequence of binary16 stores, so it stays bit-identical to
+/// running the same ops as separate passes over a half-precision C.
+float apply_epilogue_value(float v, int spec, const EpilogueArgs& ea,
+                           bool fp16, int gi, int gj, int n) {
+  const int nops = epilogue_num_ops(spec);
+  for (int o = 0; o < nops; ++o) {
+    switch (epilogue_op_at(spec, o)) {
+      case EpilogueOp::kBias:
+        v += ea.bias[gi];
+        break;
+      case EpilogueOp::kRelu:
+        v = v > 0.0f ? v : 0.0f;
+        break;
+      case EpilogueOp::kResidual:
+        v += ea.residual[static_cast<std::size_t>(gi) * n + gj];
+        break;
+      default:
+        continue;  // permutations affect addressing, not the value
+    }
+    if (fp16) v = round_to_half(v);
+  }
+  return v;
+}
+
+/// A permuted destination cannot express the beta prior read as a
+/// tile-local chain (the prior lives at the scatter target, which another
+/// tile may own); the executors reject the combination up front.
+void check_epilogue_beta(const GemmOperands& g, float beta, std::size_t i) {
+  CTB_CHECK_MSG(beta == 0.0f ||
+                    (!epilogue_has_op(g.epilogue, EpilogueOp::kRowPerm) &&
+                     !epilogue_has_op(g.epilogue, EpilogueOp::kColPerm)),
+                "GEMM " << i
+                        << ": beta != 0 with a permuted epilogue store");
+}
+
 /// Runtime-bound twin of store_tile_rowmajor (microkernel.hpp): the
 /// alpha/beta epilogue over a row-major accumulator with edge guards,
 /// beta == 0 short-circuit, and fp16 rounding — the identical per-element
-/// expression every other executor path applies.
+/// expression every other executor path applies. When `g` carries a fused
+/// epilogue chain it is applied here, per element, before the (possibly
+/// permuted) store; this function is also the split-K fix-up reduction's
+/// final store, which is exactly what puts the epilogue strictly after the
+/// join at any thread count.
 void store_tile_rowmajor_rt(const TilingStrategy& s, const GemmOperands& g,
                             int ty, int tx, float alpha, float beta,
                             const float* acc) {
@@ -300,21 +343,88 @@ void store_tile_rowmajor_rt(const TilingStrategy& s, const GemmOperands& g,
   const int row0 = ty * s.by;
   const int col0 = tx * s.bx;
   const bool fp16 = g.precision == Precision::kFp16;
-  for (int i = 0; i < s.by; ++i) {
+  const int spec = g.epilogue;
+  if (spec == 0) {
+    for (int i = 0; i < s.by; ++i) {
+      const int gi = row0 + i;
+      if (gi >= d.m) break;
+      const float* arow = acc + static_cast<std::size_t>(i) * s.bx;
+      for (int j = 0; j < s.bx; ++j) {
+        const int gj = col0 + j;
+        if (gj >= d.n) break;
+        float* cell = &g.c[static_cast<std::size_t>(gi) * d.n + gj];
+        if (fp16) {
+          const float prior =
+              beta == 0.0f ? 0.0f : beta * round_to_half(*cell);
+          *cell = round_to_half(alpha * arow[j] + prior);
+        } else {
+          const float prior = beta == 0.0f ? 0.0f : beta * *cell;
+          *cell = alpha * arow[j] + prior;
+        }
+      }
+    }
+    return;
+  }
+
+  const EpilogueArgs& ea = g.epilogue_args;
+  const int nops = epilogue_num_ops(spec);
+  const bool rowperm = epilogue_has_op(spec, EpilogueOp::kRowPerm);
+  const bool colperm = epilogue_has_op(spec, EpilogueOp::kColPerm);
+  const int rows = std::min(s.by, d.m - row0);
+  const int cols = std::min(s.bx, d.n - col0);
+  CTB_TEL_COUNT("exec.epilogue.fused", 1);
+  CTB_TEL_COUNT("exec.epilogue.ops", nops);
+
+  // Vector path: fp32 rows with contiguous destinations (a row permutation
+  // only relocates whole rows, so it stays eligible; a column permutation
+  // scatters within the row and drops to the scalar chain). Ragged border
+  // columns are masked tail chunks inside the row kernel, not a fallback.
+  if (!fp16 && !colperm) {
+    const SimdEpilogueRowFn rowfn = simd_epilogue_row(active_simd_isa());
+    if (rowfn != nullptr) {
+      EpilogueRowArgs r;
+      r.n = cols;
+      r.alpha = alpha;
+      r.beta = beta;
+      r.nops = nops;
+      for (int o = 0; o < nops; ++o)
+        r.ops[o] = static_cast<int>(epilogue_op_at(spec, o));
+      for (int i = 0; i < rows; ++i) {
+        const int gi = row0 + i;
+        const int di = rowperm ? ea.row_perm[gi] : gi;
+        r.acc = acc + static_cast<std::size_t>(i) * s.bx;
+        r.c = g.c + static_cast<std::size_t>(di) * d.n + col0;
+        r.residual =
+            ea.residual != nullptr
+                ? ea.residual + static_cast<std::size_t>(gi) * d.n + col0
+                : nullptr;
+        r.bias = ea.bias != nullptr ? ea.bias[gi] : 0.0f;
+        rowfn(r);
+      }
+      return;
+    }
+  }
+
+  // Scalar fused chain (fp16, column permutations, or no vector unit).
+  for (int i = 0; i < rows; ++i) {
     const int gi = row0 + i;
-    if (gi >= d.m) break;
+    const int di = rowperm ? ea.row_perm[gi] : gi;
     const float* arow = acc + static_cast<std::size_t>(i) * s.bx;
-    for (int j = 0; j < s.bx; ++j) {
+    for (int j = 0; j < cols; ++j) {
       const int gj = col0 + j;
-      if (gj >= d.n) break;
-      float* cell = &g.c[static_cast<std::size_t>(gi) * d.n + gj];
+      const int dj = colperm ? ea.col_perm[gj] : gj;
+      float* cell = &g.c[static_cast<std::size_t>(di) * d.n + dj];
+      // check_epilogue_beta rejected beta != 0 for permuted stores, so the
+      // prior read below always hits the logical == destination cell.
+      float v;
       if (fp16) {
         const float prior = beta == 0.0f ? 0.0f : beta * round_to_half(*cell);
-        *cell = round_to_half(alpha * arow[j] + prior);
+        v = round_to_half(alpha * arow[j] + prior);
       } else {
         const float prior = beta == 0.0f ? 0.0f : beta * *cell;
-        *cell = alpha * arow[j] + prior;
+        v = alpha * arow[j] + prior;
       }
+      *cell = apply_epilogue_value(v, spec, ea, fp16, gi, gj, d.n);
     }
   }
 }
@@ -347,6 +457,15 @@ void execute_tile(const TilingStrategy& s, const GemmOperands& g, int ty,
   const int col0 = tx * s.bx;
   CTB_CHECK_MSG(row0 < g.dims.m && col0 < g.dims.n,
                 "tile (" << ty << "," << tx << ") outside GEMM");
+  if (g.epilogue != 0) {
+    // Fused tiles route through the sliced path: same staged accumulation,
+    // but the store goes through the epilogue-aware row-major store.
+    check_epilogue_beta(g, beta, 0);
+    const KSlice full{0, g.dims.k};
+    execute_tile_sliced(s, g, PackedDispatch{}, ty, tx, {&full, 1}, alpha,
+                        beta);
+    return;
+  }
 
   // Per-thread C accumulators ("reg_C" in Fig. 2), zero-initialized. The
   // block's threads together cover the whole BY x BX tile, so the combined
@@ -438,12 +557,27 @@ void run_single_gemm(const TilingStrategy& s, const GemmOperands& g,
   const long long tiles = static_cast<long long>(ty_count) * tx_count;
   CTB_TEL_COUNT("exec.flops",
                 2LL * g.dims.m * g.dims.n * g.dims.k);
+  CTB_TEL_COUNT("exec.c.passes", 1);
 
   std::size_t used = 0;
   PackedDispatch d = pack_decision(s, g, used);
   materialize_pack(s, g, d);
   publish_pack(s, g, d);
   count_dispatch(d, tiles);
+  if (g.epilogue != 0) {
+    // Fused GEMM: the compile-time microkernels store without the epilogue,
+    // so every tile runs the dispatched accumulation (SIMD loop, scalar
+    // packed, or generic — unchanged arithmetic) through the sliced path,
+    // whose store applies the fused chain.
+    check_epilogue_beta(g, beta, 0);
+    const KSlice full{0, g.dims.k};
+    parallel_for(tiles, [&](long long block) {
+      execute_tile_sliced(s, g, d, static_cast<int>(block / tx_count),
+                          static_cast<int>(block % tx_count), {&full, 1},
+                          alpha, beta);
+    });
+    return;
+  }
   if (d.specialized()) {
     parallel_for(tiles, [&](long long block) {
       d.kernel.fn(g, *d.pack, static_cast<int>(block / tx_count),
@@ -468,7 +602,9 @@ void run_single_gemm(const TilingStrategy& s, const GemmOperands& g,
   const int ty_count = (g.dims.m + s.by - 1) / s.by;
   const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
   const long long tiles = static_cast<long long>(ty_count) * tx_count;
+  check_epilogue_beta(g, beta, 0);
   CTB_TEL_COUNT("exec.flops", 2LL * g.dims.m * g.dims.n * g.dims.k);
+  CTB_TEL_COUNT("exec.c.passes", 1);
   CTB_TEL_COUNT("exec.splitk.tiles",
                 tiles * static_cast<long long>(slices.size()));
   CTB_TEL_COUNT("exec.splitk.groups", tiles);
@@ -490,12 +626,15 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
   // Grid X/Y sized by the largest GEMM (paper Fig. 3a); smaller GEMMs leave
   // bubble blocks, which the guard below skips.
   int max_ty = 0, max_tx = 0;
-  for (const auto& g : batch) {
+  for (std::size_t z = 0; z < batch.size(); ++z) {
+    const auto& g = batch[z];
+    check_epilogue_beta(g, beta, z);
     max_ty = std::max(max_ty, (g.dims.m + s.by - 1) / s.by);
     max_tx = std::max(max_tx, (g.dims.n + s.bx - 1) / s.bx);
   }
 
   CTB_TEL_COUNT("exec.flops", flops_of(batch));
+  CTB_TEL_COUNT("exec.c.passes", batch.size());
 
   // One uniform strategy: budget decisions stay serial in batch order
   // (deterministic accounting), then the panel materialization fans out one
@@ -531,10 +670,14 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
     const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
     if (ty >= ty_count || tx >= tx_count) return;  // bubble block
     const PackedDispatch& d = packs[z];
-    if (d.specialized())
+    if (g.epilogue != 0) {
+      const KSlice full{0, g.dims.k};
+      execute_tile_sliced(s, g, d, ty, tx, {&full, 1}, alpha, beta);
+    } else if (d.specialized()) {
       d.kernel.fn(g, *d.pack, ty, tx, alpha, beta);
-    else
+    } else {
       execute_tile(s, g, ty, tx, alpha, beta);
+    }
   });
 }
 
@@ -545,11 +688,14 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
     return;
   }
   int max_ty = 0, max_tx = 0;
-  for (const auto& g : batch) {
+  for (std::size_t z = 0; z < batch.size(); ++z) {
+    const auto& g = batch[z];
+    check_epilogue_beta(g, beta, z);
     max_ty = std::max(max_ty, (g.dims.m + s.by - 1) / s.by);
     max_tx = std::max(max_tx, (g.dims.n + s.bx - 1) / s.bx);
   }
   CTB_TEL_COUNT("exec.flops", flops_of(batch));
+  CTB_TEL_COUNT("exec.c.passes", batch.size());
 
   std::vector<PackedDispatch> packs(batch.size());
   std::size_t used = 0;
@@ -583,14 +729,90 @@ void run_vbatch(const TilingStrategy& s, std::span<const GemmOperands> batch,
     const int tx_count = (g.dims.n + s.bx - 1) / s.bx;
     if (ty >= ty_count || tx >= tx_count) return;  // bubble block
     const PackedDispatch& d = packs[z];
-    if (slices[z].size() > 1)
+    if (slices[z].size() > 1) {
       execute_tile_sliced(s, g, d, ty, tx, slices[z], alpha, beta);
-    else if (d.specialized())
+    } else if (g.epilogue != 0) {
+      const KSlice full{0, g.dims.k};
+      execute_tile_sliced(s, g, d, ty, tx, {&full, 1}, alpha, beta);
+    } else if (d.specialized()) {
       d.kernel.fn(g, *d.pack, ty, tx, alpha, beta);
-    else
+    } else {
       execute_tile(s, g, ty, tx, alpha, beta);
+    }
   });
 }
+
+namespace {
+
+/// Validates one permutation operand: present, sized to its axis, every
+/// entry in range, and bijective (no two sources map to one destination —
+/// the property that keeps parallel tiles writing disjoint C regions).
+void audit_perm(const int* perm, int len, int extent, const char* axis,
+                std::size_t i) {
+  CTB_CHECK_MSG(perm != nullptr && len == extent,
+                "GEMM " << i << ' ' << axis << "-permutation: need "
+                        << extent << " entries, have "
+                        << (perm != nullptr ? len : 0));
+  std::vector<char> seen(static_cast<std::size_t>(extent), 0);
+  for (int v = 0; v < extent; ++v) {
+    const int p = perm[v];
+    CTB_CHECK_MSG(p >= 0 && p < extent,
+                  "GEMM " << i << ' ' << axis << "-permutation entry " << v
+                          << " = " << p << " out of range [0," << extent
+                          << ")");
+    CTB_CHECK_MSG(!seen[static_cast<std::size_t>(p)],
+                  "GEMM " << i << ' ' << axis
+                          << "-permutation maps two sources to " << p);
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+}
+
+/// Epilogue half of the operand audit: the spec is a canonical chain, every
+/// op it names has its operand present with the exact extent, and each
+/// permutation axis appears at most once (a repeated axis would make the
+/// destination ambiguous). Runs before any matrix element is touched.
+void audit_epilogue(const GemmOperands& g, std::size_t i) {
+  const int spec = g.epilogue;
+  CTB_CHECK_MSG(epilogue_packed_valid(spec),
+                "GEMM " << i << " has malformed epilogue spec " << spec);
+  if (spec == 0) return;
+  const EpilogueArgs& ea = g.epilogue_args;
+  const auto& d = g.dims;
+  int rowperms = 0, colperms = 0;
+  const int nops = epilogue_num_ops(spec);
+  for (int o = 0; o < nops; ++o) {
+    switch (epilogue_op_at(spec, o)) {
+      case EpilogueOp::kBias:
+        CTB_CHECK_MSG(ea.bias != nullptr && ea.bias_len == d.m,
+                      "GEMM " << i << " bias operand: need " << d.m
+                              << " values, have "
+                              << (ea.bias != nullptr ? ea.bias_len : 0));
+        break;
+      case EpilogueOp::kResidual:
+        CTB_CHECK_MSG(ea.residual != nullptr && ea.residual_rows == d.m &&
+                          ea.residual_cols == d.n,
+                      "GEMM " << i << " residual operand: need " << d.m
+                              << 'x' << d.n << ", have "
+                              << ea.residual_rows << 'x'
+                              << ea.residual_cols);
+        break;
+      case EpilogueOp::kRowPerm:
+        ++rowperms;
+        break;
+      case EpilogueOp::kColPerm:
+        ++colperms;
+        break;
+      default:
+        break;
+    }
+  }
+  CTB_CHECK_MSG(rowperms <= 1 && colperms <= 1,
+                "GEMM " << i << " epilogue repeats a permutation axis");
+  if (rowperms > 0) audit_perm(ea.row_perm, ea.row_perm_len, d.m, "row", i);
+  if (colperms > 0) audit_perm(ea.col_perm, ea.col_perm_len, d.n, "col", i);
+}
+
+}  // namespace
 
 void audit_operands(std::span<const GemmOperands> batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -602,6 +824,7 @@ void audit_operands(std::span<const GemmOperands> batch) {
     CTB_CHECK_MSG(g.b != nullptr || g.b_gather,
                   "GEMM " << i << " needs B storage or a gather");
     CTB_CHECK_MSG(g.c != nullptr, "GEMM " << i << " has no C storage");
+    audit_epilogue(g, i);
   }
 }
 
@@ -611,6 +834,17 @@ void audit_plan_operands(const BatchPlan& plan,
   std::vector<GemmDims> dims(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) dims[i] = batch[i].dims;
   validate_plan(plan, dims);
+  // The plan's per-GEMM epilogue record must agree with what the operands
+  // carry — a stale fused plan meeting a reshaped (or de-fused) batch is
+  // rejected here, exactly like a dims mismatch.
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    CTB_CHECK_MSG(plan.gemm_epilogue(static_cast<int>(i)) ==
+                      batch[i].epilogue,
+                  "GEMM " << i << " epilogue mismatch: plan has "
+                          << epilogue_to_string(
+                                 plan.gemm_epilogue(static_cast<int>(i)))
+                          << ", operands carry "
+                          << epilogue_to_string(batch[i].epilogue));
 }
 
 void reference_gemm(const GemmOperands& g, float alpha, float beta) {
@@ -629,6 +863,11 @@ void reference_gemm(const GemmOperands& g, float alpha, float beta) {
                             : g.b[static_cast<std::size_t>(j) * d.k + k];
   };
   const bool fp16 = g.precision == Precision::kFp16;
+  const int spec = g.epilogue;
+  const EpilogueArgs& ea = g.epilogue_args;
+  const bool rowperm = epilogue_has_op(spec, EpilogueOp::kRowPerm);
+  const bool colperm = epilogue_has_op(spec, EpilogueOp::kColPerm);
+  check_epilogue_beta(g, beta, 0);
   for (int i = 0; i < d.m; ++i) {
     for (int j = 0; j < d.n; ++j) {
       float acc = 0.0f;
@@ -638,14 +877,25 @@ void reference_gemm(const GemmOperands& g, float alpha, float beta) {
       } else {
         for (int k = 0; k < d.k; ++k) acc += at_a(i, k) * at_b(k, j);
       }
+      // The beta prior reads the logical cell; under a permutation beta is
+      // rejected above, so logical == destination whenever it is read.
       float* cell = &g.c[static_cast<std::size_t>(i) * d.n + j];
+      float v;
       if (fp16) {
         const float prior =
             beta == 0.0f ? 0.0f : beta * round_to_half(*cell);
-        *cell = round_to_half(alpha * acc + prior);
+        v = round_to_half(alpha * acc + prior);
       } else {
         const float prior = beta == 0.0f ? 0.0f : beta * *cell;
-        *cell = alpha * acc + prior;
+        v = alpha * acc + prior;
+      }
+      if (spec != 0) {
+        v = apply_epilogue_value(v, spec, ea, fp16, i, j, d.n);
+        const int di = rowperm ? ea.row_perm[i] : i;
+        const int dj = colperm ? ea.col_perm[j] : j;
+        g.c[static_cast<std::size_t>(di) * d.n + dj] = v;
+      } else {
+        *cell = v;
       }
     }
   }
@@ -659,10 +909,13 @@ void run_batched_plan(const BatchPlan& plan,
     CTB_TEL_SPAN("exec.audit");
     audit_plan_operands(plan, batch);
   }
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    check_epilogue_beta(batch[i], beta, i);
   CTB_TEL_COUNT("exec.plan_runs", 1);
   CTB_TEL_COUNT("exec.blocks", plan.num_blocks());
   CTB_TEL_COUNT("exec.tiles", plan.num_tiles());
   CTB_TEL_COUNT("exec.flops", flops_of(batch));
+  CTB_TEL_COUNT("exec.c.passes", batch.size());
 
   // Packing pass: a validated plan assigns each GEMM a single strategy, but
   // strategies vary across GEMMs, so packs are keyed by (gemm, strategy).
@@ -787,8 +1040,15 @@ void run_batched_plan(const BatchPlan& plan,
                               workspace.data() + grp.acc_offset);
         continue;
       }
-      if (d.specialized() &&
-          sid == strategy_of_gemm[static_cast<std::size_t>(g)]) {
+      if (batch[static_cast<std::size_t>(g)].epilogue != 0) {
+        // Fused tile: dispatched accumulation + the epilogue-aware store
+        // (the microkernels' own store has no epilogue hook).
+        const KSlice full{0, batch[static_cast<std::size_t>(g)].dims.k};
+        execute_tile_sliced(batched_strategy_by_id(sid),
+                            batch[static_cast<std::size_t>(g)], d, ty, tx,
+                            {&full, 1}, alpha, beta);
+      } else if (d.specialized() &&
+                 sid == strategy_of_gemm[static_cast<std::size_t>(g)]) {
         d.kernel.fn(batch[static_cast<std::size_t>(g)], *d.pack, ty, tx,
                     alpha, beta);
       } else {

@@ -69,6 +69,15 @@ struct GemmOperands {
   /// shared state. implicit_conv_operands satisfies this by capturing the
   /// shape by value and the input tensor by const pointer.
   std::function<float(int k, int j)> b_gather;
+  /// Packed fused-epilogue chain (epilogue.hpp), applied inside the tile
+  /// store — after the split-K fix-up join — instead of a separate
+  /// elementwise pass over C. 0 = none (byte-identical to the plain store).
+  /// For plan-driven execution the plan's epilogue_of_gemm entry must match
+  /// this spec; audit_plan_operands enforces the agreement.
+  int epilogue = 0;
+  /// Operands for the ops named by `epilogue`; audited for presence, extent,
+  /// and (for permutations) bijectivity before any matrix memory is touched.
+  EpilogueArgs epilogue_args;
 };
 
 /// Executes one C tile (ty, tx) of `g` under `strategy`: stages A/B tiles
@@ -103,8 +112,11 @@ void run_vbatch(const TilingStrategy& strategy,
                 int splitk);
 
 /// Audits the operand array alone: every GEMM has valid dims, an A pointer,
-/// a B pointer or gather, and a C pointer. Throws CheckError naming the
-/// offending batch index, before any element is touched.
+/// a B pointer or gather, and a C pointer; any fused-epilogue spec is a
+/// canonical chain whose operands are present with the right extents
+/// (bias_len == m, residual m x n, permutations bijective on their axis,
+/// at most one permutation per axis). Throws CheckError naming the
+/// offending batch index, before any matrix element is touched.
 void audit_operands(std::span<const GemmOperands> batch);
 
 /// Full pre-execution audit: audit_operands, then validate_plan against the
@@ -115,10 +127,13 @@ void audit_operands(std::span<const GemmOperands> batch);
 void audit_plan_operands(const BatchPlan& plan,
                          std::span<const GemmOperands> batch);
 
-/// Reference execution of one GEMM — the graceful-degradation path. A
-/// transpose-, gather-, and precision-aware naive triple loop with the same
-/// ascending-k accumulation and alpha/beta epilogue as gemm_naive /
-/// gemm_naive_fp16, so its C output is bit-identical to the host oracles.
+/// Reference execution of one GEMM — the graceful-degradation path and the
+/// oracle for the fused epilogue. A transpose-, gather-, and precision-aware
+/// naive triple loop with the same ascending-k accumulation and alpha/beta
+/// epilogue as gemm_naive / gemm_naive_fp16, so its C output is
+/// bit-identical to the host oracles; any fused-epilogue chain on `g` is
+/// applied per element with exactly the executor semantics (epilogue.hpp),
+/// so fused executor output is bit-identical to this reference too.
 void reference_gemm(const GemmOperands& g, float alpha, float beta);
 
 /// Fig. 7: persistent-threads batched kernel driven by the plan's aux

@@ -118,4 +118,18 @@ SimdTileLoopFn simd_tile_loop_acc(SimdIsa isa, int by, int bx, int bk) {
   return e == nullptr ? nullptr : e->fn_acc;
 }
 
+SimdEpilogueRowFn simd_epilogue_row(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kNeon:
+      return simd_detail::neon_epilogue_row();
+    case SimdIsa::kAvx2:
+      return simd_detail::avx2_epilogue_row();
+    case SimdIsa::kAvx512:
+      return simd_detail::avx512_epilogue_row();
+    case SimdIsa::kScalar:
+      break;  // scalar epilogues run the per-element chain in the caller
+  }
+  return nullptr;
+}
+
 }  // namespace ctb

@@ -59,6 +59,34 @@ struct SimdLoopEntry {
   SimdTileLoopFn fn_acc;
 };
 
+/// One C row's worth of fused-epilogue store work (DESIGN.md §12): the
+/// caller resolves everything row-scoped — the destination row pointer
+/// (already through any row permutation), the residual row, and this row's
+/// bias value — so the kernel only walks columns. `ops` holds the packed
+/// chain's op ids in order (the integer values of ctb::EpilogueOp,
+/// epilogue.hpp — kept as plain ints so this header stays dependency-free);
+/// the kernel applies the value ops (bias=1, relu=2, residual=3) per vector
+/// chunk in chain order and ignores permutation ids, which only affect the
+/// caller's addressing. `n` may be any length: the ragged tail is handled
+/// with masked partial loads/stores, so edge tiles never fall back to the
+/// scalar path. fp32 only — fp16 rounds after every op and stays scalar.
+struct EpilogueRowArgs {
+  const float* acc = nullptr;       ///< accumulator row (tile-local)
+  float* c = nullptr;               ///< destination C row
+  const float* residual = nullptr;  ///< residual row (kResidual ops only)
+  int n = 0;                        ///< valid columns in this row
+  float alpha = 1.0f;
+  float beta = 0.0f;  ///< prior scale; C is read when nonzero
+  float bias = 0.0f;  ///< this row's bias value (kBias ops only)
+  int ops[4] = {0, 0, 0, 0};  ///< op ids in chain order
+  int nops = 0;
+};
+
+/// Vectorized fused-epilogue store of one row; bit-identical to the scalar
+/// per-element chain (separate multiply/add statements, sign-preserving
+/// relu select) for every op combination.
+using SimdEpilogueRowFn = void (*)(const EpilogueRowArgs& row);
+
 namespace simd_detail {
 /// Per-ISA geometry tables, defined in their own translation units so each
 /// can be compiled with the matching target flags. On hosts (or builds)
@@ -66,6 +94,10 @@ namespace simd_detail {
 const SimdLoopEntry* avx2_loops(int* count);
 const SimdLoopEntry* avx512_loops(int* count);
 const SimdLoopEntry* neon_loops(int* count);
+/// Per-ISA fused-epilogue row kernels; nullptr when the ISA is unavailable.
+SimdEpilogueRowFn avx2_epilogue_row();
+SimdEpilogueRowFn avx512_epilogue_row();
+SimdEpilogueRowFn neon_epilogue_row();
 }  // namespace simd_detail
 
 /// Best ISA the host supports (memoized; kScalar when CTB_SIMD=OFF).
@@ -99,6 +131,11 @@ SimdTileLoopFn simd_tile_loop(SimdIsa isa, int by, int bx, int bk);
 /// The accumulate-in (chain-continuation) variant of simd_tile_loop; same
 /// availability: non-null exactly when simd_tile_loop is.
 SimdTileLoopFn simd_tile_loop_acc(SimdIsa isa, int by, int bx, int bk);
+
+/// The `isa` fused-epilogue row kernel, or nullptr (isa == kScalar, or the
+/// ISA is unavailable on this host/build) — the caller then runs the scalar
+/// per-element chain, which is bit-identical.
+SimdEpilogueRowFn simd_epilogue_row(SimdIsa isa);
 
 /// RAII ISA override for tests and benchmarks.
 class ScopedSimdIsa {

@@ -16,6 +16,8 @@ const SimdLoopEntry* avx2_loops(int* count) {
   return kSimdLoops;
 }
 
+SimdEpilogueRowFn avx2_epilogue_row() { return &simd_epilogue_row_impl; }
+
 }  // namespace ctb::simd_detail
 
 #else
@@ -26,6 +28,8 @@ const SimdLoopEntry* avx2_loops(int* count) {
   *count = 0;
   return nullptr;
 }
+
+SimdEpilogueRowFn avx2_epilogue_row() { return nullptr; }
 
 }  // namespace ctb::simd_detail
 

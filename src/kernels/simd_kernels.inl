@@ -135,4 +135,80 @@ constexpr ctb::SimdLoopEntry kSimdLoops[] = {
 constexpr int kSimdLoopCount =
     static_cast<int>(sizeof(kSimdLoops) / sizeof(kSimdLoops[0]));
 
+// ------------------------------------------------ fused epilogue row ----
+
+typedef int VecI
+    __attribute__((vector_size(kLanes * sizeof(int)), aligned(4)));
+
+/// Masked-tail load: the first `rem` lanes from `p`, the rest zero. The
+/// memcpy lowers to a short masked/partial move; zero lanes are never
+/// stored back, so their garbage-free value only keeps the math defined.
+inline VecF loadu_partial(const float* p, int rem) {
+  VecF v = splat(0.0f);
+  __builtin_memcpy(&v, p, static_cast<std::size_t>(rem) * sizeof(float));
+  return v;
+}
+
+inline void storeu_partial(float* p, VecF v, int rem) {
+  __builtin_memcpy(p, &v, static_cast<std::size_t>(rem) * sizeof(float));
+}
+
+// Value-op ids, mirroring ctb::EpilogueOp (epilogue.hpp).
+constexpr int kEpOpBias = 1;
+constexpr int kEpOpRelu = 2;
+constexpr int kEpOpResidual = 3;
+
+/// One vector chunk of the fused-epilogue row at column j (rem valid
+/// lanes). Bit-exactness vs the scalar chain: the alpha product and the
+/// prior add are separate statements (never fused under -ffp-contract=off),
+/// the prior term is added even when beta == 0 — the scalar path computes
+/// `alpha*acc + 0.0f` too — and relu selects via a sign-preserving bitmask,
+/// which matches `v > 0 ? v : 0.0f` lane for lane (NaN and -0 both map to
+/// +0, exactly like the scalar ternary).
+inline VecF epilogue_chunk(const ctb::EpilogueRowArgs& r, int j, int rem) {
+  const bool full = rem == kLanes;
+  VecF v = full ? loadu(r.acc + j) : loadu_partial(r.acc + j, rem);
+  v = splat(r.alpha) * v;
+  VecF prior = splat(0.0f);
+  if (r.beta != 0.0f) {
+    const VecF c = full ? loadu(r.c + j) : loadu_partial(r.c + j, rem);
+    prior = splat(r.beta) * c;
+  }
+  v = v + prior;
+  for (int o = 0; o < r.nops; ++o) {
+    switch (r.ops[o]) {
+      case kEpOpBias:
+        v = v + splat(r.bias);
+        break;
+      case kEpOpRelu: {
+        const VecI mask = v > splat(0.0f);
+        VecI bits;
+        __builtin_memcpy(&bits, &v, sizeof(VecF));
+        bits &= mask;
+        __builtin_memcpy(&v, &bits, sizeof(VecF));
+        break;
+      }
+      case kEpOpResidual: {
+        const VecF res = full ? loadu(r.residual + j)
+                              : loadu_partial(r.residual + j, rem);
+        v = v + res;
+        break;
+      }
+      default:
+        break;  // permutation ids: handled by the caller's addressing
+    }
+  }
+  return v;
+}
+
+/// SimdEpilogueRowFn: full-width chunks, then one masked tail chunk — a
+/// ragged C border costs a partial load/store, not a scalar fallback.
+void simd_epilogue_row_impl(const ctb::EpilogueRowArgs& r) {
+  int j = 0;
+  for (; j + kLanes <= r.n; j += kLanes)
+    storeu(r.c + j, epilogue_chunk(r, j, kLanes));
+  const int rem = r.n - j;
+  if (rem > 0) storeu_partial(r.c + j, epilogue_chunk(r, j, rem), rem);
+}
+
 }  // namespace

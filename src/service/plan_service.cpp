@@ -142,7 +142,8 @@ void PlanService::filter_reset() {
 // Planning primitives
 // ---------------------------------------------------------------------------
 
-PlanSummary PlanService::plan_full(std::span<const GemmDims> dims) {
+PlanSummary PlanService::plan_full(std::span<const GemmDims> dims,
+                                   std::span<const int> epilogues) {
   FailpointSpec fp = consume_failpoint("service.planner.slow");
   if (fp.action == FailAction::kDelay) backoff(fp.arg);
   fp = consume_failpoint("service.planner.throw");
@@ -151,6 +152,10 @@ PlanSummary PlanService::plan_full(std::span<const GemmDims> dims) {
   if (fp.action == FailAction::kBadAlloc) throw std::bad_alloc();
   PlanSummary summary =
       config_.planner_fn ? config_.planner_fn(dims) : full_planner_.plan(dims);
+  // Epilogues ride along as a per-GEMM aux array regardless of which planner
+  // produced the plan (the injected test planner included).
+  if (!epilogues.empty())
+    summary.plan.epilogue_of_gemm.assign(epilogues.begin(), epilogues.end());
   fp = consume_failpoint("service.planner.corrupt");
   if (fp.action == FailAction::kCorrupt &&
       !summary.plan.gemm_of_tile.empty()) {
@@ -162,7 +167,7 @@ PlanSummary PlanService::plan_full(std::span<const GemmDims> dims) {
 }
 
 PlanSummary PlanService::plan_full_with_retries(
-    std::span<const GemmDims> dims) {
+    std::span<const GemmDims> dims, std::span<const int> epilogues) {
   std::string last_error;
   const int attempts = std::max(config_.max_retries, 0) + 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
@@ -172,7 +177,7 @@ PlanSummary PlanService::plan_full_with_retries(
       backoff(config_.backoff_base_us << (attempt - 1));
     }
     try {
-      PlanSummary summary = plan_full(dims);
+      PlanSummary summary = plan_full(dims, epilogues);
       validate_plan(summary.plan, dims);
       return summary;
     } catch (const std::exception& e) {
@@ -186,12 +191,12 @@ PlanSummary PlanService::plan_full_with_retries(
 }
 
 std::shared_ptr<const PlanSummary> PlanService::make_fallback(
-    std::span<const GemmDims> dims) {
+    std::span<const GemmDims> dims, std::span<const int> epilogues) {
   const FailpointSpec fp = consume_failpoint("service.fallback.alloc");
   if (fp.action == FailAction::kBadAlloc) throw std::bad_alloc();
   if (fp.action == FailAction::kThrow)
     throw CheckError("injected failpoint: service.fallback.alloc");
-  PlanSummary summary = fallback_planner_.plan(dims);
+  PlanSummary summary = fallback_planner_.plan(dims, epilogues);
   validate_plan(summary.plan, dims);
   return std::make_shared<const PlanSummary>(std::move(summary));
 }
@@ -228,14 +233,33 @@ void PlanService::note_upgrade() {
 // ---------------------------------------------------------------------------
 
 ServedPlan PlanService::get(std::span<const GemmDims> dims) {
+  return get(dims, {});
+}
+
+ServedPlan PlanService::get(std::span<const GemmDims> dims,
+                            std::span<const int> epilogues) {
   CTB_CHECK_MSG(!dims.empty(), "cannot serve an empty batch");
   for (std::size_t i = 0; i < dims.size(); ++i)
     CTB_CHECK_MSG(dims[i].valid(), "GEMM " << i << " has degenerate dims "
                                            << dims[i].m << 'x' << dims[i].n
                                            << 'x' << dims[i].k);
+  // Normalize (as PlanCache does) so an all-zero stream shares the plain
+  // batch's signature, cache entry, and plan.
+  bool any_epilogue = false;
+  for (int e : epilogues) any_epilogue = any_epilogue || e != 0;
+  if (!any_epilogue) epilogues = {};
+  CTB_CHECK_MSG(epilogues.empty() || epilogues.size() == dims.size(),
+                "epilogue stream holds " << epilogues.size()
+                                         << " entries for " << dims.size()
+                                         << " GEMMs");
+  for (std::size_t i = 0; i < epilogues.size(); ++i)
+    CTB_CHECK_MSG(epilogue_packed_valid(epilogues[i]),
+                  "GEMM " << i << " has malformed epilogue spec "
+                          << epilogues[i]);
   const std::int64_t t0 = steady_now_us();
-  const std::uint64_t sig = batch_signature(dims, config_.planner);
-  ServedPlan served = serve(sig, dims);
+  const std::uint64_t sig =
+      batch_signature(dims, config_.planner, epilogues);
+  ServedPlan served = serve(sig, dims, epilogues);
   stats_.admitted.fetch_add(1, std::memory_order_relaxed);
   CTB_TEL_COUNT("service.admitted", 1);
   CTB_TEL_HIST("service.lookup_us", steady_now_us() - t0);
@@ -243,14 +267,15 @@ ServedPlan PlanService::get(std::span<const GemmDims> dims) {
 }
 
 ServedPlan PlanService::serve(std::uint64_t sig,
-                              std::span<const GemmDims> dims) {
+                              std::span<const GemmDims> dims,
+                              std::span<const int> epilogues) {
   Shard& sh = shard_for(sig);
   if (!filter_may_contain(sig)) {
     stats_.filter_rejects.fetch_add(1, std::memory_order_relaxed);
     CTB_TEL_COUNT("service.filter.reject", 1);
     stats_.misses.fetch_add(1, std::memory_order_relaxed);
     CTB_TEL_COUNT("service.miss", 1);
-    return admit_cold(sig, dims, sh);
+    return admit_cold(sig, dims, epilogues, sh);
   }
   std::shared_ptr<const PlanSummary> cached;
   Meta meta_copy;
@@ -265,7 +290,7 @@ ServedPlan PlanService::serve(std::uint64_t sig,
   if (!cached) {
     stats_.misses.fetch_add(1, std::memory_order_relaxed);
     CTB_TEL_COUNT("service.miss", 1);
-    return admit_cold(sig, dims, sh);
+    return admit_cold(sig, dims, epilogues, sh);
   }
   stats_.hits.fetch_add(1, std::memory_order_relaxed);
   CTB_TEL_COUNT("service.hit", 1);
@@ -278,19 +303,21 @@ ServedPlan PlanService::serve(std::uint64_t sig,
   // Degraded entry: keep serving the fallback while the upgrade runs in the
   // background (async mode), or upgrade right here (inline mode).
   if (deadline_us_ > 0) {
-    if (!meta_copy.inflight) enqueue_job(sig, dims, sh, /*deadline_point=*/-1);
+    if (!meta_copy.inflight)
+      enqueue_job(sig, dims, epilogues, sh, /*deadline_point=*/-1);
     stats_.degraded.fetch_add(1, std::memory_order_relaxed);
     CTB_TEL_COUNT("service.degraded", 1);
     return {std::move(cached), ServeState::kDegraded};
   }
-  return upgrade_inline(sig, dims, sh, std::move(cached));
+  return upgrade_inline(sig, dims, epilogues, sh, std::move(cached));
 }
 
 ServedPlan PlanService::upgrade_inline(
-    std::uint64_t sig, std::span<const GemmDims> dims, Shard& sh,
+    std::uint64_t sig, std::span<const GemmDims> dims,
+    std::span<const int> epilogues, Shard& sh,
     std::shared_ptr<const PlanSummary> fallback) {
   try {
-    PlanSummary summary = plan_full_with_retries(dims);
+    PlanSummary summary = plan_full_with_retries(dims, epilogues);
     std::shared_ptr<const PlanSummary> upgraded;
     {
       std::lock_guard<std::mutex> lock(sh.mu);
@@ -312,12 +339,13 @@ ServedPlan PlanService::upgrade_inline(
 
 ServedPlan PlanService::admit_cold(std::uint64_t sig,
                                    std::span<const GemmDims> dims,
+                                   std::span<const int> epilogues,
                                    Shard& sh) {
   if (deadline_us_ <= 0) {
     // Inline mode: plan fully right now; degrade only when the planner is
     // persistently down.
     try {
-      PlanSummary summary = plan_full_with_retries(dims);
+      PlanSummary summary = plan_full_with_retries(dims, epilogues);
       std::shared_ptr<const PlanSummary> planned;
       {
         std::lock_guard<std::mutex> lock(sh.mu);
@@ -328,21 +356,22 @@ ServedPlan PlanService::admit_cold(std::uint64_t sig,
       return {std::move(planned), ServeState::kPlanned};
     } catch (const std::exception& e) {
       record_failure(sig, sh);
-      return degrade_cold(sig, dims, sh, e.what());
+      return degrade_cold(sig, dims, epilogues, sh, e.what());
     }
   }
   // Deadline-bounded: hand full planning to the worker, compute the instant
   // fallback meanwhile, then serve whichever is ready when the deadline
   // arrives. The deadline point is fixed before any planning work starts.
   const std::int64_t deadline_point = clock_now() + deadline_us_;
-  std::shared_ptr<JobState> job = enqueue_job(sig, dims, sh, deadline_point);
+  std::shared_ptr<JobState> job =
+      enqueue_job(sig, dims, epilogues, sh, deadline_point);
   if (!job) {
     // Quarantined signature whose entry never materialized (every fallback
     // attempt so far failed too): serve the fallback without touching the
     // full planner, exactly like a quarantined hit.
     std::shared_ptr<const PlanSummary> fallback;
     try {
-      fallback = make_fallback(dims);
+      fallback = make_fallback(dims, epilogues);
     } catch (const std::exception& e) {
       throw PlanServiceError(
           PlanServiceError::Kind::kFallbackFailed,
@@ -364,7 +393,7 @@ ServedPlan PlanService::admit_cold(std::uint64_t sig,
   std::shared_ptr<const PlanSummary> fallback;
   std::string fallback_error;
   try {
-    fallback = make_fallback(dims);
+    fallback = make_fallback(dims, epilogues);
   } catch (const std::exception& e) {
     fallback_error = e.what();
   }
@@ -411,11 +440,12 @@ ServedPlan PlanService::admit_cold(std::uint64_t sig,
 
 ServedPlan PlanService::degrade_cold(std::uint64_t sig,
                                      std::span<const GemmDims> dims,
+                                     std::span<const int> epilogues,
                                      Shard& sh,
                                      const std::string& planner_error) {
   std::shared_ptr<const PlanSummary> fallback;
   try {
-    fallback = make_fallback(dims);
+    fallback = make_fallback(dims, epilogues);
   } catch (const std::exception& e) {
     throw PlanServiceError(
         PlanServiceError::Kind::kFallbackFailed,
@@ -440,8 +470,8 @@ ServedPlan PlanService::degrade_cold(std::uint64_t sig,
 // ---------------------------------------------------------------------------
 
 std::shared_ptr<PlanService::JobState> PlanService::enqueue_job(
-    std::uint64_t sig, std::span<const GemmDims> dims, Shard& sh,
-    std::int64_t deadline_point) {
+    std::uint64_t sig, std::span<const GemmDims> dims,
+    std::span<const int> epilogues, Shard& sh, std::int64_t deadline_point) {
   auto state = std::make_shared<JobState>();
   {
     std::lock_guard<std::mutex> lock(sh.mu);
@@ -455,6 +485,7 @@ std::shared_ptr<PlanService::JobState> PlanService::enqueue_job(
     std::lock_guard<std::mutex> lock(jobs_mu_);
     jobs_.push_back(Job{sig,
                         std::vector<GemmDims>(dims.begin(), dims.end()),
+                        std::vector<int>(epilogues.begin(), epilogues.end()),
                         deadline_point,
                         epoch_.load(std::memory_order_acquire), state});
   }
@@ -515,7 +546,7 @@ void PlanService::process_job(Job& job) {
   bool ok = false;
   std::string error;
   try {
-    PlanSummary summary = plan_full_with_retries(job.dims);
+    PlanSummary summary = plan_full_with_retries(job.dims, job.epilogues);
     ok = true;
     const bool late =
         job.deadline_point >= 0 && clock_now() > job.deadline_point;

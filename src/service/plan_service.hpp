@@ -170,6 +170,16 @@ class PlanService {
   /// PlanServiceError when both the full planner and the fallback failed.
   ServedPlan get(std::span<const GemmDims> dims);
 
+  /// Like get(dims) but every served plan — hit, fresh, degraded, or
+  /// upgraded — carries the per-GEMM fused-epilogue specs (parallel to
+  /// `dims`; empty or all-zero means none and serves identically to the
+  /// plain form). Epilogues are part of the signature, so the same shapes
+  /// with different chains are distinct cache entries, and a degraded
+  /// fallback plan carries the chain too: fused execution never silently
+  /// drops an epilogue on the degraded path.
+  ServedPlan get(std::span<const GemmDims> dims,
+                 std::span<const int> epilogues);
+
   /// Blocks until every queued background planning job has completed.
   void drain();
 
@@ -229,6 +239,7 @@ class PlanService {
   struct Job {
     std::uint64_t sig = 0;
     std::vector<GemmDims> dims;
+    std::vector<int> epilogues;  ///< per-GEMM specs; empty = none
     std::int64_t deadline_point = -1;  ///< < 0: pure upgrade, no deadline
     std::uint64_t epoch = 0;
     std::shared_ptr<JobState> state;
@@ -245,25 +256,32 @@ class PlanService {
   void filter_insert(std::uint64_t sig);
   void filter_reset();
 
-  ServedPlan serve(std::uint64_t sig, std::span<const GemmDims> dims);
+  // Every serving step carries the batch's epilogue stream alongside its
+  // dims (empty span = none) so degraded and upgraded plans both keep it.
+  ServedPlan serve(std::uint64_t sig, std::span<const GemmDims> dims,
+                   std::span<const int> epilogues);
   ServedPlan admit_cold(std::uint64_t sig, std::span<const GemmDims> dims,
-                        Shard& sh);
+                        std::span<const int> epilogues, Shard& sh);
   ServedPlan degrade_cold(std::uint64_t sig, std::span<const GemmDims> dims,
-                          Shard& sh, const std::string& planner_error);
+                          std::span<const int> epilogues, Shard& sh,
+                          const std::string& planner_error);
   ServedPlan upgrade_inline(std::uint64_t sig, std::span<const GemmDims> dims,
-                            Shard& sh,
+                            std::span<const int> epilogues, Shard& sh,
                             std::shared_ptr<const PlanSummary> fallback);
 
-  PlanSummary plan_full(std::span<const GemmDims> dims);
-  PlanSummary plan_full_with_retries(std::span<const GemmDims> dims);
+  PlanSummary plan_full(std::span<const GemmDims> dims,
+                        std::span<const int> epilogues);
+  PlanSummary plan_full_with_retries(std::span<const GemmDims> dims,
+                                     std::span<const int> epilogues);
   std::shared_ptr<const PlanSummary> make_fallback(
-      std::span<const GemmDims> dims);
+      std::span<const GemmDims> dims, std::span<const int> epilogues);
 
   void record_failure(std::uint64_t sig, Shard& sh);
   void note_upgrade();
 
   std::shared_ptr<JobState> enqueue_job(std::uint64_t sig,
                                         std::span<const GemmDims> dims,
+                                        std::span<const int> epilogues,
                                         Shard& sh,
                                         std::int64_t deadline_point);
   void wait_for_job(JobState& job, std::int64_t deadline_point);

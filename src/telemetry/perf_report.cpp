@@ -70,8 +70,16 @@ const std::vector<std::string>& deterministic_counter_names() {
       "cache.hit",
       "cache.miss",
       "exec.blocks",
+      // exec.c.passes counts full sweeps over each C (one per GEMM per
+      // executor run, plus one per separate bias/activation pass); the
+      // fused-epilogue counters count tile stores that applied a chain and
+      // the chain ops applied. All are decided by plan + dispatch structure,
+      // never by thread count or ISA.
+      "exec.c.passes",
       "exec.dispatch.generic",
       "exec.dispatch.specialized",
+      "exec.epilogue.fused",
+      "exec.epilogue.ops",
       "exec.fallback",
       "exec.flops",
       "exec.pack.bytes",
@@ -98,6 +106,11 @@ const std::vector<std::string>& deterministic_counter_names() {
       "exec.tiles",
       "plan.auto.binary_wins",
       "plan.auto.threshold_wins",
+      // plan.grouped.* count fused grouped-GEMM dispatches (dnn layer
+      // fusion entry points) — pure functions of the workload definition.
+      "plan.grouped.dispatches",
+      "plan.grouped.fused_ops",
+      "plan.grouped.gemms",
       "plan.heuristic.binary",
       "plan.heuristic.none",
       "plan.heuristic.packed",
@@ -240,6 +253,7 @@ void write_perf_report_json(std::ostream& os, const PerfReport& report) {
   os << ",\n  \"suite\": ";
   write_escaped(os, sorted.suite);
   os << ",\n  \"repeats\": " << sorted.repeats << ",\n";
+  os << "  \"created_unix\": " << sorted.created_unix << ",\n";
   os << "  \"telemetry_compiled_in\": "
      << (sorted.telemetry_compiled_in ? "true" : "false") << ",\n";
   os << "  \"simd_isa\": ";
@@ -548,6 +562,9 @@ PerfReport load_perf_report(std::istream& is) {
   report.repeats = static_cast<int>(
       as_int(require(root, "repeats", JsonValue::Type::kNumber, "report"),
              "repeats"));
+  report.created_unix = as_int(
+      require(root, "created_unix", JsonValue::Type::kNumber, "report"),
+      "created_unix");
   report.telemetry_compiled_in =
       require(root, "telemetry_compiled_in", JsonValue::Type::kBool, "report")
           .boolean;

@@ -41,7 +41,11 @@ namespace ctb::perfreport {
 /// gated allowlist; both the executor-side slice accounting and the
 /// planner's candidate sweep are pure functions of the workload, so they
 /// compare exactly across hosts.
-inline constexpr int kSchemaVersion = 4;
+/// v5: added the fused-epilogue counters (exec.epilogue.fused,
+/// exec.epilogue.ops, exec.c.passes) and the grouped-dispatch counters
+/// (plan.grouped.*) to the gated allowlist, plus the report-level
+/// "created_unix" timestamp that `ctb_bench --fold` orders artifacts by.
+inline constexpr int kSchemaVersion = 5;
 
 /// Wall-clock statistics over one workload's k repeats. Median-of-k with
 /// interquartile range: the median resists the reference container's timing
@@ -107,6 +111,11 @@ struct PerfReport {
   std::string tag;    ///< run label ("ci", "local", a commit sha, ...)
   std::string suite;  ///< suite name the workloads came from
   int repeats = 0;    ///< suite-level default k
+  /// Unix time (seconds) the run was recorded. --fold orders artifact
+  /// columns by (created_unix, tag, filename) so the trajectory reads in
+  /// recording order regardless of how files were named or copied around.
+  /// 0 = unknown (never gated by compare_reports).
+  std::int64_t created_unix = 0;
   /// False when the producing binary was built with -DCTB_TELEMETRY=OFF;
   /// counters are then empty and compare_reports skips counter gating.
   bool telemetry_compiled_in = true;

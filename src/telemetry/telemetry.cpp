@@ -43,6 +43,9 @@ constexpr const char* kCoreCounters[] = {
     "exec.tiles",
     "exec.flops",
     "exec.fallback",
+    "exec.epilogue.fused",
+    "exec.epilogue.ops",
+    "exec.c.passes",
     "exec.dispatch.specialized",
     "exec.dispatch.generic",
     "exec.pack.panels",
@@ -61,6 +64,9 @@ constexpr const char* kCoreCounters[] = {
     "exec.splitk.groups",
     "plan.splitk.considered",
     "plan.splitk.chosen",
+    "plan.grouped.dispatches",
+    "plan.grouped.gemms",
+    "plan.grouped.fused_ops",
     "service.admitted",
     "service.hit",
     "service.miss",

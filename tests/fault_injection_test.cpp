@@ -41,6 +41,7 @@ Matrixf rand_mat(int r, int c, Rng& rng) {
 struct PlanCase {
   std::string name;
   std::vector<GemmDims> dims;
+  std::vector<int> epilogues;  ///< per-GEMM specs; empty = plain batch
   BatchPlan plan;
 };
 
@@ -48,14 +49,17 @@ const std::vector<PlanCase>& plan_cases() {
   static const std::vector<PlanCase> cases = [] {
     std::vector<PlanCase> out;
     auto add = [&](std::string name, std::vector<GemmDims> dims,
-                   BatchingPolicy policy) {
+                   BatchingPolicy policy, std::vector<int> epilogues = {}) {
       PlannerConfig config;
       config.policy = policy;
       const BatchedGemmPlanner planner(config);
       PlanCase pc;
       pc.name = std::move(name);
       pc.dims = std::move(dims);
-      pc.plan = planner.plan(pc.dims).plan;
+      pc.epilogues = std::move(epilogues);
+      pc.plan = pc.epilogues.empty()
+                    ? planner.plan(pc.dims).plan
+                    : planner.plan(pc.dims, pc.epilogues).plan;
       validate_plan(pc.plan, pc.dims);  // fixtures start healthy
       out.push_back(std::move(pc));
     };
@@ -94,6 +98,14 @@ const std::vector<PlanCase>& plan_cases() {
     add_split("splitk-ragged", {{64, 64, 96}, {40, 24, 100}}, 3, 2);
     add_split("splitk-uniform",
               std::vector<GemmDims>(4, GemmDims{32, 32, 64}), 2, 3);
+    // Fused-epilogue fixture (value ops only, so nonzero beta stays legal
+    // in the happy-path tests): the epilogue fault classes need the
+    // per-GEMM spec array to corrupt.
+    const int bias_relu =
+        epilogue_push(epilogue_push(0, EpilogueOp::kBias), EpilogueOp::kRelu);
+    add("epilogue-ragged", ragged, BatchingPolicy::kThresholdOnly,
+        {bias_relu, epilogue_push(0, EpilogueOp::kRelu), 0,
+         epilogue_push(0, EpilogueOp::kResidual)});
     return out;
   }();
   return cases;
@@ -101,17 +113,22 @@ const std::vector<PlanCase>& plan_cases() {
 
 /// Random A/B plus sentinel-filled C for every GEMM of a batch. The
 /// matrices live in vectors sized up front, so the operand pointers stay
-/// stable.
+/// stable. When per-GEMM epilogue specs are given, matching operands
+/// (random bias/residual buffers) are allocated and attached so the
+/// workspace agrees with an epilogue-carrying plan.
 struct Workspace {
   std::vector<Matrixf> a, b, c;
+  std::vector<std::vector<float>> bias, residual;
   std::vector<GemmOperands> ops;
 
   Workspace(std::span<const GemmDims> dims, std::uint64_t seed,
-            float c_init = kSentinel) {
+            float c_init = kSentinel, std::span<const int> epilogues = {}) {
     Rng rng(seed);
     a.reserve(dims.size());
     b.reserve(dims.size());
     c.reserve(dims.size());
+    bias.resize(dims.size());
+    residual.resize(dims.size());
     for (const auto& d : dims) {
       a.push_back(rand_mat(d.m, d.k, rng));
       b.push_back(rand_mat(d.k, d.n, rng));
@@ -119,6 +136,25 @@ struct Workspace {
     }
     for (std::size_t i = 0; i < dims.size(); ++i)
       ops.push_back(operands(a[i], b[i], c[i]));
+    for (std::size_t i = 0; i < epilogues.size() && i < dims.size(); ++i) {
+      const GemmDims& d = dims[i];
+      ops[i].epilogue = epilogues[i];
+      if (epilogue_has_op(epilogues[i], EpilogueOp::kBias)) {
+        bias[i].resize(st(d.m));
+        for (float& v : bias[i])
+          v = static_cast<float>(rng.uniform_int(-64, 64)) / 16.0f;
+        ops[i].epilogue_args.bias = bias[i].data();
+        ops[i].epilogue_args.bias_len = d.m;
+      }
+      if (epilogue_has_op(epilogues[i], EpilogueOp::kResidual)) {
+        residual[i].resize(st(d.m) * st(d.n));
+        for (float& v : residual[i])
+          v = static_cast<float>(rng.uniform_int(-64, 64)) / 16.0f;
+        ops[i].epilogue_args.residual = residual[i].data();
+        ops[i].epilogue_args.residual_rows = d.m;
+        ops[i].epilogue_args.residual_cols = d.n;
+      }
+    }
   }
 
   bool c_untouched() const {
@@ -137,7 +173,7 @@ TEST(FaultInjection, EveryCorruptionClassRejectedBeforeMemoryAccess) {
         ++applied[st(static_cast<int>(fault))];
         SCOPED_TRACE(pc.name + " / " + to_string(fault) + ": " + fp.note);
         EXPECT_THROW(validate_plan(fp.plan, pc.dims), CheckError);
-        Workspace ws(pc.dims, 11);
+        Workspace ws(pc.dims, 11, kSentinel, pc.epilogues);
         EXPECT_THROW(run_batched_plan(fp.plan, ws.ops, 1.0f, 0.0f),
                      CheckError);
         EXPECT_TRUE(ws.c_untouched())
@@ -199,8 +235,8 @@ TEST(FaultInjection, TryExecuteFallsBackBitExactly) {
 TEST(FaultInjection, TryExecuteHappyPathBitIdenticalToExecutePlan) {
   for (const auto& pc : plan_cases()) {
     SCOPED_TRACE(pc.name);
-    Workspace via_try(pc.dims, 31);
-    Workspace via_plain(pc.dims, 31);
+    Workspace via_try(pc.dims, 31, kSentinel, pc.epilogues);
+    Workspace via_plain(pc.dims, 31, kSentinel, pc.epilogues);
     const ExecutionReport report =
         try_execute_plan(pc.plan, via_try.ops, 2.0f, -1.0f);
     EXPECT_FALSE(report.fell_back);
@@ -279,6 +315,88 @@ TEST(FaultInjection, StaleDimsRejectedAgainstOperands) {
   Workspace ws(reshaped, 53);
   EXPECT_THROW(run_batched_plan(pc.plan, ws.ops, 1.0f, 0.0f), CheckError);
   EXPECT_TRUE(ws.c_untouched());
+}
+
+TEST(FaultInjection, EpilogueOperandFaultsRejectedBeforeMemoryAccess) {
+  // Healthy epilogue-carrying plan, corrupted *operands*: every fault in
+  // the chain's argument block (missing buffer, wrong extent, out-of-range
+  // or non-bijective permutation, spec disagreement, illegal beta) must
+  // throw before any element of C is written.
+  const std::vector<GemmDims> dims = {{24, 40, 32}, {48, 16, 64}};
+  const int bias_relu =
+      epilogue_push(epilogue_push(0, EpilogueOp::kBias), EpilogueOp::kRelu);
+  const int row_perm = epilogue_push(0, EpilogueOp::kRowPerm);
+  const std::vector<int> specs = {bias_relu, row_perm};
+  PlannerConfig config;
+  config.policy = BatchingPolicy::kThresholdOnly;
+  const BatchedGemmPlanner planner(config);
+  const BatchPlan plan = planner.plan(dims, specs).plan;
+  validate_plan(plan, dims);
+
+  // Reversal permutation for GEMM 1's rows, plus a mutable copy the faults
+  // below can scribble on.
+  std::vector<int> perm(st(dims[1].m));
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    perm[i] = static_cast<int>(perm.size() - 1 - i);
+
+  auto fresh = [&](std::vector<int>& p) {
+    Workspace ws(dims, 59, kSentinel, specs);
+    ws.ops[1].epilogue_args.row_perm = p.data();
+    ws.ops[1].epilogue_args.row_perm_len = static_cast<int>(p.size());
+    return ws;
+  };
+  {  // Baseline sanity: the healthy workspace executes.
+    Workspace ws = fresh(perm);
+    run_batched_plan(plan, ws.ops, 1.0f, 0.0f);
+    EXPECT_FALSE(ws.c_untouched());
+  }
+  {  // Bias buffer missing.
+    Workspace ws = fresh(perm);
+    ws.ops[0].epilogue_args.bias = nullptr;
+    EXPECT_THROW(run_batched_plan(plan, ws.ops, 1.0f, 0.0f), CheckError);
+    EXPECT_TRUE(ws.c_untouched());
+  }
+  {  // Bias length disagrees with M.
+    Workspace ws = fresh(perm);
+    ws.ops[0].epilogue_args.bias_len = dims[0].m - 1;
+    EXPECT_THROW(run_batched_plan(plan, ws.ops, 1.0f, 0.0f), CheckError);
+    EXPECT_TRUE(ws.c_untouched());
+  }
+  {  // Permutation entry out of range.
+    std::vector<int> bad = perm;
+    bad[0] = dims[1].m;  // one past the row extent
+    Workspace ws = fresh(bad);
+    EXPECT_THROW(run_batched_plan(plan, ws.ops, 1.0f, 0.0f), CheckError);
+    EXPECT_TRUE(ws.c_untouched());
+    bad[0] = -1;
+    Workspace ws2 = fresh(bad);
+    EXPECT_THROW(run_batched_plan(plan, ws2.ops, 1.0f, 0.0f), CheckError);
+    EXPECT_TRUE(ws2.c_untouched());
+  }
+  {  // Permutation not bijective (duplicate destination).
+    std::vector<int> bad = perm;
+    bad[0] = bad[1];
+    Workspace ws = fresh(bad);
+    EXPECT_THROW(run_batched_plan(plan, ws.ops, 1.0f, 0.0f), CheckError);
+    EXPECT_TRUE(ws.c_untouched());
+  }
+  {  // Permutation length disagrees with M.
+    Workspace ws = fresh(perm);
+    ws.ops[1].epilogue_args.row_perm_len = dims[1].m - 1;
+    EXPECT_THROW(run_batched_plan(plan, ws.ops, 1.0f, 0.0f), CheckError);
+    EXPECT_TRUE(ws.c_untouched());
+  }
+  {  // Operand spec disagrees with the plan's aux array.
+    Workspace ws = fresh(perm);
+    ws.ops[0].epilogue = epilogue_push(0, EpilogueOp::kRelu);
+    EXPECT_THROW(run_batched_plan(plan, ws.ops, 1.0f, 0.0f), CheckError);
+    EXPECT_TRUE(ws.c_untouched());
+  }
+  {  // beta != 0 under a destination permutation.
+    Workspace ws = fresh(perm);
+    EXPECT_THROW(run_batched_plan(plan, ws.ops, 1.0f, 0.5f), CheckError);
+    EXPECT_TRUE(ws.c_untouched());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include "core/plan_io.hpp"
 #include "core/rf_policy.hpp"
 #include "kernels/functional.hpp"
+#include "kernels/simd.hpp"
 #include "service/plan_service.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -41,6 +42,7 @@ struct PropertyCase {
   std::vector<GemmDims> dims;
   std::vector<Op> op_a, op_b;
   std::vector<bool> gather_b;
+  std::vector<int> epilogue;  ///< per-GEMM packed chains; empty = plain
   Precision precision = Precision::kFp32;
   float alpha = 1.0f;
   float beta = 0.0f;
@@ -68,11 +70,40 @@ PropertyCase random_case(Rng& rng) {
   return pc;
 }
 
+/// Attaches a random epilogue chain (1..3 distinct ops from the full
+/// catalog, random order) to ~3/4 of the case's GEMMs. The executors reject
+/// beta != 0 under a destination permutation, so beta drops to 0 whenever
+/// any chain permutes.
+void add_random_epilogues(PropertyCase& pc, Rng& rng) {
+  pc.epilogue.assign(pc.dims.size(), 0);
+  bool any_perm = false;
+  for (std::size_t i = 0; i < pc.dims.size(); ++i) {
+    if (!rng.bernoulli(0.75)) continue;
+    std::vector<EpilogueOp> pool = {EpilogueOp::kBias, EpilogueOp::kRelu,
+                                    EpilogueOp::kResidual,
+                                    EpilogueOp::kRowPerm,
+                                    EpilogueOp::kColPerm};
+    rng.shuffle(pool);
+    const int take = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    int spec = 0;
+    for (int j = 0; j < take; ++j) {
+      spec = epilogue_push(spec, pool[static_cast<std::size_t>(j)]);
+      any_perm = any_perm || pool[static_cast<std::size_t>(j)] ==
+                                 EpilogueOp::kRowPerm ||
+                 pool[static_cast<std::size_t>(j)] == EpilogueOp::kColPerm;
+    }
+    pc.epilogue[i] = spec;
+  }
+  if (any_perm) pc.beta = 0.0f;
+}
+
 /// Owning storage for one materialization of a case. Matrices are allocated
 /// first and operand pointers taken afterwards so vector growth cannot move
 /// them.
 struct CaseStorage {
   std::vector<Matrixf> a, b, c;
+  std::vector<std::vector<float>> bias, residual;
+  std::vector<std::vector<int>> row_perm, col_perm;
   std::vector<GemmOperands> ops;
 };
 
@@ -103,6 +134,51 @@ CaseStorage materialize(const PropertyCase& pc) {
       g.b = nullptr;
     }
     cs.ops.push_back(std::move(g));
+  }
+  // Epilogue operands come from the same deterministic stream, so the plan
+  // run and the reference run materialize identical chains.
+  cs.bias.resize(pc.dims.size());
+  cs.residual.resize(pc.dims.size());
+  cs.row_perm.resize(pc.dims.size());
+  cs.col_perm.resize(pc.dims.size());
+  for (std::size_t i = 0; i < pc.epilogue.size(); ++i) {
+    const int spec = pc.epilogue[i];
+    if (spec == 0) continue;
+    const GemmDims& d = pc.dims[i];
+    cs.ops[i].epilogue = spec;
+    EpilogueArgs& args = cs.ops[i].epilogue_args;
+    if (epilogue_has_op(spec, EpilogueOp::kBias)) {
+      cs.bias[i].resize(static_cast<std::size_t>(d.m));
+      for (float& v : cs.bias[i])
+        v = static_cast<float>(rng.uniform_int(-64, 64)) / 16.0f;
+      args.bias = cs.bias[i].data();
+      args.bias_len = d.m;
+    }
+    if (epilogue_has_op(spec, EpilogueOp::kResidual)) {
+      cs.residual[i].resize(static_cast<std::size_t>(d.m) *
+                            static_cast<std::size_t>(d.n));
+      for (float& v : cs.residual[i])
+        v = static_cast<float>(rng.uniform_int(-64, 64)) / 16.0f;
+      args.residual = cs.residual[i].data();
+      args.residual_rows = d.m;
+      args.residual_cols = d.n;
+    }
+    if (epilogue_has_op(spec, EpilogueOp::kRowPerm)) {
+      cs.row_perm[i].resize(static_cast<std::size_t>(d.m));
+      for (int r = 0; r < d.m; ++r)
+        cs.row_perm[i][static_cast<std::size_t>(r)] = r;
+      rng.shuffle(cs.row_perm[i]);
+      args.row_perm = cs.row_perm[i].data();
+      args.row_perm_len = d.m;
+    }
+    if (epilogue_has_op(spec, EpilogueOp::kColPerm)) {
+      cs.col_perm[i].resize(static_cast<std::size_t>(d.n));
+      for (int cix = 0; cix < d.n; ++cix)
+        cs.col_perm[i][static_cast<std::size_t>(cix)] = cix;
+      rng.shuffle(cs.col_perm[i]);
+      args.col_perm = cs.col_perm[i].data();
+      args.col_perm_len = d.n;
+    }
   }
   return cs;
 }
@@ -410,6 +486,64 @@ TEST(PlanProperty, ServiceDegradedThenUpgradedBitExact) {
   }
   EXPECT_EQ(svc.stats().upgraded,
             static_cast<std::int64_t>(seen.size()));
+}
+
+// Random epilogue chains (bias/ReLU/residual/perms in random order) on
+// random batches, executed under split-K off and forced, 1 and 4 worker
+// threads, and every SIMD ISA this host can run. Every combination must be
+// bit-identical to the epilogue-aware reference_gemm — the fused store is
+// strictly after the split-K join and per-element, so neither the schedule
+// nor the vector width may leak into the result.
+TEST(PlanProperty, RandomEpiloguesBitExactAcrossSplitKThreadsIsa) {
+  std::vector<SimdIsa> isas = {SimdIsa::kScalar};
+  for (int i = 1; i <= static_cast<int>(detected_simd_isa()); ++i)
+    isas.push_back(static_cast<SimdIsa>(i));
+
+  Rng rng(0xEB1C0DE5EEDULL);
+  int fused_cases = 0;
+  for (const SplitKMode splitk : {SplitKMode::kOff, SplitKMode::kForce}) {
+    PlannerConfig config;
+    config.policy = BatchingPolicy::kThresholdOnly;
+    config.splitk = splitk;
+    const BatchedGemmPlanner planner(config);
+    for (int iter = 0; iter < 30; ++iter) {
+      PropertyCase pc = random_case(rng);
+      add_random_epilogues(pc, rng);
+      const std::string what =
+          std::string("epilogue splitk=") +
+          (splitk == SplitKMode::kForce ? "force" : "off") +
+          " iter=" + std::to_string(iter);
+      const PlanSummary summary = planner.plan(pc.dims, pc.epilogue);
+      check_plan_properties(summary.plan, pc.dims, what);
+      ASSERT_NO_THROW(validate_plan(summary.plan, pc.dims)) << what;
+      for (int i = 0; i < static_cast<int>(pc.dims.size()); ++i)
+        ASSERT_EQ(summary.plan.gemm_epilogue(i),
+                  summary.plan.has_epilogue() ? pc.epilogue[
+                      static_cast<std::size_t>(i)] : 0)
+            << what << " gemm " << i;
+      if (summary.plan.has_epilogue()) ++fused_cases;
+
+      CaseStorage ref_run = materialize(pc);
+      for (std::size_t i = 0; i < ref_run.ops.size(); ++i)
+        reference_gemm(ref_run.ops[i], pc.alpha, pc.beta);
+      for (const int threads : {1, 4}) {
+        ScopedParallelThreads guard(threads);
+        for (const SimdIsa isa : isas) {
+          ScopedSimdIsa isa_guard(isa);
+          CaseStorage plan_run = materialize(pc);
+          run_batched_plan(summary.plan, plan_run.ops, pc.alpha, pc.beta);
+          for (std::size_t i = 0; i < pc.dims.size(); ++i)
+            expect_bitwise_equal(
+                ref_run.c[i], plan_run.c[i],
+                what + " threads=" + std::to_string(threads) + " isa=" +
+                    simd_isa_name(isa) + " gemm " + std::to_string(i));
+        }
+      }
+    }
+  }
+  // The generator must actually exercise fused plans, not degenerate to
+  // plain batches.
+  EXPECT_GT(fused_cases, 30);
 }
 
 }  // namespace

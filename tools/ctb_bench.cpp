@@ -23,9 +23,10 @@
 namespace {
 
 // --fold <dir>: folds every BENCH_*.json under `dir` into one per-workload
-// GFLOP/s table, one column per artifact in sorted-filename order — name
-// artifacts BENCH_<seq>_<sha>.json and the columns read as the perf
-// trajectory across commits. Artifacts that fail to load (older schema,
+// GFLOP/s table, one column per artifact ordered by the report's recorded
+// created_unix timestamp (ties broken by tag, then filename) — the columns
+// read as the perf trajectory in recording order no matter how the files
+// were named or copied around. Artifacts that fail to load (older schema,
 // truncated file) are skipped with a warning rather than aborting the fold,
 // so one stale file does not hide the rest of the history. Timing is
 // advisory on this host; the table is for eyeballing trends, not gating.
@@ -44,10 +45,15 @@ int fold_reports(const std::string& dir, std::ostream& os) {
               << ec.message() << "\n";
     return 2;
   }
+  // Deterministic load order (directory iteration order is OS-dependent);
+  // the display order below comes from the reports themselves.
   std::sort(paths.begin(), paths.end());
 
-  std::vector<ctb::perfreport::PerfReport> reports;
-  std::vector<std::string> columns;
+  struct Loaded {
+    ctb::perfreport::PerfReport report;
+    std::string filename;
+  };
+  std::vector<Loaded> loaded;
   for (const auto& path : paths) {
     std::ifstream is(path);
     if (!is.good()) {
@@ -55,19 +61,37 @@ int fold_reports(const std::string& dir, std::ostream& os) {
       continue;
     }
     try {
-      reports.push_back(ctb::perfreport::load_perf_report(is));
+      loaded.push_back({ctb::perfreport::load_perf_report(is),
+                        path.stem().string()});
     } catch (const ctb::perfreport::PerfReportError& e) {
       std::cerr << "warning: " << path.string() << ": " << e.what()
                 << ", skipped\n";
       continue;
     }
+  }
+  // Trajectory order: when the artifacts were recorded, not how they sort
+  // by name. Reports with created_unix == 0 (hand-edited) fall to the front
+  // by timestamp and are then ordered by tag/filename.
+  std::stable_sort(loaded.begin(), loaded.end(),
+                   [](const Loaded& a, const Loaded& b) {
+                     if (a.report.created_unix != b.report.created_unix)
+                       return a.report.created_unix < b.report.created_unix;
+                     if (a.report.tag != b.report.tag)
+                       return a.report.tag < b.report.tag;
+                     return a.filename < b.filename;
+                   });
+
+  std::vector<ctb::perfreport::PerfReport> reports;
+  std::vector<std::string> columns;
+  for (Loaded& l : loaded) {
     // Column label: the embedded tag, disambiguated by the filename stem
     // when tags repeat (every local run defaults to tag "local").
-    std::string label = reports.back().tag;
+    std::string label = l.report.tag;
     if (std::count(columns.begin(), columns.end(), label) > 0 ||
         label.empty())
-      label = path.stem().string();
+      label = l.filename;
     columns.push_back(label);
+    reports.push_back(std::move(l.report));
   }
   if (reports.empty()) {
     std::cerr << "error: no loadable BENCH_*.json artifacts in " << dir
