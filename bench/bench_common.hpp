@@ -25,6 +25,7 @@
 #include "service/plan_service.hpp"
 #include "telemetry/perf_report.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -545,14 +546,27 @@ inline perfreport::WorkloadResult run_perf_workload(const BenchWorkload& w,
       for (const Tile& t : enumerate_tiles(w.dims, strategies))
         blocks.push_back({t});
       const BatchPlan plan = build_plan(blocks, s.threads);
-      for (int r = 0; r < repeats; ++r) timed_execute(plan);
+      for (int r = 0; r < repeats; ++r) {
+        // Each repeat is one "request": a fresh trace id ties this repeat's
+        // executor flight events together in dumps (replay workloads get
+        // their ids from the plan service instead).
+        const telemetry::ScopedTraceContext trace_scope(
+            "bench", static_cast<std::int32_t>(w.dims.size()));
+        timed_execute(plan);
+      }
     } else {
       PlannerConfig config;
       config.policy = w.policy;
       config.splitk = w.splitk;
       PlanCache cache(config);
-      for (int r = 0; r < repeats; ++r)
+      for (int r = 0; r < repeats; ++r) {
+        // The trace scope covers planning AND execution, so repeat 1's
+        // trail reads plan.decision -> cache.miss -> exec and repeats
+        // 2..k read cache.hit -> exec, each under its own id.
+        const telemetry::ScopedTraceContext trace_scope(
+            "bench", static_cast<std::int32_t>(w.dims.size()));
         timed_execute(cache.plan(w.dims, epilogues).plan);
+      }
     }
   }
   const telemetry::MetricsSnapshot after = telemetry::snapshot();

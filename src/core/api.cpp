@@ -6,6 +6,7 @@
 #include "core/rf_policy.hpp"
 #include "kernels/work_builder.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -128,12 +129,16 @@ PlanSummary BatchedGemmPlanner::plan(std::span<const GemmDims> dims) const {
                                            << "us -> "
                                            << to_string(summary.heuristic));
       consider_splitk(summary, tiles, threads, batching_config, dims);
+      CTB_TEL_FLIGHT(kPlanDecision, to_string(summary.heuristic),
+                     summary.plan.num_blocks(), summary.plan.num_tiles());
       return summary;
     }
   }
   summary.plan = batch_tiles(summary.heuristic, tiles, threads,
                              batching_config);
   consider_splitk(summary, tiles, threads, batching_config, dims);
+  CTB_TEL_FLIGHT(kPlanDecision, to_string(summary.heuristic),
+                 summary.plan.num_blocks(), summary.plan.num_tiles());
   return summary;
 }
 
@@ -195,9 +200,14 @@ void BatchedGemmPlanner::consider_splitk(
     }
   }
   if (best_split.num_tiles() == 0) return;  // K loops too short to split
-  if (config_.splitk != SplitKMode::kForce && best_split_us >= unsplit_us)
+  if (config_.splitk != SplitKMode::kForce && best_split_us >= unsplit_us) {
+    CTB_TEL_FLIGHT(kSplitK, "rejected", best_split.num_tiles(),
+                   summary.plan.num_tiles());
     return;
+  }
   CTB_TEL_COUNT("plan.splitk.chosen", 1);
+  CTB_TEL_FLIGHT(kSplitK, "chosen", best_split.num_tiles(),
+                 summary.plan.num_tiles());
   CTB_DEBUG("split-K: unsplit=" << unsplit_us << "us split=" << best_split_us
                                 << "us (" << best_split.num_tiles()
                                 << " tiles) -> split");
@@ -234,6 +244,11 @@ ExecutionReport try_execute_plan(const BatchPlan& plan,
     report.reason = e.what();
     CTB_WARN("plan rejected, degrading to reference GEMM: " << e.what());
     CTB_TEL_COUNT("exec.fallback", 1);
+    CTB_TEL_FLIGHT(kGuardReject, "validate_plan",
+                   static_cast<std::int64_t>(batch.size()), 0);
+    CTB_TEL_FLIGHT(kFallback, "reference_gemm",
+                   static_cast<std::int64_t>(batch.size()), 0);
+    telemetry::flight_autodump("guard_reject");
     CTB_TEL_SPAN("exec.reference_fallback");
     for (const GemmOperands& g : batch) reference_gemm(g, alpha, beta);
     return report;

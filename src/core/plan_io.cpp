@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/assert.hpp"
 
 namespace ctb {
@@ -205,6 +206,8 @@ const PlanSummary& PlanCache::plan(std::span<const GemmDims> dims,
   if (it != cache_.end()) {
     ++hits_;
     CTB_TEL_COUNT("cache.hit", 1);
+    CTB_TEL_FLIGHT(kCacheHit, "plan", static_cast<std::int64_t>(key),
+                   static_cast<std::int64_t>(dims.size()));
     return *it->second;
   }
   // Plan and validate completely before touching the cache or the counters:
@@ -221,6 +224,8 @@ const PlanSummary& PlanCache::plan(std::span<const GemmDims> dims,
   validate_plan(summary.plan, dims);
   ++misses_;
   CTB_TEL_COUNT("cache.miss", 1);
+  CTB_TEL_FLIGHT(kCacheMiss, "plan", static_cast<std::int64_t>(key),
+                 static_cast<std::int64_t>(dims.size()));
   return *cache_
               .emplace(key,
                        std::make_shared<const PlanSummary>(std::move(summary)))
@@ -232,10 +237,14 @@ std::shared_ptr<const PlanSummary> PlanCache::lookup(std::uint64_t signature) {
   if (it == cache_.end()) {
     ++misses_;
     CTB_TEL_COUNT("cache.miss", 1);
+    CTB_TEL_FLIGHT(kCacheMiss, "lookup",
+                   static_cast<std::int64_t>(signature), 0);
     return nullptr;
   }
   ++hits_;
   CTB_TEL_COUNT("cache.hit", 1);
+  CTB_TEL_FLIGHT(kCacheHit, "lookup", static_cast<std::int64_t>(signature),
+                 0);
   return it->second;
 }
 

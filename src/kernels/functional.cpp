@@ -14,6 +14,7 @@
 #include "kernels/thread_map.hpp"
 #include "linalg/half.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
 
@@ -905,12 +906,24 @@ void run_batched_plan(const BatchPlan& plan,
                       std::span<const GemmOperands> batch, float alpha,
                       float beta) {
   CTB_TEL_SPAN("exec.run_batched_plan");
-  {
+  try {
     CTB_TEL_SPAN("exec.audit");
     audit_plan_operands(plan, batch);
+  } catch (const CheckError&) {
+    // An audit rejection is a postmortem moment: the plan passed validation
+    // but its aux arrays do not fit these operands. Leave a flight trail
+    // (and persist it when a dump directory is configured) before the
+    // exception unwinds to the caller's fallback.
+    CTB_TEL_FLIGHT(kGuardReject, "audit_plan_operands",
+                   static_cast<std::int64_t>(batch.size()),
+                   plan.num_tiles());
+    telemetry::flight_autodump("audit_reject");
+    throw;
   }
   for (std::size_t i = 0; i < batch.size(); ++i)
     check_epilogue_beta(batch[i], beta, i);
+  CTB_TEL_FLIGHT(kExec, "run_batched_plan", plan.num_blocks(),
+                 plan.num_tiles());
   CTB_TEL_COUNT("exec.plan_runs", 1);
   CTB_TEL_COUNT("exec.blocks", plan.num_blocks());
   CTB_TEL_COUNT("exec.tiles", plan.num_tiles());

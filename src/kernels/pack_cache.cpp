@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace ctb {
 
@@ -162,6 +163,8 @@ std::shared_ptr<const PackedGemm> pack_cache_lookup(const TilingStrategy& s,
     if (!probe_fresh(g, *it->pack)) {
       CTB_TEL_COUNT("exec.pack.cache.stale", 1);
       CTB_TEL_COUNT("exec.pack.cache.miss", 1);
+      CTB_TEL_FLIGHT(kPackStale, "operand mutated since pack",
+                     static_cast<std::int64_t>(it->pack->bytes()), 0);
       st.resident_bytes -= it->pack->bytes();
       st.entries.erase(it);
       return nullptr;

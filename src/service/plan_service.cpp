@@ -11,6 +11,7 @@
 #include "kernels/pack_cache.hpp"
 #include "service/failpoint.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace ctb::service {
 
@@ -203,10 +204,12 @@ std::shared_ptr<const PlanSummary> PlanService::make_fallback(
 
 void PlanService::record_failure(std::uint64_t sig, Shard& sh) {
   bool newly_quarantined = false;
+  int failures = 0;
   {
     std::lock_guard<std::mutex> lock(sh.mu);
     Meta& meta = sh.meta[sig];
     ++meta.failures;
+    failures = meta.failures;
     if (!meta.quarantined && meta.failures >= config_.quarantine_threshold) {
       meta.quarantined = true;
       newly_quarantined = true;
@@ -215,12 +218,18 @@ void PlanService::record_failure(std::uint64_t sig, Shard& sh) {
   if (newly_quarantined) {
     stats_.quarantined.fetch_add(1, std::memory_order_relaxed);
     CTB_TEL_COUNT("service.quarantined", 1);
+    CTB_TEL_FLIGHT(kQuarantine, "consecutive planner failures", failures,
+                   static_cast<std::int64_t>(sig));
+    // The quarantine transition is exactly the moment a postmortem wants
+    // the recent decision trail for; persist it while it is still hot.
+    telemetry::flight_autodump("quarantine");
   }
 }
 
 void PlanService::note_upgrade() {
   stats_.upgraded.fetch_add(1, std::memory_order_relaxed);
   CTB_TEL_COUNT("service.upgraded", 1);
+  CTB_TEL_FLIGHT(kUpgrade, "degraded entry replaced", 0, 0);
   generation_.fetch_add(1, std::memory_order_acq_rel);
   // Panels in the pack cache may have been packed while executing the
   // degraded plan; the upgraded plan tiles the batch differently, so drop
@@ -256,13 +265,23 @@ ServedPlan PlanService::get(std::span<const GemmDims> dims,
     CTB_CHECK_MSG(epilogue_packed_valid(epilogues[i]),
                   "GEMM " << i << " has malformed epilogue spec "
                           << epilogues[i]);
+  // Request-scoped trace: adopt the caller's context when one is active
+  // (explicit propagation), otherwise mint a fresh id for this lookup.
+  // Everything downstream — planner spans, cache flight events, the
+  // lookup-latency exemplar below — is stamped with it.
+  const telemetry::ScopedTraceContext trace_scope(
+      "service", static_cast<std::int32_t>(dims.size()));
   const std::int64_t t0 = steady_now_us();
   const std::uint64_t sig =
       batch_signature(dims, config_.planner, epilogues);
   ServedPlan served = serve(sig, dims, epilogues);
+  served.trace_id = telemetry::current_trace().id;
   stats_.admitted.fetch_add(1, std::memory_order_relaxed);
   CTB_TEL_COUNT("service.admitted", 1);
-  CTB_TEL_HIST("service.lookup_us", steady_now_us() - t0);
+  const std::int64_t lookup_us = steady_now_us() - t0;
+  CTB_TEL_HIST("service.lookup_us", lookup_us);
+  CTB_TEL_FLIGHT(kServe, to_string(served.state),
+                 static_cast<std::int64_t>(dims.size()), lookup_us);
   return served;
 }
 
@@ -415,6 +434,8 @@ ServedPlan PlanService::admit_cold(std::uint64_t sig,
   if (expired) {
     stats_.deadline_misses.fetch_add(1, std::memory_order_relaxed);
     CTB_TEL_COUNT("service.deadline_miss", 1);
+    CTB_TEL_FLIGHT(kDeadlineMiss, "deadline expired", deadline_us_,
+                   clock_now() - deadline_point);
   }
   if (!fallback) {
     throw PlanServiceError(
@@ -487,7 +508,8 @@ std::shared_ptr<PlanService::JobState> PlanService::enqueue_job(
                         std::vector<GemmDims>(dims.begin(), dims.end()),
                         std::vector<int>(epilogues.begin(), epilogues.end()),
                         deadline_point,
-                        epoch_.load(std::memory_order_acquire), state});
+                        epoch_.load(std::memory_order_acquire),
+                        telemetry::current_trace().id, state});
   }
   jobs_cv_.notify_one();
   return state;
@@ -541,6 +563,11 @@ void PlanService::worker_loop() {
 }
 
 void PlanService::process_job(Job& job) {
+  // The worker adopts the requesting trace so background planning spans and
+  // quarantine/upgrade flight events land in the requester's trail.
+  const telemetry::ScopedTraceContext trace_scope(telemetry::TraceContext{
+      job.trace, static_cast<std::int32_t>(job.dims.size()),
+      "service.worker"});
   Shard& sh = shard_for(job.sig);
   std::shared_ptr<const PlanSummary> result;
   bool ok = false;
@@ -657,6 +684,9 @@ std::size_t PlanService::release_quarantined() {
       }
     }
   }
+  if (released > 0)
+    CTB_TEL_FLIGHT(kQuarantineRelease, "operator release",
+                   static_cast<std::int64_t>(released), 0);
   return released;
 }
 

@@ -98,6 +98,13 @@ struct ServedPlan {
   std::shared_ptr<const PlanSummary> summary;
   ServeState state = ServeState::kHit;
 
+  /// Trace id of the request that produced this response (telemetry/trace
+  /// .hpp): the id every span, histogram exemplar, and flight-recorder
+  /// event emitted while serving carries. Callers executing the plan can
+  /// re-install it (ScopedTraceContext) so execution joins the same trail.
+  /// 0 when telemetry is compiled out.
+  std::uint64_t trace_id = 0;
+
   /// True when this response carries the fallback plan, not the full one.
   bool degraded() const {
     return state == ServeState::kDegraded ||
@@ -242,6 +249,7 @@ class PlanService {
     std::vector<int> epilogues;  ///< per-GEMM specs; empty = none
     std::int64_t deadline_point = -1;  ///< < 0: pure upgrade, no deadline
     std::uint64_t epoch = 0;
+    std::uint64_t trace = 0;  ///< requesting trace; worker adopts it
     std::shared_ptr<JobState> state;
   };
 

@@ -45,7 +45,11 @@ namespace ctb::perfreport {
 /// exec.epilogue.ops, exec.c.passes) and the grouped-dispatch counters
 /// (plan.grouped.*) to the gated allowlist, plus the report-level
 /// "created_unix" timestamp that `ctb_bench --fold` orders artifacts by.
-inline constexpr int kSchemaVersion = 5;
+/// v6: added tel.spans.dropped to the gated allowlist — span-buffer
+/// overflow was previously invisible in reports; the expected value in any
+/// healthy suite run is exactly 0, so a regression means an instrumented
+/// loop outgrew the per-thread buffer cap.
+inline constexpr int kSchemaVersion = 6;
 
 /// Wall-clock statistics over one workload's k repeats. Median-of-k with
 /// interquartile range: the median resists the reference container's timing

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <istream>
 #include <map>
 #include <ostream>
+
+#include "telemetry/trace.hpp"
 
 #ifdef CTB_TELEMETRY_ENABLED
 #include <chrono>
@@ -79,7 +82,7 @@ constexpr const char* kCoreCounters[] = {
     "sim.kernels",
     "sim.blocks",
     "sim.bubble_blocks",
-    "telemetry.dropped_spans",
+    "tel.spans.dropped",
 };
 
 constexpr const char* kCoreHistograms[] = {
@@ -154,7 +157,7 @@ struct Registry {
       counters.emplace(name, std::make_unique<Counter>());
     for (const char* name : kCoreHistograms)
       histograms.emplace(name, std::make_unique<Histogram>());
-    dropped_spans = counters.at("telemetry.dropped_spans").get();
+    dropped_spans = counters.at("tel.spans.dropped").get();
     const char* env = std::getenv("CTB_TELEMETRY");
     if (env != nullptr) {
       const std::string v(env);
@@ -221,6 +224,13 @@ void Histogram::record(std::int64_t v) {
   for (std::int64_t bound = 1; b < kBuckets - 1 && v > bound; ++b)
     bound = bound <= (INT64_MAX >> 1) ? bound << 1 : INT64_MAX;
   buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  // Exemplar: remember this sample's trace so exports can link the bucket
+  // (a p99 outlier, say) back to its flight-recorder trail.
+  const std::uint64_t trace = current_trace().id;
+  if (trace != 0) {
+    ex_value_[b].store(v, std::memory_order_relaxed);
+    ex_trace_[b].store(trace, std::memory_order_relaxed);
+  }
 }
 
 Counter& counter(const char* name) {
@@ -254,7 +264,8 @@ void record_span(const char* literal_name, double start_us, double dur_us) {
     registry().dropped_spans->add(1);
     return;
   }
-  buf.events.push_back(SpanEvent{literal_name, handle.tid, start_us, dur_us});
+  buf.events.push_back(SpanEvent{literal_name, handle.tid, start_us, dur_us,
+                                 current_trace().id});
 }
 
 MetricsSnapshot snapshot() {
@@ -282,6 +293,13 @@ MetricsSnapshot snapshot() {
       if (h->buckets_[b].load(std::memory_order_relaxed) > 0) last = b;
     for (int b = 0; b <= last; ++b)
       s.buckets.push_back(h->buckets_[b].load(std::memory_order_relaxed));
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t trace =
+          h->ex_trace_[b].load(std::memory_order_relaxed);
+      if (trace == 0) continue;
+      s.exemplars.push_back(HistogramSample::Exemplar{
+          b, h->ex_value_[b].load(std::memory_order_relaxed), trace});
+    }
     snap.histograms.push_back(std::move(s));
   }
   for (const auto& buf : r.buffers) {
@@ -306,6 +324,8 @@ void reset() {
     h->min_.store(INT64_MAX, std::memory_order_relaxed);
     h->max_.store(INT64_MIN, std::memory_order_relaxed);
     for (auto& b : h->buckets_) b.store(0, std::memory_order_relaxed);
+    for (auto& v : h->ex_value_) v.store(0, std::memory_order_relaxed);
+    for (auto& t : h->ex_trace_) t.store(0, std::memory_order_relaxed);
   }
   for (const auto& buf : r.buffers) {
     const std::lock_guard<std::mutex> buf_lock(buf->mu);
@@ -399,6 +419,15 @@ MetricsSnapshot delta(const MetricsSnapshot& before,
       out.min = lo == 0 ? 0 : (std::int64_t{1} << (lo - 1)) + 1;
       out.max = hi >= 62 ? INT64_MAX : (std::int64_t{1} << hi);
     }
+    // Exemplars are last-writer-wins samples, not subtractable; keep only
+    // those whose bucket saw activity inside the window, so a delta never
+    // advertises a trace from outside it.
+    std::vector<HistogramSample::Exemplar> kept;
+    for (const HistogramSample::Exemplar& e : out.exemplars)
+      if (static_cast<std::size_t>(e.bucket) < out.buckets.size() &&
+          out.buckets[static_cast<std::size_t>(e.bucket)] > 0)
+        kept.push_back(e);
+    out.exemplars = std::move(kept);
     d.histograms.push_back(std::move(out));
   }
 
@@ -409,7 +438,7 @@ MetricsSnapshot delta(const MetricsSnapshot& before,
 }
 
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
-  os << "{\n\"version\":2,\n\"compiled_in\":"
+  os << "{\n\"version\":3,\n\"compiled_in\":"
      << (snap.compiled_in ? "true" : "false")
      << ",\n\"enabled\":" << (snap.enabled ? "true" : "false")
      << ",\n\"counters\":{";
@@ -434,6 +463,13 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
        << ",\"buckets\":[";
     for (std::size_t b = 0; b < h.buckets.size(); ++b)
       os << (b == 0 ? "" : ",") << h.buckets[b];
+    os << "],\"exemplars\":[";
+    for (std::size_t e = 0; e < h.exemplars.size(); ++e) {
+      const HistogramSample::Exemplar& ex = h.exemplars[e];
+      os << (e == 0 ? "" : ",") << "{\"bucket\":" << ex.bucket
+         << ",\"value\":" << ex.value << ",\"trace\":\""
+         << trace_id_hex(ex.trace) << "\"}";
+    }
     os << "]}";
   }
   os << "\n},\n\"spans\":{";
@@ -467,7 +503,10 @@ void append_chrome_trace_events(std::ostream& os, const MetricsSnapshot& snap,
     write_json_escaped(os, e.name);
     os << ",\"ph\":\"X\",\"cat\":\"ctb\",\"pid\":" << pid
        << ",\"tid\":" << e.tid << ",\"ts\":" << e.start_us
-       << ",\"dur\":" << e.dur_us << "}";
+       << ",\"dur\":" << e.dur_us;
+    if (e.trace != 0)
+      os << ",\"args\":{\"trace\":\"" << trace_id_hex(e.trace) << "\"}";
+    os << "}";
   }
 }
 
@@ -477,6 +516,81 @@ void write_chrome_trace(std::ostream& os, const MetricsSnapshot& snap) {
         "\"args\":{\"source\":\"ctb.telemetry\"}}";
   append_chrome_trace_events(os, snap, 0);
   os << "\n]}\n";
+}
+
+// ---- OpenMetrics/Prometheus text exposition (DESIGN.md §13) ----
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the canonical dotted names
+// mangle dots and dashes to underscores. The mangling is lossy (dots and
+// dashes collide), so every sample also carries the dotted original in a
+// name="..." label — that label, not the family name, is what round-trips.
+std::string openmetrics_family(const std::string& name) {
+  std::string out = "ctb_";
+  for (char c : name)
+    out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+// Upper bound of power-of-two bucket b, as an OpenMetrics `le` label value.
+std::string bucket_le(std::size_t b) {
+  if (b >= 62) return "+Inf";
+  return std::to_string(std::int64_t{1} << b);
+}
+
+}  // namespace
+
+void write_openmetrics(std::ostream& os, const MetricsSnapshot& snap) {
+  for (const CounterSample& c : snap.counters) {
+    const std::string fam = openmetrics_family(c.name);
+    os << "# TYPE " << fam << " counter\n";
+    os << fam << "_total{name=\"" << c.name << "\"} " << c.value << "\n";
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    const std::string fam = openmetrics_family(h.name);
+    os << "# TYPE " << fam << " histogram\n";
+    auto exemplar_for = [&](std::size_t b) -> const HistogramSample::Exemplar* {
+      for (const HistogramSample::Exemplar& e : h.exemplars)
+        if (static_cast<std::size_t>(e.bucket) == b) return &e;
+      return nullptr;
+    };
+    std::int64_t cum = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cum += h.buckets[b];
+      os << fam << "_bucket{name=\"" << h.name << "\",le=\"" << bucket_le(b)
+         << "\"} " << cum;
+      if (const HistogramSample::Exemplar* e = exemplar_for(b))
+        os << " # {trace_id=\"" << trace_id_hex(e->trace) << "\"} "
+           << e->value;
+      os << "\n";
+    }
+    os << fam << "_bucket{name=\"" << h.name << "\",le=\"+Inf\"} " << h.count
+       << "\n";
+    os << fam << "_sum{name=\"" << h.name << "\"} " << h.sum << "\n";
+    os << fam << "_count{name=\"" << h.name << "\"} " << h.count << "\n";
+  }
+  os << "# EOF\n";
+}
+
+std::vector<CounterSample> read_openmetrics_counters(std::istream& is) {
+  std::vector<CounterSample> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t brace = line.find("_total{name=\"");
+    if (brace == std::string::npos) continue;
+    const std::size_t name_begin = brace + 13;
+    const std::size_t name_end = line.find('"', name_begin);
+    if (name_end == std::string::npos) continue;
+    const std::size_t value_begin = line.find("} ", name_end);
+    if (value_begin == std::string::npos) continue;
+    CounterSample c;
+    c.name = line.substr(name_begin, name_end - name_begin);
+    c.value = std::strtoll(line.c_str() + value_begin + 2, nullptr, 10);
+    out.push_back(std::move(c));
+  }
+  return out;
 }
 
 }  // namespace ctb::telemetry

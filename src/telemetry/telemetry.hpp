@@ -41,12 +41,22 @@ struct CounterSample {
 /// Histogram snapshot: count/sum/min/max plus power-of-two buckets; bucket i
 /// counts values v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1).
 struct HistogramSample {
+  /// One exemplar: the most recent sample recorded into `bucket` while a
+  /// trace context was active (trace.hpp). Tail-bucket exemplars let a p99
+  /// outlier in a metrics export link back to its flight-recorder trail.
+  struct Exemplar {
+    int bucket = 0;
+    std::int64_t value = 0;
+    std::uint64_t trace = 0;
+  };
+
   std::string name;
   std::int64_t count = 0;
   std::int64_t sum = 0;
   std::int64_t min = 0;  ///< meaningful only when count > 0
   std::int64_t max = 0;
   std::vector<std::int64_t> buckets;  ///< trailing all-zero buckets trimmed
+  std::vector<Exemplar> exemplars;    ///< at most one per bucket, ascending
 
   /// Deterministic percentile estimate from the power-of-two buckets: the
   /// upper bound (2^i) of the bucket holding the ceil(p/100 * count)-th
@@ -67,6 +77,7 @@ struct SpanEvent {
   int tid = 0;          ///< registry-assigned logical thread id
   double start_us = 0;  ///< relative to process telemetry epoch
   double dur_us = 0;
+  std::uint64_t trace = 0;  ///< trace id active at record time (0 = none)
 };
 
 /// Point-in-time copy of everything the registry holds.
@@ -102,10 +113,25 @@ MetricsSnapshot delta(const MetricsSnapshot& before,
 void reset();
 
 /// JSON object {"version","enabled","counters","histograms","spans"} where
-/// histograms carry deterministic p50/p95/p99 percentile estimates (schema
-/// version 2) and spans are aggregated per name (count / total_us /
-/// max_us). Schema in DESIGN.md §8.
+/// histograms carry deterministic p50/p95/p99 percentile estimates plus
+/// per-bucket trace exemplars (schema version 3) and spans are aggregated
+/// per name (count / total_us / max_us). Schema in DESIGN.md §8.
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
+
+/// OpenMetrics/Prometheus text exposition of the snapshot: every counter as
+/// a `ctb_<mangled>_total` sample and every histogram as the standard
+/// _bucket/_sum/_count family, each carrying the canonical dotted name in a
+/// name="..." label (dots/dashes mangle to underscores, so the label is the
+/// round-trip source of truth). Bucket samples append OpenMetrics exemplars
+/// (`# {trace_id="<hex>"} <value>`) where one was recorded. Ends with
+/// `# EOF`. DESIGN.md §13 documents the mapping.
+void write_openmetrics(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Parses the counter samples back out of an OpenMetrics exposition written
+/// by write_openmetrics (the `_total{name="..."}` lines), in file order.
+/// Tolerant of unrelated lines; used by tests to prove the export
+/// round-trips the taxonomy and by ctb_trace to ingest metrics files.
+std::vector<CounterSample> read_openmetrics_counters(std::istream& is);
 
 /// Appends one chrome-trace event per span (plus a process_name metadata
 /// record) under the given pid, each prefixed with ",\n" — for embedding in
@@ -155,6 +181,11 @@ class Histogram {
   std::atomic<std::int64_t> min_{INT64_MAX};
   std::atomic<std::int64_t> max_{INT64_MIN};
   std::atomic<std::int64_t> buckets_[kBuckets]{};
+  // Per-bucket exemplars: the latest (value, trace) recorded while a trace
+  // context was active. trace == 0 marks an empty slot. Last-writer-wins
+  // relaxed stores — an exemplar is a representative sample, not a count.
+  std::atomic<std::int64_t> ex_value_[kBuckets]{};
+  std::atomic<std::uint64_t> ex_trace_[kBuckets]{};
 };
 
 /// Returns the counter/histogram registered under `name`, creating it on

@@ -1,0 +1,172 @@
+// ctb::telemetry — request-scoped trace contexts and the always-on flight
+// recorder (DESIGN.md §13).
+//
+// A TraceContext is a 64-bit trace id plus a few request attributes. It is
+// explicitly propagated: PlanService::get installs one for the duration of a
+// lookup (adopting the caller's context when one is already active), the
+// bench runners install one per request, and everything downstream —
+// planner, PlanCache, split-K sweep, executors — reads the thread-current
+// context when it records spans, histogram exemplars, or flight events.
+// Propagation costs one thread-local read; there is no global lookup.
+//
+// The flight recorder is the postmortem half: a fixed-size, lock-free
+// per-thread ring of recent structured events (plan decisions, deadline
+// misses, quarantine transitions, validate/audit rejections, fallback
+// activations, pack-cache staleness hits). Unlike counters and spans it is
+// *always on* while compiled in — it does not consult set_enabled(), because
+// its whole purpose is to still hold the last moments when something fails
+// unexpectedly. Each record is a handful of relaxed atomic stores (O(ns));
+// readers never block writers. Dumps happen on demand (flight_events /
+// write_flight_json) and automatically on guard rejections and service
+// quarantines when CTB_FLIGHT_DUMP_DIR names a directory.
+//
+// Under -DCTB_TELEMETRY=OFF everything here compiles out to no-op stubs,
+// exactly like telemetry.hpp: trace ids are 0, rings do not exist, and the
+// exporters emit valid empty documents so tools still build.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ctb::telemetry {
+
+/// Request-scoped correlation context. id == 0 means "no trace"; every
+/// other value was minted by make_trace_id() and is unique in-process.
+struct TraceContext {
+  std::uint64_t id = 0;
+  std::int32_t gemms = 0;     ///< request attribute: batch size
+  const char* origin = "";    ///< string literal: "service", "bench", ...
+  bool active() const { return id != 0; }
+};
+
+/// The structured event kinds the flight recorder understands. The catalog
+/// is append-only (DESIGN.md §13 documents each kind's detail/a0/a1).
+enum class FlightKind : std::int32_t {
+  kServe = 0,           ///< service response; detail = serve state
+  kPlanDecision,        ///< planner chose a heuristic; a0=blocks a1=tiles
+  kCacheHit,            ///< plan-cache hit
+  kCacheMiss,           ///< plan-cache miss
+  kSplitK,              ///< split-K sweep ran; detail = chosen|rejected
+  kDeadlineMiss,        ///< service deadline expired; a0 = deadline_us
+  kQuarantine,          ///< signature quarantined; a0 = failure count
+  kQuarantineRelease,   ///< quarantine lifted
+  kGuardReject,         ///< validate/audit rejected a plan; detail = which
+  kFallback,            ///< reference-GEMM fallback activated
+  kPackStale,           ///< pack-cache staleness probe evicted an entry
+  kExec,                ///< executor ran a plan; a0=blocks a1=tiles
+  kUpgrade,             ///< degraded entry replaced by a full plan
+};
+
+const char* to_string(FlightKind kind);
+
+/// One decoded flight-recorder event (a stable copy; `detail` points at the
+/// instrumentation site's string literal).
+struct FlightEventView {
+  std::uint64_t trace = 0;
+  FlightKind kind = FlightKind::kServe;
+  int tid = 0;
+  double t_us = 0;  ///< now_us() at record time (telemetry epoch)
+  std::int64_t a0 = 0;
+  std::int64_t a1 = 0;
+  const char* detail = "";
+};
+
+/// 16-digit lowercase hex rendering of a trace id (the wire format used by
+/// every exporter) and its inverse. parse_trace_id returns 0 on malformed
+/// input.
+std::string trace_id_hex(std::uint64_t id);
+std::uint64_t parse_trace_id(const std::string& hex);
+
+/// JSON flight dump: {"version":1,"events":[...]} with one event per line,
+/// ordered by t_us. Works in every build (empty list -> empty document).
+void write_flight_json(std::ostream& os,
+                       const std::vector<FlightEventView>& events);
+
+#ifdef CTB_TELEMETRY_ENABLED
+
+/// Mints a fresh nonzero trace id: a splitmix64-mixed process-wide sequence
+/// number, so ids are unique, well-distributed, and deterministic given
+/// request order.
+std::uint64_t make_trace_id();
+
+/// The calling thread's current context ({} when none is installed).
+TraceContext current_trace();
+
+/// RAII installation of a TraceContext on the calling thread. The previous
+/// context is restored on destruction, so service code can nest under a
+/// caller's explicitly-propagated trace.
+class ScopedTraceContext {
+ public:
+  /// Installs `ctx` unconditionally (callers re-entering a known trace —
+  /// e.g. executing a served plan under the ServedPlan's trace id).
+  explicit ScopedTraceContext(TraceContext ctx);
+
+  /// Adopt-or-create: when a context is already active it is kept (the
+  /// request is part of the caller's trace); otherwise a fresh id is minted
+  /// with the given attributes. This is the form request entry points use.
+  ScopedTraceContext(const char* origin_literal, std::int32_t gemms);
+
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+  bool installed_ = false;
+};
+
+/// Records one event into the calling thread's ring, stamped with the
+/// current trace (id 0 when none). `detail` must be a string literal.
+/// Always on while compiled in; a handful of relaxed atomic stores.
+void flight_record(FlightKind kind, const char* detail_literal,
+                   std::int64_t a0 = 0, std::int64_t a1 = 0);
+
+/// Snapshot of every thread's ring, ordered by t_us. Readers never block
+/// writers: a slot being overwritten mid-read is detected via its sequence
+/// word and skipped.
+std::vector<FlightEventView> flight_events();
+
+/// Invalidates all recorded events (tests isolate themselves with this).
+void flight_clear();
+
+/// Automatic postmortem dump: when CTB_FLIGHT_DUMP_DIR names a directory,
+/// writes ctb_flight_<n>_<reason>.json there (at most 32 per process, so a
+/// rejection storm cannot fill a disk) and returns the path; otherwise
+/// returns "". Called on guard rejections and service quarantines.
+std::string flight_autodump(const char* reason_literal);
+
+#else  // !CTB_TELEMETRY_ENABLED — no-op stubs, mirroring telemetry.hpp.
+
+constexpr std::uint64_t make_trace_id() { return 0; }
+inline TraceContext current_trace() { return {}; }
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext) {}
+  ScopedTraceContext(const char*, std::int32_t) {}
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+};
+
+inline void flight_record(FlightKind, const char*, std::int64_t = 0,
+                          std::int64_t = 0) {}
+inline std::vector<FlightEventView> flight_events() { return {}; }
+inline void flight_clear() {}
+inline std::string flight_autodump(const char*) { return {}; }
+
+#endif  // CTB_TELEMETRY_ENABLED
+
+}  // namespace ctb::telemetry
+
+/// Statement macro for flight events; vanishes under CTB_TELEMETRY=OFF.
+#ifdef CTB_TELEMETRY_ENABLED
+#define CTB_TEL_FLIGHT(kind, detail, a0, a1)                          \
+  ::ctb::telemetry::flight_record(::ctb::telemetry::FlightKind::kind, \
+                                  detail, a0, a1)
+#else
+#define CTB_TEL_FLIGHT(kind, detail, a0, a1) \
+  do {                                       \
+  } while (0)
+#endif

@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +22,7 @@
 #include "kernels/functional.hpp"
 #include "service/failpoint.hpp"
 #include "service/plan_service.hpp"
+#include "telemetry/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -32,10 +37,39 @@ using service::PlanServiceError;
 using service::ServedPlan;
 using service::ServeState;
 using service::VirtualClock;
+using telemetry::FlightEventView;
+using telemetry::FlightKind;
+
+#ifdef CTB_TELEMETRY_ENABLED
+constexpr bool kTelemetryCompiledIn = true;
+#else
+constexpr bool kTelemetryCompiledIn = false;
+#endif
 
 std::vector<GemmDims> small_batch(int seed) {
   // Distinct per seed so tests control hits vs misses precisely.
   return {GemmDims{16 + seed, 24, 32}, GemmDims{8, 16 + seed, 48}};
+}
+
+// Every flight event recorded under one trace id, across all threads. The
+// flight recorder is always on while compiled in, so chaos tests can assert
+// that degraded/quarantined responses left a correlated trail without any
+// telemetry setup.
+std::vector<FlightEventView> trail_of(std::uint64_t id) {
+  std::vector<FlightEventView> trail;
+  if (id == 0) return trail;
+  for (const FlightEventView& e : telemetry::flight_events())
+    if (e.trace == id) trail.push_back(e);
+  return trail;
+}
+
+bool trail_has(const std::vector<FlightEventView>& trail, FlightKind kind,
+               const std::string& detail_substr = "") {
+  for (const FlightEventView& e : trail)
+    if (e.kind == kind &&
+        std::string(e.detail).find(detail_substr) != std::string::npos)
+      return true;
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -156,6 +190,14 @@ TEST(PlanService, DeadlineMissServesFallbackNowAndUpgradesAsync) {
   validate_plan(degraded.summary->plan, batch);
   // The fallback is the threshold-only heuristic, served immediately.
   EXPECT_EQ(degraded.summary->heuristic, BatchingHeuristic::kThreshold);
+  // The degraded response carries its trace id, and that trace's flight
+  // trail records both the serve and the deadline miss that caused it.
+  if (kTelemetryCompiledIn) {
+    ASSERT_NE(degraded.trace_id, 0u);
+    const auto trail = trail_of(degraded.trace_id);
+    EXPECT_TRUE(trail_has(trail, FlightKind::kServe, "degraded"));
+    EXPECT_TRUE(trail_has(trail, FlightKind::kDeadlineMiss));
+  }
 
   svc.drain();
   const ServedPlan upgraded = svc.get(batch);
@@ -249,14 +291,28 @@ TEST(PlanService, RepeatedFailuresQuarantineThenReleaseRecovers) {
   EXPECT_EQ(svc.get(batch).state, ServeState::kDegraded);
   EXPECT_FALSE(svc.is_quarantined(batch));
   // Episode 2: the degraded hit re-attempts the upgrade, fails again ->
-  // the signature crosses the threshold and is quarantined.
-  EXPECT_EQ(svc.get(batch).state, ServeState::kDegraded);
+  // the signature crosses the threshold and is quarantined. In inline mode
+  // the failing upgrade runs on the request thread, so the quarantine
+  // transition lands in the requesting trace's flight trail.
+  const ServedPlan crossing = svc.get(batch);
+  EXPECT_EQ(crossing.state, ServeState::kDegraded);
   EXPECT_TRUE(svc.is_quarantined(batch));
   EXPECT_EQ(svc.stats().quarantined, 1);
+  if (kTelemetryCompiledIn) {
+    ASSERT_NE(crossing.trace_id, 0u);
+    const auto trail = trail_of(crossing.trace_id);
+    EXPECT_TRUE(trail_has(trail, FlightKind::kServe, "degraded"));
+    EXPECT_TRUE(trail_has(trail, FlightKind::kQuarantine));
+  }
 
   // Quarantined serving never invokes the full planner again.
   const int calls_before = calls->load();
-  EXPECT_EQ(svc.get(batch).state, ServeState::kQuarantined);
+  const ServedPlan held = svc.get(batch);
+  EXPECT_EQ(held.state, ServeState::kQuarantined);
+  if (kTelemetryCompiledIn) {
+    EXPECT_TRUE(
+        trail_has(trail_of(held.trace_id), FlightKind::kServe, "quarantined"));
+  }
   EXPECT_EQ(svc.get(batch).state, ServeState::kQuarantined);
   EXPECT_EQ(calls->load(), calls_before);
 
@@ -264,6 +320,10 @@ TEST(PlanService, RepeatedFailuresQuarantineThenReleaseRecovers) {
   // upgrades the entry and the one after that is an ordinary hit.
   broken->store(false);
   EXPECT_EQ(svc.release_quarantined(), 1u);
+  if (kTelemetryCompiledIn) {
+    EXPECT_TRUE(trail_has(telemetry::flight_events(),
+                          FlightKind::kQuarantineRelease));
+  }
   EXPECT_FALSE(svc.is_quarantined(batch));
   const ServedPlan upgraded = svc.get(batch);
   EXPECT_EQ(upgraded.state, ServeState::kUpgraded);
@@ -453,9 +513,91 @@ TEST_F(FailpointTest, ServiceSlowFailpointTripsDeadline) {
   ASSERT_TRUE(served.summary != nullptr);
   EXPECT_EQ(served.state, ServeState::kDegraded);
   EXPECT_EQ(svc.stats().deadline_misses, 1);
+  // Chaos-injected degradation is indistinguishable from the real thing:
+  // the response's trace still resolves to a trail with the deadline miss.
+  if (kTelemetryCompiledIn) {
+    ASSERT_NE(served.trace_id, 0u);
+    const auto trail = trail_of(served.trace_id);
+    EXPECT_TRUE(trail_has(trail, FlightKind::kServe, "degraded"));
+    EXPECT_TRUE(trail_has(trail, FlightKind::kDeadlineMiss));
+  }
   svc.drain();
   EXPECT_EQ(svc.stats().upgraded, 1);
   EXPECT_EQ(svc.get(batch).state, ServeState::kHit);
+}
+
+TEST_F(FailpointTest, ChaosQuarantineLeavesAFlightDumpForTheTrace) {
+  if (!kTelemetryCompiledIn) GTEST_SKIP() << "built with -DCTB_TELEMETRY=OFF";
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "ctb_plan_service_flight_dump_test";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  ASSERT_TRUE(fs::create_directories(dir));
+  ::setenv("CTB_FLIGHT_DUMP_DIR", dir.string().c_str(), 1);
+
+  VirtualClock clock;
+  PlanServiceConfig cfg;
+  cfg.deadline_us = 400;
+  cfg.clock = &clock;
+  cfg.max_retries = 0;
+  cfg.quarantine_threshold = 2;
+  PlanService svc(cfg);
+  service::ScopedFailpoint slow("service.planner.slow",
+                                {FailAction::kDelay, 9'000, -1});
+  service::ScopedFailpoint broken("service.planner.throw",
+                                  {FailAction::kThrow, 0, -1});
+  const auto batch = small_batch(11);
+
+  // The whole episode runs under one explicitly-propagated trace, the way a
+  // caller threads its request context through the service. The worker
+  // adopts the requester's trace via the job, so the deadline miss (request
+  // thread) and the quarantine transition (worker thread) share one id.
+  std::uint64_t id = 0;
+  {
+    const telemetry::ScopedTraceContext scope(
+        "chaos", static_cast<std::int32_t>(batch.size()));
+    id = telemetry::current_trace().id;
+    ASSERT_NE(id, 0u);
+
+    // Failure 1: the worker blows the deadline and throws; the requester
+    // records the miss and serves the fallback.
+    const ServedPlan first = svc.get(batch);
+    EXPECT_EQ(first.state, ServeState::kDegraded);
+    EXPECT_EQ(first.trace_id, id);
+    svc.drain();
+    EXPECT_FALSE(svc.is_quarantined(batch));
+
+    // Failure 2: the degraded hit re-enqueues the upgrade; the worker's
+    // second failure crosses the threshold, quarantines the signature, and
+    // autodumps the flight recorder (CTB_FLIGHT_DUMP_DIR is set).
+    EXPECT_EQ(svc.get(batch).state, ServeState::kDegraded);
+    svc.drain();
+    EXPECT_TRUE(svc.is_quarantined(batch));
+  }
+  ::unsetenv("CTB_FLIGHT_DUMP_DIR");
+
+  // Both halves of the story are in the live trail under the one trace id.
+  const auto trail = trail_of(id);
+  EXPECT_TRUE(trail_has(trail, FlightKind::kDeadlineMiss));
+  EXPECT_TRUE(trail_has(trail, FlightKind::kQuarantine));
+
+  // ... and the quarantine transition persisted a postmortem dump naming
+  // the same trace.
+  fs::path dump;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().filename().string().find("_quarantine.json") !=
+        std::string::npos)
+      dump = entry.path();
+  ASSERT_FALSE(dump.empty()) << "no quarantine autodump in " << dir;
+  std::ifstream in(dump);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string dump_text = buf.str();
+  EXPECT_NE(dump_text.find("\"kind\":\"deadline.miss\""), std::string::npos);
+  EXPECT_NE(dump_text.find("\"kind\":\"quarantine\""), std::string::npos);
+  EXPECT_NE(dump_text.find(telemetry::trace_id_hex(id)), std::string::npos);
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace ctb {
@@ -74,8 +75,20 @@ TEST(TelemetryExport, EmptySnapshotIsWellFormedJson) {
   telemetry::write_chrome_trace(trace, snap);
   EXPECT_TRUE(json_balanced(metrics.str())) << metrics.str();
   EXPECT_TRUE(json_balanced(trace.str())) << trace.str();
-  EXPECT_NE(metrics.str().find("\"version\":2"), std::string::npos);
+  EXPECT_NE(metrics.str().find("\"version\":3"), std::string::npos);
   EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TelemetryExport, EmptySnapshotOpenMetricsIsTerminated) {
+  const telemetry::MetricsSnapshot snap;  // compiled_in == false
+  std::ostringstream om;
+  telemetry::write_openmetrics(om, snap);
+  const std::string text = om.str();
+  // An empty document is still a valid OpenMetrics exposition: no families,
+  // one EOF marker at the very end.
+  EXPECT_EQ(text, "# EOF\n");
+  std::istringstream is(text);
+  EXPECT_TRUE(telemetry::read_openmetrics_counters(is).empty());
 }
 
 #ifdef CTB_TELEMETRY_ENABLED
@@ -128,6 +141,9 @@ TEST_F(TelemetryTest, CountersAccumulateAndSnapshot) {
   EXPECT_EQ(counter_value(snap, "service.retried"), 0);
   EXPECT_EQ(counter_value(snap, "service.quarantined"), 0);
   EXPECT_EQ(counter_value(snap, "service.deadline_miss"), 0);
+  // Telemetry self-observation: span-buffer overflow is part of the
+  // canonical taxonomy so reports can gate on it staying zero.
+  EXPECT_EQ(counter_value(snap, "tel.spans.dropped"), 0);
 }
 
 TEST_F(TelemetryTest, DisabledSitesRegisterButDoNotCount) {
@@ -184,6 +200,59 @@ TEST_F(TelemetryTest, HistogramPercentilesAreDeterministicBucketBounds) {
   EXPECT_DOUBLE_EQ(telemetry::HistogramSample{}.percentile(50.0), 0.0);
   EXPECT_DOUBLE_EQ(sample->percentile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(sample->percentile(100.0), 1000.0);
+}
+
+// Pins the percentile edge cases a dashboard divides by: a registered
+// histogram that never recorded, a single observation, and a delta window
+// with no samples must all yield finite, exact values — never NaN and never
+// stale lifetime watermarks.
+TEST_F(TelemetryTest, PercentilesOfEmptyAndSingleSampleHistograms) {
+  telemetry::histogram("test.edge.empty");  // registered, never recorded
+  telemetry::histogram("test.edge.one").record(37);
+  const auto snap = telemetry::snapshot();
+  const telemetry::HistogramSample* empty = nullptr;
+  const telemetry::HistogramSample* one = nullptr;
+  for (const auto& s : snap.histograms) {
+    if (s.name == "test.edge.empty") empty = &s;
+    if (s.name == "test.edge.one") one = &s;
+  }
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->count, 0);
+  EXPECT_EQ(empty->min, 0);
+  EXPECT_EQ(empty->max, 0);
+  EXPECT_TRUE(empty->buckets.empty());
+  for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(empty->percentile(p), 0.0) << p;
+  EXPECT_DOUBLE_EQ(empty->p50(), 0.0);
+  EXPECT_DOUBLE_EQ(empty->p95(), 0.0);
+  EXPECT_DOUBLE_EQ(empty->p99(), 0.0);
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(one->count, 1);
+  // Every percentile of a single observation is that observation (the
+  // bucket bound 64 clamps into [min, max] = [37, 37]).
+  for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(one->percentile(p), 37.0) << p;
+}
+
+TEST_F(TelemetryTest, PercentilesOfZeroSampleDeltaWindowAreZero) {
+  telemetry::histogram("test.edge.window").record(512);
+  const auto before = telemetry::snapshot();
+  const auto after = telemetry::snapshot();  // nothing recorded in between
+  const auto d = telemetry::delta(before, after);
+  const telemetry::HistogramSample* w = nullptr;
+  for (const auto& s : d.histograms)
+    if (s.name == "test.edge.window") w = &s;
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->count, 0);
+  EXPECT_EQ(w->sum, 0);
+  EXPECT_TRUE(w->buckets.empty());
+  // The pre-window 512 must not leak into the empty window's statistics.
+  EXPECT_EQ(w->min, 0);
+  EXPECT_EQ(w->max, 0);
+  EXPECT_DOUBLE_EQ(w->p50(), 0.0);
+  EXPECT_DOUBLE_EQ(w->p95(), 0.0);
+  EXPECT_DOUBLE_EQ(w->p99(), 0.0);
+  EXPECT_TRUE(w->exemplars.empty());
 }
 
 TEST_F(TelemetryTest, SnapshotDeltaSubtractsCountersAndHistograms) {
@@ -288,9 +357,10 @@ TEST_F(TelemetryTest, MetricsJsonSchema) {
   const std::string json = os.str();
   EXPECT_TRUE(json_balanced(json)) << json;
   for (const char* needle :
-       {"\"version\":2", "\"compiled_in\":true", "\"enabled\":true",
+       {"\"version\":3", "\"compiled_in\":true", "\"enabled\":true",
         "\"counters\":{", "\"histograms\":{", "\"spans\":{",
         "\"test.json\":2", "\"test.json.h\":{", "\"buckets\":[",
+        "\"exemplars\":[",
         "\"p50\":3", "\"p95\":3", "\"p99\":3",
         "\"test.json.span\":{", "\"count\":", "\"total_us\":", "\"max_us\":",
         "\"cache.hit\":0", "\"cache.miss\":0", "\"exec.fallback\":0",
@@ -347,7 +417,7 @@ TEST_F(TelemetryTest, ConcurrentInstrumentationIsRaceFreeAndLossless) {
   for (const auto& s : snap.spans)
     if (std::string(s.name) == "test.par.span") ++spans;
   EXPECT_EQ(spans, kIters);
-  EXPECT_EQ(counter_value(snap, "telemetry.dropped_spans"), 0);
+  EXPECT_EQ(counter_value(snap, "tel.spans.dropped"), 0);
 }
 
 TEST_F(TelemetryTest, SpanBufferCapCountsDroppedSpans) {
@@ -355,8 +425,103 @@ TEST_F(TelemetryTest, SpanBufferCapCountsDroppedSpans) {
   for (int i = 0; i < kOverCap; ++i)
     telemetry::record_span("test.cap", 0.0, 0.0);
   const auto snap = telemetry::snapshot();
-  EXPECT_GE(counter_value(snap, "telemetry.dropped_spans"), 100);
+  EXPECT_GE(counter_value(snap, "tel.spans.dropped"), 100);
   EXPECT_LE(static_cast<int>(snap.spans.size()), 1 << 16);
+}
+
+TEST_F(TelemetryTest, HistogramExemplarsCarryTheActiveTraceId) {
+  // No trace installed -> no exemplar, even though the bucket counts.
+  telemetry::histogram("test.ex").record(5);
+  {
+    const telemetry::ScopedTraceContext scope("test", 1);
+    const std::uint64_t id = telemetry::current_trace().id;
+    ASSERT_NE(id, 0u);
+    telemetry::histogram("test.ex").record(900);  // bucket 10
+    const auto snap = telemetry::snapshot();
+    const telemetry::HistogramSample* s = nullptr;
+    for (const auto& h : snap.histograms)
+      if (h.name == "test.ex") s = &h;
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->exemplars.size(), 1u);
+    EXPECT_EQ(s->exemplars[0].bucket, 10);
+    EXPECT_EQ(s->exemplars[0].value, 900);
+    EXPECT_EQ(s->exemplars[0].trace, id);
+    // Last writer wins within a bucket; other buckets keep their slots.
+    const telemetry::ScopedTraceContext inner(
+        telemetry::TraceContext{telemetry::make_trace_id(), 2, "test"});
+    telemetry::histogram("test.ex").record(600);  // same bucket 10
+    const auto snap2 = telemetry::snapshot();
+    for (const auto& h : snap2.histograms)
+      if (h.name == "test.ex") s = &h;
+    ASSERT_EQ(s->exemplars.size(), 1u);
+    EXPECT_EQ(s->exemplars[0].value, 600);
+    EXPECT_EQ(s->exemplars[0].trace, telemetry::current_trace().id);
+    EXPECT_NE(s->exemplars[0].trace, id);
+  }
+}
+
+TEST_F(TelemetryTest, DeltaKeepsOnlyExemplarsFromActiveWindowBuckets) {
+  const telemetry::ScopedTraceContext scope("test", 1);
+  telemetry::histogram("test.ex.delta").record(3);    // bucket 2
+  const auto before = telemetry::snapshot();
+  telemetry::histogram("test.ex.delta").record(1000);  // bucket 10
+  const auto after = telemetry::snapshot();
+  const auto d = telemetry::delta(before, after);
+  const telemetry::HistogramSample* s = nullptr;
+  for (const auto& h : d.histograms)
+    if (h.name == "test.ex.delta") s = &h;
+  ASSERT_NE(s, nullptr);
+  // The bucket-2 exemplar predates the window; only bucket 10 was active.
+  ASSERT_EQ(s->exemplars.size(), 1u);
+  EXPECT_EQ(s->exemplars[0].bucket, 10);
+  EXPECT_EQ(s->exemplars[0].value, 1000);
+}
+
+TEST_F(TelemetryTest, OpenMetricsRoundTripsTheCounterTaxonomy) {
+  telemetry::counter("test.om").add(42);
+  {
+    const telemetry::ScopedTraceContext scope("test", 1);
+    telemetry::histogram("test.om.h").record(97);
+  }
+  const auto snap = telemetry::snapshot();
+  std::ostringstream os;
+  telemetry::write_openmetrics(os, snap);
+  const std::string text = os.str();
+  // Family names are underscore-mangled; the dotted original rides in the
+  // name label, and the document is EOF-terminated.
+  EXPECT_NE(text.find("# TYPE ctb_test_om counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ctb_test_om_total{name=\"test.om\"} 42"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE ctb_test_om_h histogram"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{name=\"test.om.h\",le=\"128\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("ctb_test_om_h_sum{name=\"test.om.h\"} 97"),
+            std::string::npos);
+  EXPECT_NE(text.find("ctb_test_om_h_count{name=\"test.om.h\"} 1"),
+            std::string::npos);
+  // The tail bucket carries the exemplar with the recording trace id.
+  EXPECT_NE(text.find("# {trace_id=\""), std::string::npos) << text;
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  // Round trip: every counter in the snapshot comes back by its dotted
+  // name with its exact value.
+  std::istringstream is(text);
+  const auto parsed = telemetry::read_openmetrics_counters(is);
+  ASSERT_EQ(parsed.size(), snap.counters.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, snap.counters[i].name);
+    EXPECT_EQ(parsed[i].value, snap.counters[i].value);
+  }
+  // The canonical taxonomy is present by dotted name, including the
+  // self-observation counter.
+  bool saw_dropped = false;
+  for (const auto& c : parsed)
+    if (c.name == "tel.spans.dropped") saw_dropped = true;
+  EXPECT_TRUE(saw_dropped);
 }
 
 #else  // !CTB_TELEMETRY_ENABLED

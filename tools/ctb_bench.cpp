@@ -142,6 +142,11 @@ int run(int argc, char** argv) {
   flags.define("fold", "",
                "directory of BENCH_*.json artifacts to fold into a "
                "per-workload GFLOP/s-over-runs table (no suite is run)");
+  flags.define("trace-dir", "",
+               "directory to write observability artifacts into after the "
+               "run: metrics.json (with exemplars), metrics.prom "
+               "(OpenMetrics), flight.json (flight-recorder dump) — feed "
+               "them to ctb_trace");
   flags.parse(argc, argv);
 
   const std::string fold_dir = flags.get("fold");
@@ -189,6 +194,48 @@ int run(int argc, char** argv) {
     ctb::perfreport::write_perf_report_json(os, report);
   }
   std::cout << "report written to " << out_path << "\n";
+
+  // --trace-dir: drop the whole-run observability bundle next to the perf
+  // report. The flight recorder is always on while compiled in, so
+  // flight.json holds the last events of every thread even though the
+  // suite runner restored the telemetry enabled-flag above.
+  const std::string trace_dir = flags.get("trace-dir");
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    if (ec) {
+      std::cerr << "error: cannot create " << trace_dir << ": "
+                << ec.message() << "\n";
+      return 2;
+    }
+    const auto snap = ctb::telemetry::snapshot();
+    const auto write_artifact = [&](const char* name, auto&& body) -> bool {
+      const std::filesystem::path p =
+          std::filesystem::path(trace_dir) / name;
+      std::ofstream os(p);
+      if (!os.good()) {
+        std::cerr << "error: cannot write " << p.string() << "\n";
+        return false;
+      }
+      body(os);
+      std::cout << "trace artifact written to " << p.string() << "\n";
+      return true;
+    };
+    const bool ok =
+        write_artifact("metrics.json",
+                       [&](std::ostream& os) {
+                         ctb::telemetry::write_metrics_json(os, snap);
+                       }) &&
+        write_artifact("metrics.prom",
+                       [&](std::ostream& os) {
+                         ctb::telemetry::write_openmetrics(os, snap);
+                       }) &&
+        write_artifact("flight.json", [&](std::ostream& os) {
+          ctb::telemetry::write_flight_json(
+              os, ctb::telemetry::flight_events());
+        });
+    if (!ok) return 2;
+  }
 
   const std::string baseline_path = flags.get("compare");
   if (baseline_path.empty()) return 0;
